@@ -1,0 +1,173 @@
+// Command benchtab regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchtab -exp table2       # §4.2.1 optimization-level geomeans
+//	benchtab -exp fig5         # per-benchmark opt ratios (incl. fig6 x86)
+//	benchtab -exp fig11        # five-number summaries
+//	benchtab -exp compilers    # §4.2.2 Cheerp vs Emscripten
+//	benchtab -exp table3       # §4.3.1 Chrome input sizes (+ table4 memory)
+//	benchtab -exp table5       # §4.3.2 Firefox input sizes (+ table6 memory)
+//	benchtab -exp fig9         # per-benchmark input-size series
+//	benchtab -exp fig10        # §4.4.1 JIT improvement
+//	benchtab -exp table7       # §4.4.2 tier configurations
+//	benchtab -exp table8       # §4.5 browsers & platforms
+//	benchtab -exp fig12        # per-benchmark deployment series
+//	benchtab -exp ctxswitch    # §4.5 context-switch microbenchmark
+//	benchtab -exp table9       # §4.6.1 manual JavaScript
+//	benchtab -exp table10      # §4.6.2 real-world applications
+//	benchtab -exp table12      # Appendix D operation counts
+//	benchtab -exp all          # everything above
+//
+// Use -bench to restrict to a comma-separated benchmark subset and -sizes
+// to restrict input classes (e.g. -sizes XS,M).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (table2, fig5, fig9, ... or 'all')")
+	benchFilter := flag.String("bench", "", "comma-separated benchmark subset")
+	sizeFilter := flag.String("sizes", "", "comma-separated size subset (XS,S,M,L,XL)")
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.Options{}
+	if *benchFilter != "" {
+		for _, name := range strings.Split(*benchFilter, ",") {
+			b, err := benchsuite.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	if *sizeFilter != "" {
+		bySuffix := map[string]benchsuite.Size{
+			"XS": benchsuite.XS, "S": benchsuite.S, "M": benchsuite.M,
+			"L": benchsuite.L, "XL": benchsuite.XL,
+		}
+		for _, s := range strings.Split(*sizeFilter, ",") {
+			sz, ok := bySuffix[strings.ToUpper(strings.TrimSpace(s))]
+			if !ok {
+				fatal(fmt.Errorf("unknown size %q", s))
+			}
+			opts.Sizes = append(opts.Sizes, sz)
+		}
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table2", "fig5", "fig11", "compilers", "table3", "table5",
+			"fig10", "table7", "table8", "ctxswitch", "table9", "table10", "table12"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id), opts); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(id string, opts core.Options) error {
+	switch id {
+	case "table2", "fig5", "fig6", "fig11":
+		r, err := core.RunOptLevels(opts)
+		if err != nil {
+			return err
+		}
+		switch id {
+		case "table2":
+			fmt.Println(r.RenderTable2())
+		case "fig5", "fig6":
+			fmt.Println(r.RenderFig5())
+		case "fig11":
+			fmt.Println(r.RenderFig11())
+		}
+	case "compilers":
+		r, err := core.RunCompilerCompare(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "table3", "table4", "fig9":
+		r, err := core.RunInputSizes(browser.Chrome(browser.Desktop), opts)
+		if err != nil {
+			return err
+		}
+		if id == "fig9" {
+			fmt.Println(r.RenderFig9())
+		} else {
+			fmt.Println(r.RenderSpeedStats())
+			fmt.Println(r.RenderMemStats())
+		}
+	case "table5", "table6":
+		r, err := core.RunInputSizes(browser.Firefox(browser.Desktop), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderSpeedStats())
+		fmt.Println(r.RenderMemStats())
+	case "fig10":
+		r, err := core.RunJIT(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderFig10())
+	case "table7":
+		r, err := core.RunTable7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderTable7())
+	case "table8", "fig12", "fig13":
+		r, err := core.RunBrowsersPlatforms(opts)
+		if err != nil {
+			return err
+		}
+		if id == "table8" {
+			fmt.Println(r.RenderTable8())
+		} else {
+			fmt.Println(r.RenderFig1213())
+		}
+	case "ctxswitch":
+		fmt.Println(core.RunCtxSwitch().Render())
+	case "table9":
+		r, err := core.RunManualJS()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderTable9())
+	case "table10":
+		r, err := core.RunRealWorld()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderTable10())
+	case "table12":
+		r, err := core.RunTable12()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.RenderTable12())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command jsrun executes a JavaScript source file on the study's JS engine
+// under a browser profile, reporting execution time, the DevTools JS-heap
+// metric, and output.
+//
+// Usage:
+//
+//	jsrun prog.js
+//	jsrun -browser firefox -no-jit prog.js   # the paper's --no-opt setting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wasmbench/internal/browser"
+)
+
+func main() {
+	browserFlag := flag.String("browser", "chrome", "browser profile: chrome, firefox, edge")
+	platformFlag := flag.String("platform", "desktop", "platform: desktop or mobile")
+	noJIT := flag.Bool("no-jit", false, "disable the optimizing JIT (--no-opt)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsrun [flags] <program.js>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	plat := browser.Desktop
+	if *platformFlag == "mobile" {
+		plat = browser.Mobile
+	}
+	var prof *browser.Profile
+	switch *browserFlag {
+	case "chrome":
+		prof = browser.Chrome(plat)
+	case "firefox":
+		prof = browser.Firefox(plat)
+	case "edge":
+		prof = browser.Edge(plat)
+	default:
+		fatal(fmt.Errorf("unknown browser %q", *browserFlag))
+	}
+	if *noJIT {
+		prof.JS.JITEnabled = false
+	}
+	vm := prof.NewJSVM()
+	if _, err := vm.Run(string(src)); err != nil {
+		fatal(err)
+	}
+	for _, o := range vm.Output {
+		fmt.Println(o)
+	}
+	if v, ok := vm.Global("__exit"); ok {
+		fmt.Printf("exit: %d\n", v.ToInt32())
+	}
+	fmt.Printf("time: %.3f ms (%s)\n", prof.MSFromCycles(vm.Cycles()), prof.Name())
+	fmt.Printf("memory: %.1f KB JS heap (peak, excl. ArrayBuffer stores %.1f KB)\n",
+		float64(vm.PeakHeapBytes())/1024, float64(vm.PeakExternalBytes())/1024)
+	fmt.Printf("steps: %d  gc runs: %d\n", vm.Steps(), vm.GCCount())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsrun:", err)
+	os.Exit(1)
+}

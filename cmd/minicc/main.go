@@ -1,0 +1,113 @@
+// Command minicc is the study's C-subset compiler driver: it compiles minic
+// source to WebAssembly (binary or WAT), Cheerp-style JavaScript, or an
+// x86-like listing, at any of the paper's optimization levels.
+//
+// Usage:
+//
+//	minicc -O 2 -target wasm -o out.wasm prog.c
+//	minicc -O z -target wat prog.c            # text format to stdout
+//	minicc -O fast -target js prog.c
+//	minicc -toolchain emscripten -target wasm prog.c
+//	minicc -D N=100 -D REPS=10 prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+
+func (d defineFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) == 1 {
+		d[parts[0]] = "1"
+	} else {
+		d[parts[0]] = parts[1]
+	}
+	return nil
+}
+
+func main() {
+	optFlag := flag.String("O", "2", "optimization level: 0,1,2,3,4,s,z,fast")
+	target := flag.String("target", "wasm", "output: wasm, wat, js, x86")
+	out := flag.String("o", "", "output file (default stdout / <src>.wasm)")
+	toolchain := flag.String("toolchain", "cheerp", "toolchain flavour: cheerp or emscripten")
+	stack := flag.Uint("stack", 0, "cheerp-linear-stack-size in bytes (0 = default 1 MiB)")
+	heap := flag.Uint("heap", 0, "cheerp-linear-heap-size in bytes (0 = default 8 MiB)")
+	defines := defineFlags{}
+	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] <source.c>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	level, err := ir.ParseOptLevel(*optFlag)
+	if err != nil {
+		fatal(err)
+	}
+	tc := compiler.Cheerp
+	if *toolchain == "emscripten" {
+		tc = compiler.Emscripten
+	}
+	art, err := compiler.Compile(string(src), compiler.Options{
+		Opt:        level,
+		Toolchain:  tc,
+		Defines:    defines,
+		StackSize:  uint32(*stack),
+		HeapLimit:  uint32(*heap),
+		ModuleName: strings.TrimSuffix(srcPath, ".c"),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if art.Transform.ExceptionsRemoved > 0 || art.Transform.UnionsConverted > 0 {
+		fmt.Fprintf(os.Stderr, "minicc: source transformation: %d try/catch removed, %d throws rewritten, %d unions converted\n",
+			art.Transform.ExceptionsRemoved, art.Transform.ThrowsRemoved, art.Transform.UnionsConverted)
+	}
+
+	var data []byte
+	switch *target {
+	case "wasm":
+		data = art.WasmBinary
+		if *out == "" {
+			*out = strings.TrimSuffix(srcPath, ".c") + ".wasm"
+		}
+	case "wat":
+		data = []byte(art.WAT())
+	case "js":
+		data = []byte(art.JS)
+	case "x86":
+		data = []byte(fmt.Sprintf("; x86-like listing: %d instructions, ~%d bytes\n",
+			art.X86.StaticInstrCount(), art.X86.EncodedSize()))
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "minicc: wrote %s (%d bytes)\n", *out, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command wasmrun executes a WebAssembly binary under a browser profile and
+// reports the study's metrics: execution time (virtual ms), memory, dynamic
+// instruction counts, and program output.
+//
+// Usage:
+//
+//	wasmrun prog.wasm
+//	wasmrun -browser firefox -platform mobile prog.wasm
+//	wasmrun -mode basic prog.wasm      # --liftoff --no-wasm-tier-up
+//	wasmrun -mode opt prog.wasm        # --no-liftoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/wasm"
+	"wasmbench/internal/wasmvm"
+)
+
+func main() {
+	browserFlag := flag.String("browser", "chrome", "browser profile: chrome, firefox, edge")
+	platformFlag := flag.String("platform", "desktop", "platform: desktop or mobile")
+	modeFlag := flag.String("mode", "both", "compiler tiers: both, basic, opt")
+	entry := flag.String("entry", "main", "exported function to call")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wasmrun [flags] <module.wasm>")
+		os.Exit(2)
+	}
+	bin, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := wasm.Decode(bin)
+	if err != nil {
+		fatal(err)
+	}
+	plat := browser.Desktop
+	if *platformFlag == "mobile" {
+		plat = browser.Mobile
+	}
+	var prof *browser.Profile
+	switch *browserFlag {
+	case "chrome":
+		prof = browser.Chrome(plat)
+	case "firefox":
+		prof = browser.Firefox(plat)
+	case "edge":
+		prof = browser.Edge(plat)
+	default:
+		fatal(fmt.Errorf("unknown browser %q", *browserFlag))
+	}
+	cfg := prof.Wasm
+	switch *modeFlag {
+	case "both":
+		cfg.Mode = wasmvm.TierBoth
+	case "basic":
+		cfg.Mode = wasmvm.TierBasicOnly
+	case "opt":
+		cfg.Mode = wasmvm.TierOptOnly
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeFlag))
+	}
+
+	vm, err := wasmvm.New(mod, len(bin), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	out := compiler.BindWasmImports(vm)
+	if err := vm.Instantiate(); err != nil {
+		fatal(err)
+	}
+	res, err := vm.Call(*entry)
+	if err != nil {
+		fatal(err)
+	}
+	for _, o := range *out {
+		fmt.Println(o)
+	}
+	if len(res) == 1 {
+		fmt.Printf("exit: %d\n", wasmvm.AsI32(res[0]))
+	}
+	st := vm.Stats()
+	fmt.Printf("time: %.3f ms (%s)\n", prof.MSFromCycles(vm.Cycles()), prof.Name())
+	fmt.Printf("memory: %.1f KB (linear high-water + module overhead)\n",
+		float64(vm.PeakMemoryBytes())/1024)
+	fmt.Printf("instructions: %d (tier-ups: %d, memory.grow: %d)\n",
+		st.Steps, st.TierUps, st.GrowOps)
+	ops := st.ArithOps()
+	fmt.Printf("arith ops: ADD=%d MUL=%d DIV=%d REM=%d SHIFT=%d AND=%d OR=%d\n",
+		ops["ADD"], ops["MUL"], ops["DIV"], ops["REM"], ops["SHIFT"], ops["AND"], ops["OR"])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wasmrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package wasmbench is a from-scratch Go reproduction of the measurement
+// study "Understanding the Performance of WebAssembly Applications"
+// (Yan, Tu, Zhao, Zhou, Wang — ACM IMC 2021).
+//
+// The repository implements the entire measured stack: a C-subset compiler
+// with the paper's LLVM-style optimization levels (internal/minic,
+// internal/ir, internal/codegen), a WebAssembly binary toolchain and tiered
+// virtual machine (internal/wasm, internal/wasmvm), a JavaScript engine
+// with garbage collection and JIT tiering (internal/jsvm), browser and
+// platform environment models (internal/browser), the 41 PolyBenchC +
+// CHStone subject programs plus the manual-JS and real-world application
+// sets (internal/benchsuite), and the measurement harness and experiment
+// suite that regenerate every table and figure in the paper's evaluation
+// (internal/harness, internal/core).
+//
+// Entry points:
+//
+//	cmd/benchtab   regenerate any paper table/figure
+//	cmd/minicc     the C-subset compiler
+//	cmd/wasmrun    run a .wasm module under a browser profile
+//	cmd/jsrun      run a JS program on the study's engine
+//	examples/...   runnable walkthroughs of the public surface
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package wasmbench

@@ -1,0 +1,55 @@
+// Browsers runs one benchmark across the study's six deployment settings
+// (§4.5): Chrome/Firefox/Edge on desktop and mobile, for both WebAssembly
+// and JavaScript, plus the Wasm↔JS context-switch microbenchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+func main() {
+	name := "gemm"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := benchsuite.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := compiler.Compile(b.Source, compiler.Options{
+		Opt:        ir.O2,
+		Defines:    b.Defines(benchsuite.M),
+		HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+		ModuleName: b.Name,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, medium input, -O2\n\n", name)
+	fmt.Printf("%-18s %12s %12s %12s %12s\n", "deployment", "wasm ms", "js ms", "wasm KB", "js KB")
+	for _, p := range browser.AllProfiles() {
+		wm, err := p.MeasureWasm(art)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jm, err := p.MeasureJS(art)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12.3f %12.3f %12.1f %12.1f\n",
+			p.Name(), wm.ExecMS, jm.ExecMS, wm.MemoryKB, jm.MemoryKB)
+	}
+
+	fmt.Println("\nWasm<->JS context switch (desktop):")
+	for _, p := range browser.AllDesktop() {
+		fmt.Printf("  %-8s %8.1f ns per round trip\n", p.Browser, p.CtxSwitchNS())
+	}
+}

@@ -1,0 +1,124 @@
+// Optsweep reproduces the paper's §4.2.1 micro-stories on real benchmarks:
+//
+//   - the full optimization-level sweep on one benchmark (Fig. 5 columns);
+//   - the ADPCM dead-store case (Fig. 7): -Ofast keeps stores to a
+//     never-read global that -O2 eliminates;
+//   - the covariance constant case (Fig. 8): -O2 rematerializes constants
+//     at each use (two instructions on the Wasm stack machine) while
+//     -O1/-Oz keep them in locals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/wasmvm"
+)
+
+func main() {
+	sweep("covariance")
+	adpcmDeadStores()
+	covarianceConstants()
+}
+
+func compileAt(name string, level ir.OptLevel) *compiler.Artifact {
+	b, err := benchsuite.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := compiler.Compile(b.Source, compiler.Options{
+		Opt:        level,
+		Defines:    b.Defines(benchsuite.M),
+		HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+		ModuleName: b.Name,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return art
+}
+
+func sweep(name string) {
+	fmt.Printf("== optimization sweep: %s (medium input, desktop Chrome) ==\n", name)
+	chrome := browser.Chrome(browser.Desktop)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "level", "wasm ms", "js ms", "wasm bytes", "js bytes")
+	for _, lv := range []ir.OptLevel{ir.O0, ir.O1, ir.O2, ir.O3, ir.Os, ir.Oz, ir.Ofast} {
+		art := compileAt(name, lv)
+		wm, err := chrome.MeasureWasm(art)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jm, err := chrome.MeasureJS(art)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.3f %12.3f %12d %12d\n",
+			lv, wm.ExecMS, jm.ExecMS, art.WasmSize(), art.JSSize())
+	}
+	fmt.Println()
+}
+
+func adpcmDeadStores() {
+	fmt.Println("== Fig 7 mechanism: dead global stores survive -Ofast ==")
+	// A distilled ADPCM-like kernel: `result` is written but never read.
+	src := `
+int result[512];
+int sink;
+int main() {
+	int i;
+	for (i = 0; i < 5000; i++) {
+		result[i % 512] = i * 3;
+		sink = sink + (i & 7);
+	}
+	return sink;
+}
+`
+	for _, lv := range []ir.OptLevel{ir.O2, ir.Ofast} {
+		art, err := compiler.Compile(src, compiler.Options{Opt: lv, ModuleName: "adpcm-distilled"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s dynamic stores executed: %6d  (exit %d)\n",
+			lv, res.WasmStats.Counts[wasmvm.CStore], res.Exit)
+	}
+	fmt.Println()
+}
+
+func covarianceConstants() {
+	fmt.Println("== Fig 8 mechanism: -O2 rematerializes integral f64 constants ==")
+	src := `
+double out[256];
+int main() {
+	int i;
+	double n = 200.0; /* the paper's float_n */
+	for (i = 0; i < 256; i++) {
+		out[i] = (double)i / n;
+	}
+	print_f(out[100]);
+	return 0;
+}
+`
+	for _, lv := range []ir.OptLevel{ir.O1, ir.O2} {
+		art, err := compiler.Compile(src, compiler.Options{Opt: lv, ModuleName: "cov-distilled"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wat := art.WAT()
+		remat := strings.Count(wat, "f64.convert_i32_s")
+		res, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s i32.const+f64.convert_i32_s sites: %2d, dynamic const ops: %d\n",
+			lv, remat, res.WasmStats.Counts[wasmvm.CConst])
+	}
+}

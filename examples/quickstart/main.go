@@ -1,0 +1,84 @@
+// Quickstart: compile one C-subset program and run it on all three targets
+// the study compares — WebAssembly, Cheerp-style JavaScript, and the
+// x86-like native baseline — printing the paper's metrics for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmbench/internal/browser"
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+const program = `
+#define N 64
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+int main() {
+	int i; int j; int k;
+	double trace = 0.0;
+	for (i = 0; i < N; i++) {
+		for (j = 0; j < N; j++) {
+			A[i][j] = (double)((i * j + 1) % 7) / 7.0;
+			B[i][j] = (double)((i - j + 11) % 5) / 5.0;
+		}
+	}
+	for (i = 0; i < N; i++) {
+		for (j = 0; j < N; j++) {
+			double acc = 0.0;
+			for (k = 0; k < N; k++) {
+				acc += A[i][k] * B[k][j];
+			}
+			C[i][j] = acc;
+		}
+	}
+	for (i = 0; i < N; i++) {
+		trace += C[i][i];
+	}
+	print_f(trace);
+	return (int)trace;
+}
+`
+
+func main() {
+	art, err := compiler.Compile(program, compiler.Options{
+		Opt:        ir.O2,
+		ModuleName: "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled with %v: wasm %d bytes, js %d bytes, x86 ~%d bytes\n\n",
+		ir.O2, art.WasmSize(), art.JSSize(), art.X86Size())
+
+	chrome := browser.Chrome(browser.Desktop)
+
+	wm, err := chrome.MeasureWasm(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WebAssembly (desktop Chrome): %8.3f ms, %8.1f KB, output %v\n",
+		wm.ExecMS, wm.MemoryKB, wm.Result.OutputStrings())
+
+	jm, err := chrome.MeasureJS(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JavaScript  (desktop Chrome): %8.3f ms, %8.1f KB, output %v\n",
+		jm.ExecMS, jm.MemoryKB, jm.Result.OutputStrings())
+
+	xr, err := compiler.RunX86(art, codegen.DefaultX86Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x86 native  (baseline)      : %8.0f cycles, output %v\n",
+		xr.Cycles, xr.OutputStrings())
+
+	fmt.Printf("\nWasm vs JS speedup: %.2fx\n", jm.ExecMS/wm.ExecMS)
+}

@@ -1,0 +1,26 @@
+// Realworld reproduces the paper's §4.6.2 experiments: the three
+// applications with both WebAssembly and JavaScript implementations
+// (Long.js, Hyphenopoly, FFmpeg), including the Long.js operation counts of
+// Appendix D.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasmbench/internal/core"
+)
+
+func main() {
+	t10, err := core.RunRealWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t10.RenderTable10())
+
+	t12, err := core.RunTable12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t12.RenderTable12())
+}

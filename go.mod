@@ -1,0 +1,3 @@
+module wasmbench
+
+go 1.22

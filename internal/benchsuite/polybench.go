@@ -1,0 +1,1426 @@
+package benchsuite
+
+// The 30 PolyBenchC 4.2.1 kernels (paper Table 1), reimplemented in minic.
+// Arrays are heap-allocated at the paper's dataset dimension NA (PolyBench
+// itself allocates with polybench_alloc_data) and the kernels iterate the
+// scaled extent NC with row stride NA. Initialization formulas follow the
+// PolyBench conventions ((i*j % k) / k patterns) so results are
+// deterministic across backends.
+
+// PolyBench returns the 30 PolyBenchC benchmarks.
+func PolyBench() []*Benchmark {
+	return []*Benchmark{
+		{Name: "covariance", Suite: "polybench", Category: "data mining", Source: srcCovariance, Sizes: matSizes(2, nil)},
+		{Name: "correlation", Suite: "polybench", Category: "data mining", Source: srcCorrelation, Sizes: matSizes(2, nil)},
+		{Name: "gemm", Suite: "polybench", Category: "BLAS", Source: srcGemm, Sizes: matSizes(3, nil)},
+		{Name: "gemver", Suite: "polybench", Category: "BLAS", Source: srcGemver, Sizes: vecSizes(1)},
+		{Name: "gesummv", Suite: "polybench", Category: "BLAS", Source: srcGesummv, Sizes: vecSizes(2)},
+		{Name: "symm", Suite: "polybench", Category: "BLAS", Source: srcSymm, Sizes: matSizes(3, nil)},
+		{Name: "syrk", Suite: "polybench", Category: "BLAS", Source: srcSyrk, Sizes: matSizes(2, nil)},
+		{Name: "syr2k", Suite: "polybench", Category: "BLAS", Source: srcSyr2k, Sizes: matSizes(3, nil)},
+		{Name: "trmm", Suite: "polybench", Category: "BLAS", Source: srcTrmm, Sizes: matSizes(2, nil)},
+		{Name: "2mm", Suite: "polybench", Category: "linear algebra kernels", Source: src2mm, Sizes: matSizes(5, nil)},
+		{Name: "3mm", Suite: "polybench", Category: "linear algebra kernels", Source: src3mm, Sizes: matSizes(7, nil)},
+		{Name: "atax", Suite: "polybench", Category: "linear algebra kernels", Source: srcAtax, Sizes: vecSizes(1)},
+		{Name: "bicg", Suite: "polybench", Category: "linear algebra kernels", Source: srcBicg, Sizes: vecSizes(1)},
+		{Name: "doitgen", Suite: "polybench", Category: "linear algebra kernels", Source: srcDoitgen, Sizes: doitgenSizes()},
+		{Name: "mvt", Suite: "polybench", Category: "linear algebra kernels", Source: srcMvt, Sizes: vecSizes(1)},
+		{Name: "cholesky", Suite: "polybench", Category: "linear algebra solvers", Source: srcCholesky, Sizes: matSizes(2, nil)},
+		{Name: "durbin", Suite: "polybench", Category: "linear algebra solvers", Source: srcDurbin, Sizes: vecSizes(0)},
+		{Name: "gramschmidt", Suite: "polybench", Category: "linear algebra solvers", Source: srcGramschmidt, Sizes: matSizes(3, nil)},
+		{Name: "lu", Suite: "polybench", Category: "linear algebra solvers", Source: srcLu, Sizes: matSizes(2, nil)},
+		{Name: "ludcmp", Suite: "polybench", Category: "linear algebra solvers", Source: srcLudcmp, Sizes: matSizes(2, nil)},
+		{Name: "trisolv", Suite: "polybench", Category: "linear algebra solvers", Source: srcTrisolv, Sizes: vecSizes(1)},
+		{Name: "deriche", Suite: "polybench", Category: "image processing", Source: srcDeriche, Sizes: matSizes(4, nil)},
+		{Name: "floyd-warshall", Suite: "polybench", Category: "graph algorithms", Source: srcFloydWarshall, Sizes: matSizes(1, nil)},
+		{Name: "nussinov", Suite: "polybench", Category: "dynamic programming", Source: srcNussinov, Sizes: matSizes(1, nil)},
+		{Name: "adi", Suite: "polybench", Category: "stencils", Source: srcAdi, Sizes: stencilSizes(6, map[Size]int{XS: 2, S: 3, M: 6, L: 10, XL: 14})},
+		{Name: "fdtd-2d", Suite: "polybench", Category: "stencils", Source: srcFdtd2d, Sizes: stencilSizes(3, map[Size]int{XS: 3, S: 5, M: 10, L: 16, XL: 24})},
+		{Name: "heat-3d", Suite: "polybench", Category: "stencils", Source: srcHeat3d, Sizes: heat3dSizes()},
+		{Name: "jacobi-1d", Suite: "polybench", Category: "stencils", Source: srcJacobi1d, Sizes: jacobi1dSizes()},
+		{Name: "jacobi-2d", Suite: "polybench", Category: "stencils", Source: srcJacobi2d, Sizes: stencilSizes(2, map[Size]int{XS: 3, S: 6, M: 12, L: 20, XL: 30})},
+		{Name: "seidel-2d", Suite: "polybench", Category: "stencils", Source: srcSeidel2d, Sizes: stencilSizes(1, map[Size]int{XS: 3, S: 6, M: 12, L: 20, XL: 30})},
+	}
+}
+
+func doitgenSizes() map[Size]SizeSpec {
+	// A is NR×NQ×NP: cube of the dataset dimension.
+	na := map[Size]int{XS: 10, S: 25, M: 60, L: 110, XL: 160}
+	nc := map[Size]int{XS: 4, S: 8, M: 14, L: 20, XL: 26}
+	out := map[Size]SizeSpec{}
+	for _, sz := range AllSizes {
+		need := (na[sz]*na[sz]*na[sz] + na[sz]*na[sz]) * 8 / (1 << 20)
+		heapMB := 0
+		if need > 5 {
+			heapMB = need + need/4 + 4
+		}
+		out[sz] = SizeSpec{Defines: map[string]string{
+			"NA": itoa(na[sz]), "NC": itoa(nc[sz]),
+		}, HeapMB: heapMB}
+	}
+	return out
+}
+
+func heat3dSizes() map[Size]SizeSpec {
+	na := map[Size]int{XS: 10, S: 20, M: 40, L: 90, XL: 180}
+	nc := map[Size]int{XS: 5, S: 8, M: 14, L: 20, XL: 26}
+	ts := map[Size]int{XS: 2, S: 4, M: 8, L: 12, XL: 16}
+	out := map[Size]SizeSpec{}
+	for _, sz := range AllSizes {
+		need := 2 * na[sz] * na[sz] * na[sz] * 8 / (1 << 20)
+		heapMB := 0
+		if need > 5 {
+			heapMB = need + need/4 + 4
+		}
+		out[sz] = SizeSpec{Defines: map[string]string{
+			"NA": itoa(na[sz]), "NC": itoa(nc[sz]), "TS": itoa(ts[sz]),
+		}, HeapMB: heapMB}
+	}
+	return out
+}
+
+func jacobi1dSizes() map[Size]SizeSpec {
+	n := map[Size]int{XS: 200, S: 1000, M: 8000, L: 120000, XL: 400000}
+	nc := map[Size]int{XS: 120, S: 600, M: 4000, L: 20000, XL: 50000}
+	ts := map[Size]int{XS: 4, S: 8, M: 16, L: 30, XL: 50}
+	out := map[Size]SizeSpec{}
+	for _, sz := range AllSizes {
+		out[sz] = SizeSpec{Defines: map[string]string{
+			"NA": itoa(n[sz]), "NC": itoa(nc[sz]), "TS": itoa(ts[sz]),
+		}}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [16]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+const polyCommon = `
+double checksum_mat(double* X, int n) {
+	int i; int j;
+	double s = 0.0;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			s += X[i * NA + j] * (double)((i + 2 * j) % 7 + 1);
+		}
+	}
+	return s;
+}
+
+double checksum_vec(double* x, int n) {
+	int i;
+	double s = 0.0;
+	for (i = 0; i < n; i++) {
+		s += x[i] * (double)(i % 5 + 1);
+	}
+	return s;
+}
+
+void emit(double s) {
+	print_f(s);
+}
+`
+
+const srcCovariance = polyCommon + `
+double* data;
+double* cov;
+double* mean;
+
+int main() {
+	int i; int j; int k;
+	double float_n = (double)NC;
+	data = (double*)malloc(NA * NA * 8);
+	cov = (double*)malloc(NA * NA * 8);
+	mean = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			data[i * NA + j] = (double)((i * j) % 13) / 13.0;
+		}
+	}
+	for (j = 0; j < NC; j++) {
+		mean[j] = 0.0;
+		for (i = 0; i < NC; i++) {
+			mean[j] += data[i * NA + j];
+		}
+		mean[j] = mean[j] / float_n;
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			data[i * NA + j] -= mean[j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = i; j < NC; j++) {
+			double acc = 0.0;
+			for (k = 0; k < NC; k++) {
+				acc += data[k * NA + i] * data[k * NA + j];
+			}
+			acc = acc / (float_n - 1.0);
+			cov[i * NA + j] = acc;
+			cov[j * NA + i] = acc;
+		}
+	}
+	emit(checksum_mat(cov, NC));
+	return (int)fmod(checksum_mat(cov, NC) * 100.0, 100000.0);
+}
+`
+
+const srcCorrelation = polyCommon + `
+double* data;
+double* corr;
+double* mean;
+double* stddev;
+
+int main() {
+	int i; int j; int k;
+	double float_n = (double)NC;
+	double eps = 0.1;
+	data = (double*)malloc(NA * NA * 8);
+	corr = (double*)malloc(NA * NA * 8);
+	mean = (double*)malloc(NA * 8);
+	stddev = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			data[i * NA + j] = (double)((i * j + 3) % 11) / 11.0;
+		}
+	}
+	for (j = 0; j < NC; j++) {
+		mean[j] = 0.0;
+		for (i = 0; i < NC; i++) {
+			mean[j] += data[i * NA + j];
+		}
+		mean[j] = mean[j] / float_n;
+	}
+	for (j = 0; j < NC; j++) {
+		stddev[j] = 0.0;
+		for (i = 0; i < NC; i++) {
+			stddev[j] += (data[i * NA + j] - mean[j]) * (data[i * NA + j] - mean[j]);
+		}
+		stddev[j] = sqrt(stddev[j] / float_n);
+		if (stddev[j] <= eps) {
+			stddev[j] = 1.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			data[i * NA + j] -= mean[j];
+			data[i * NA + j] = data[i * NA + j] / (sqrt(float_n) * stddev[j]);
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		corr[i * NA + i] = 1.0;
+		for (j = i + 1; j < NC; j++) {
+			double acc = 0.0;
+			for (k = 0; k < NC; k++) {
+				acc += data[k * NA + i] * data[k * NA + j];
+			}
+			corr[i * NA + j] = acc;
+			corr[j * NA + i] = acc;
+		}
+	}
+	emit(checksum_mat(corr, NC));
+	return (int)fmod(checksum_mat(corr, NC) * 100.0, 100000.0);
+}
+`
+
+const srcGemm = polyCommon + `
+double* A;
+double* B;
+double* C;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j + 1) % 7) / 7.0;
+			B[i * NA + j] = (double)((i * j + 2) % 11) / 11.0;
+			C[i * NA + j] = (double)((i - j + 13) % 13) / 13.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			C[i * NA + j] *= beta;
+		}
+		for (k = 0; k < NC; k++) {
+			for (j = 0; j < NC; j++) {
+				C[i * NA + j] += alpha * A[i * NA + k] * B[k * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(C, NC));
+	return (int)fmod(checksum_mat(C, NC) * 100.0, 100000.0);
+}
+`
+
+const srcGemver = polyCommon + `
+double* A;
+double* u1; double* v1; double* u2; double* v2;
+double* w; double* x; double* y; double* z;
+
+int main() {
+	int i; int j;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	u1 = (double*)malloc(NA * 8); v1 = (double*)malloc(NA * 8);
+	u2 = (double*)malloc(NA * 8); v2 = (double*)malloc(NA * 8);
+	w = (double*)malloc(NA * 8); x = (double*)malloc(NA * 8);
+	y = (double*)malloc(NA * 8); z = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		u1[i] = (double)(i % 9) / 9.0;
+		u2[i] = (double)((i + 1) % 7) / 7.0;
+		v1[i] = (double)((i + 2) % 5) / 5.0;
+		v2[i] = (double)((i + 3) % 11) / 11.0;
+		y[i] = (double)((i + 4) % 13) / 13.0;
+		z[i] = (double)((i + 5) % 17) / 17.0;
+		x[i] = 0.0;
+		w[i] = 0.0;
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j) % 9) / 9.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = A[i * NA + j] + u1[i] * v1[j] + u2[i] * v2[j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			x[i] = x[i] + beta * A[j * NA + i] * y[j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		x[i] = x[i] + z[i];
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			w[i] = w[i] + alpha * A[i * NA + j] * x[j];
+		}
+	}
+	emit(checksum_vec(w, NC));
+	return (int)fmod(checksum_vec(w, NC) * 100.0, 100000.0);
+}
+`
+
+const srcGesummv = polyCommon + `
+double* A;
+double* B;
+double* x;
+double* y;
+double* tmp;
+
+int main() {
+	int i; int j;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	x = (double*)malloc(NA * 8);
+	y = (double*)malloc(NA * 8);
+	tmp = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		x[i] = (double)(i % 11) / 11.0;
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j + 1) % 9) / 9.0;
+			B[i * NA + j] = (double)((i * j + 2) % 7) / 7.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		tmp[i] = 0.0;
+		y[i] = 0.0;
+		for (j = 0; j < NC; j++) {
+			tmp[i] = A[i * NA + j] * x[j] + tmp[i];
+			y[i] = B[i * NA + j] * x[j] + y[i];
+		}
+		y[i] = alpha * tmp[i] + beta * y[i];
+	}
+	emit(checksum_vec(y, NC));
+	return (int)fmod(checksum_vec(y, NC) * 100.0, 100000.0);
+}
+`
+
+const srcSymm = polyCommon + `
+double* A;
+double* B;
+double* C;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i + j) % 9) / 9.0;
+			B[i * NA + j] = (double)((i * 2 + j) % 11) / 11.0;
+			C[i * NA + j] = (double)((i + j * 3) % 7) / 7.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			double temp2 = 0.0;
+			for (k = 0; k < i; k++) {
+				C[k * NA + j] += alpha * B[i * NA + j] * A[i * NA + k];
+				temp2 += B[k * NA + j] * A[i * NA + k];
+			}
+			C[i * NA + j] = beta * C[i * NA + j] + alpha * B[i * NA + j] * A[i * NA + i] + alpha * temp2;
+		}
+	}
+	emit(checksum_mat(C, NC));
+	return (int)fmod(checksum_mat(C, NC) * 100.0, 100000.0);
+}
+`
+
+const srcSyrk = polyCommon + `
+double* A;
+double* C;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j + 4) % 9) / 9.0;
+			C[i * NA + j] = (double)((i + j) % 13) / 13.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j <= i; j++) {
+			C[i * NA + j] *= beta;
+		}
+		for (k = 0; k < NC; k++) {
+			for (j = 0; j <= i; j++) {
+				C[i * NA + j] += alpha * A[i * NA + k] * A[j * NA + k];
+			}
+		}
+	}
+	emit(checksum_mat(C, NC));
+	return (int)fmod(checksum_mat(C, NC) * 100.0, 100000.0);
+}
+`
+
+const srcSyr2k = polyCommon + `
+double* A;
+double* B;
+double* C;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	double beta = 1.2;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j) % 8) / 8.0;
+			B[i * NA + j] = (double)((i * j + 1) % 9) / 9.0;
+			C[i * NA + j] = (double)((i + j) % 10) / 10.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j <= i; j++) {
+			C[i * NA + j] *= beta;
+		}
+		for (k = 0; k < NC; k++) {
+			for (j = 0; j <= i; j++) {
+				C[i * NA + j] += A[j * NA + k] * alpha * B[i * NA + k] + B[j * NA + k] * alpha * A[i * NA + k];
+			}
+		}
+	}
+	emit(checksum_mat(C, NC));
+	return (int)fmod(checksum_mat(C, NC) * 100.0, 100000.0);
+}
+`
+
+const srcTrmm = polyCommon + `
+double* A;
+double* B;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i + j) % 12) / 12.0;
+			B[i * NA + j] = (double)((NC + i - j) % 5) / 5.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			for (k = i + 1; k < NC; k++) {
+				B[i * NA + j] += A[k * NA + i] * B[k * NA + j];
+			}
+			B[i * NA + j] = alpha * B[i * NA + j];
+		}
+	}
+	emit(checksum_mat(B, NC));
+	return (int)fmod(checksum_mat(B, NC) * 100.0, 100000.0);
+}
+`
+
+const src2mm = polyCommon + `
+double* tmp;
+double* A;
+double* B;
+double* C;
+double* D;
+
+int main() {
+	int i; int j; int k;
+	double alpha = 1.5;
+	double beta = 1.2;
+	tmp = (double*)malloc(NA * NA * 8);
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	D = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j + 1) % 9) / 9.0;
+			B[i * NA + j] = (double)((i * (j + 1)) % 7) / 7.0;
+			C[i * NA + j] = (double)((i * (j + 3) + 1) % 11) / 11.0;
+			D[i * NA + j] = (double)((i * (j + 2)) % 13) / 13.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			tmp[i * NA + j] = 0.0;
+			for (k = 0; k < NC; k++) {
+				tmp[i * NA + j] += alpha * A[i * NA + k] * B[k * NA + j];
+			}
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			D[i * NA + j] *= beta;
+			for (k = 0; k < NC; k++) {
+				D[i * NA + j] += tmp[i * NA + k] * C[k * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(D, NC));
+	return (int)fmod(checksum_mat(D, NC) * 100.0, 100000.0);
+}
+`
+
+const src3mm = polyCommon + `
+double* A; double* B; double* C; double* D;
+double* E; double* F; double* G;
+
+int main() {
+	int i; int j; int k;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	C = (double*)malloc(NA * NA * 8);
+	D = (double*)malloc(NA * NA * 8);
+	E = (double*)malloc(NA * NA * 8);
+	F = (double*)malloc(NA * NA * 8);
+	G = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j + 1) % 5) / 5.0;
+			B[i * NA + j] = (double)((i * (j + 1) + 2) % 7) / 7.0;
+			C[i * NA + j] = (double)(i * (j + 3) % 11) / 11.0;
+			D[i * NA + j] = (double)((i * (j + 2) + 2) % 13) / 13.0;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			E[i * NA + j] = 0.0;
+			for (k = 0; k < NC; k++) {
+				E[i * NA + j] += A[i * NA + k] * B[k * NA + j];
+			}
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			F[i * NA + j] = 0.0;
+			for (k = 0; k < NC; k++) {
+				F[i * NA + j] += C[i * NA + k] * D[k * NA + j];
+			}
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			G[i * NA + j] = 0.0;
+			for (k = 0; k < NC; k++) {
+				G[i * NA + j] += E[i * NA + k] * F[k * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(G, NC));
+	return (int)fmod(checksum_mat(G, NC) * 100.0, 100000.0);
+}
+`
+
+const srcAtax = polyCommon + `
+double* A;
+double* x;
+double* y;
+double* tmp;
+
+int main() {
+	int i; int j;
+	A = (double*)malloc(NA * NA * 8);
+	x = (double*)malloc(NA * 8);
+	y = (double*)malloc(NA * 8);
+	tmp = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		x[i] = 1.0 + (double)i / (double)NC;
+		y[i] = 0.0;
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i + j) % NC) / (double)(5 * NC);
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		tmp[i] = 0.0;
+		for (j = 0; j < NC; j++) {
+			tmp[i] = tmp[i] + A[i * NA + j] * x[j];
+		}
+		for (j = 0; j < NC; j++) {
+			y[j] = y[j] + A[i * NA + j] * tmp[i];
+		}
+	}
+	emit(checksum_vec(y, NC));
+	return (int)fmod(checksum_vec(y, NC) * 100.0, 100000.0);
+}
+`
+
+const srcBicg = polyCommon + `
+double* A;
+double* s;
+double* q;
+double* p;
+double* r;
+
+int main() {
+	int i; int j;
+	A = (double*)malloc(NA * NA * 8);
+	s = (double*)malloc(NA * 8);
+	q = (double*)malloc(NA * 8);
+	p = (double*)malloc(NA * 8);
+	r = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		p[i] = (double)(i % NC) / (double)NC;
+		r[i] = (double)((i + 1) % NC) / (double)NC;
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * (j + 1)) % NC) / (double)NC;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		s[i] = 0.0;
+	}
+	for (i = 0; i < NC; i++) {
+		q[i] = 0.0;
+		for (j = 0; j < NC; j++) {
+			s[j] = s[j] + r[i] * A[i * NA + j];
+			q[i] = q[i] + A[i * NA + j] * p[j];
+		}
+	}
+	emit(checksum_vec(s, NC) + checksum_vec(q, NC));
+	return (int)fmod((checksum_vec(s, NC) + checksum_vec(q, NC)) * 100.0, 100000.0);
+}
+`
+
+const srcDoitgen = polyCommon + `
+double* A;
+double* C4;
+double* sum;
+
+int main() {
+	int r; int q; int p; int s;
+	A = (double*)malloc(NA * NA * NA * 8);
+	C4 = (double*)malloc(NA * NA * 8);
+	sum = (double*)malloc(NA * 8);
+	for (r = 0; r < NC; r++) {
+		for (q = 0; q < NC; q++) {
+			for (p = 0; p < NC; p++) {
+				A[(r * NA + q) * NA + p] = (double)((r * q + p) % NC) / (double)NC;
+			}
+		}
+	}
+	for (p = 0; p < NC; p++) {
+		for (s = 0; s < NC; s++) {
+			C4[p * NA + s] = (double)(p * s % NC) / (double)NC;
+		}
+	}
+	for (r = 0; r < NC; r++) {
+		for (q = 0; q < NC; q++) {
+			for (p = 0; p < NC; p++) {
+				sum[p] = 0.0;
+				for (s = 0; s < NC; s++) {
+					sum[p] += A[(r * NA + q) * NA + s] * C4[s * NA + p];
+				}
+			}
+			for (p = 0; p < NC; p++) {
+				A[(r * NA + q) * NA + p] = sum[p];
+			}
+		}
+	}
+	emit(checksum_vec(sum, NC));
+	return (int)fmod(checksum_vec(sum, NC) * 100.0, 100000.0);
+}
+`
+
+const srcMvt = polyCommon + `
+double* A;
+double* x1;
+double* x2;
+double* y1;
+double* y2;
+
+int main() {
+	int i; int j;
+	A = (double*)malloc(NA * NA * 8);
+	x1 = (double*)malloc(NA * 8);
+	x2 = (double*)malloc(NA * 8);
+	y1 = (double*)malloc(NA * 8);
+	y2 = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		x1[i] = (double)(i % NC) / (double)NC;
+		x2[i] = (double)((i + 1) % NC) / (double)NC;
+		y1[i] = (double)((i + 3) % NC) / (double)NC;
+		y2[i] = (double)((i + 4) % NC) / (double)NC;
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)((i * j) % NC) / (double)NC;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			x1[i] = x1[i] + A[i * NA + j] * y1[j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			x2[i] = x2[i] + A[j * NA + i] * y2[j];
+		}
+	}
+	emit(checksum_vec(x1, NC) + checksum_vec(x2, NC));
+	return (int)fmod((checksum_vec(x1, NC) + checksum_vec(x2, NC)) * 100.0, 100000.0);
+}
+`
+
+const srcCholesky = polyCommon + `
+double* A;
+
+int main() {
+	int i; int j; int k;
+	A = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j <= i; j++) {
+			A[i * NA + j] = (double)(0 - (j % NC)) / (double)NC + 1.0;
+		}
+		for (j = i + 1; j < NC; j++) {
+			A[i * NA + j] = 0.0;
+		}
+		A[i * NA + i] = 1.0;
+	}
+	/* Make the matrix positive semi-definite: A = B * B^T. */
+	{
+		double* B = (double*)malloc(NA * NA * 8);
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				B[i * NA + j] = 0.0;
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j <= i; j++) {
+				for (k = 0; k < NC; k++) {
+					B[i * NA + j] += A[i * NA + k] * A[j * NA + k];
+				}
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j <= i; j++) {
+				A[i * NA + j] = B[i * NA + j];
+			}
+		}
+		free(B);
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < i; j++) {
+			for (k = 0; k < j; k++) {
+				A[i * NA + j] -= A[i * NA + k] * A[j * NA + k];
+			}
+			A[i * NA + j] = A[i * NA + j] / A[j * NA + j];
+		}
+		for (k = 0; k < i; k++) {
+			A[i * NA + i] -= A[i * NA + k] * A[i * NA + k];
+		}
+		A[i * NA + i] = sqrt(A[i * NA + i]);
+	}
+	emit(checksum_mat(A, NC));
+	return (int)fmod(checksum_mat(A, NC) * 100.0, 100000.0);
+}
+`
+
+const srcDurbin = polyCommon + `
+double* r;
+double* y;
+double* z;
+
+int main() {
+	int i; int k;
+	double alpha; double beta; double sum;
+	r = (double*)malloc(NA * 8);
+	y = (double*)malloc(NA * 8);
+	z = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		r[i] = (double)(NC + 1 - i) / (double)(2 * NC);
+	}
+	y[0] = 0.0 - r[0];
+	beta = 1.0;
+	alpha = 0.0 - r[0];
+	for (k = 1; k < NC; k++) {
+		beta = (1.0 - alpha * alpha) * beta;
+		sum = 0.0;
+		for (i = 0; i < k; i++) {
+			sum += r[k - i - 1] * y[i];
+		}
+		alpha = 0.0 - (r[k] + sum) / beta;
+		for (i = 0; i < k; i++) {
+			z[i] = y[i] + alpha * y[k - i - 1];
+		}
+		for (i = 0; i < k; i++) {
+			y[i] = z[i];
+		}
+		y[k] = alpha;
+	}
+	emit(checksum_vec(y, NC));
+	return (int)fmod(checksum_vec(y, NC) * 1000.0, 100000.0);
+}
+`
+
+const srcGramschmidt = polyCommon + `
+double* A;
+double* R;
+double* Q;
+
+int main() {
+	int i; int j; int k;
+	double nrm;
+	A = (double*)malloc(NA * NA * 8);
+	R = (double*)malloc(NA * NA * 8);
+	Q = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = ((double)((i * j + 1) % NC) / (double)NC) * 100.0 + 10.0;
+			Q[i * NA + j] = 0.0;
+			R[i * NA + j] = 0.0;
+		}
+	}
+	for (k = 0; k < NC; k++) {
+		nrm = 0.0;
+		for (i = 0; i < NC; i++) {
+			nrm += A[i * NA + k] * A[i * NA + k];
+		}
+		R[k * NA + k] = sqrt(nrm);
+		for (i = 0; i < NC; i++) {
+			Q[i * NA + k] = A[i * NA + k] / R[k * NA + k];
+		}
+		for (j = k + 1; j < NC; j++) {
+			R[k * NA + j] = 0.0;
+			for (i = 0; i < NC; i++) {
+				R[k * NA + j] += Q[i * NA + k] * A[i * NA + j];
+			}
+			for (i = 0; i < NC; i++) {
+				A[i * NA + j] = A[i * NA + j] - Q[i * NA + k] * R[k * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(R, NC) + checksum_mat(Q, NC));
+	return (int)fmod((checksum_mat(R, NC) + checksum_mat(Q, NC)) * 100.0, 100000.0);
+}
+`
+
+const srcLu = polyCommon + `
+double* A;
+
+int main() {
+	int i; int j; int k;
+	A = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j <= i; j++) {
+			A[i * NA + j] = (double)(0 - (j % NC)) / (double)NC + 1.0;
+		}
+		for (j = i + 1; j < NC; j++) {
+			A[i * NA + j] = 0.0;
+		}
+		A[i * NA + i] = 1.0;
+	}
+	{
+		double* B = (double*)malloc(NA * NA * 8);
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				B[i * NA + j] = 0.0;
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				for (k = 0; k < NC; k++) {
+					B[i * NA + j] += A[i * NA + k] * A[j * NA + k];
+				}
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				A[i * NA + j] = B[i * NA + j];
+			}
+		}
+		free(B);
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < i; j++) {
+			for (k = 0; k < j; k++) {
+				A[i * NA + j] -= A[i * NA + k] * A[k * NA + j];
+			}
+			A[i * NA + j] = A[i * NA + j] / A[j * NA + j];
+		}
+		for (j = i; j < NC; j++) {
+			for (k = 0; k < i; k++) {
+				A[i * NA + j] -= A[i * NA + k] * A[k * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(A, NC));
+	return (int)fmod(checksum_mat(A, NC) * 100.0, 100000.0);
+}
+`
+
+const srcLudcmp = polyCommon + `
+double* A;
+double* b;
+double* x;
+double* y;
+
+int main() {
+	int i; int j; int k;
+	double w;
+	A = (double*)malloc(NA * NA * 8);
+	b = (double*)malloc(NA * 8);
+	x = (double*)malloc(NA * 8);
+	y = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		x[i] = 0.0;
+		y[i] = 0.0;
+		b[i] = (double)(i + 1) / (double)NC / 2.0 + 4.0;
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j <= i; j++) {
+			A[i * NA + j] = (double)(0 - (j % NC)) / (double)NC + 1.0;
+		}
+		for (j = i + 1; j < NC; j++) {
+			A[i * NA + j] = 0.0;
+		}
+		A[i * NA + i] = 1.0;
+	}
+	{
+		double* B = (double*)malloc(NA * NA * 8);
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				B[i * NA + j] = 0.0;
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				for (k = 0; k < NC; k++) {
+					B[i * NA + j] += A[i * NA + k] * A[j * NA + k];
+				}
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				A[i * NA + j] = B[i * NA + j];
+			}
+		}
+		free(B);
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < i; j++) {
+			w = A[i * NA + j];
+			for (k = 0; k < j; k++) {
+				w -= A[i * NA + k] * A[k * NA + j];
+			}
+			A[i * NA + j] = w / A[j * NA + j];
+		}
+		for (j = i; j < NC; j++) {
+			w = A[i * NA + j];
+			for (k = 0; k < i; k++) {
+				w -= A[i * NA + k] * A[k * NA + j];
+			}
+			A[i * NA + j] = w;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		w = b[i];
+		for (j = 0; j < i; j++) {
+			w -= A[i * NA + j] * y[j];
+		}
+		y[i] = w;
+	}
+	for (i = NC - 1; i >= 0; i--) {
+		w = y[i];
+		for (j = i + 1; j < NC; j++) {
+			w -= A[i * NA + j] * x[j];
+		}
+		x[i] = w / A[i * NA + i];
+	}
+	emit(checksum_vec(x, NC));
+	return (int)fmod(checksum_vec(x, NC) * 100.0, 100000.0);
+}
+`
+
+const srcTrisolv = polyCommon + `
+double* L;
+double* x;
+double* b;
+
+int main() {
+	int i; int j;
+	L = (double*)malloc(NA * NA * 8);
+	x = (double*)malloc(NA * 8);
+	b = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		x[i] = 0.0 - 999.0;
+		b[i] = (double)i;
+		for (j = 0; j <= i; j++) {
+			L[i * NA + j] = (double)(i + NC - j + 1) * 2.0 / (double)NC;
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		x[i] = b[i];
+		for (j = 0; j < i; j++) {
+			x[i] -= L[i * NA + j] * x[j];
+		}
+		x[i] = x[i] / L[i * NA + i];
+	}
+	emit(checksum_vec(x, NC));
+	return (int)fmod(checksum_vec(x, NC) * 100.0, 100000.0);
+}
+`
+
+const srcDeriche = polyCommon + `
+double* imgIn;
+double* imgOut;
+double* y1v;
+double* y2v;
+
+int main() {
+	int i; int j;
+	double alpha = 0.25;
+	double k; double a1; double a2; double a3; double a4;
+	double b1; double b2; double c1;
+	double ym1; double ym2; double xm1; double tm1; double tm2; double yp1; double yp2; double xp1; double xp2;
+	imgIn = (double*)malloc(NA * NA * 8);
+	imgOut = (double*)malloc(NA * NA * 8);
+	y1v = (double*)malloc(NA * NA * 8);
+	y2v = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			imgIn[i * NA + j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+		}
+	}
+	k = (1.0 - exp(0.0 - alpha)) * (1.0 - exp(0.0 - alpha)) / (1.0 + 2.0 * alpha * exp(0.0 - alpha) - exp(2.0 * alpha));
+	a1 = k;
+	a2 = k * exp(0.0 - alpha) * (alpha - 1.0);
+	a3 = k * exp(0.0 - alpha) * (alpha + 1.0);
+	a4 = 0.0 - k * exp(0.0 - 2.0 * alpha);
+	b1 = pow(2.0, 0.0 - alpha);
+	b2 = 0.0 - exp(0.0 - 2.0 * alpha);
+	c1 = 1.0;
+	for (i = 0; i < NC; i++) {
+		ym1 = 0.0;
+		ym2 = 0.0;
+		xm1 = 0.0;
+		for (j = 0; j < NC; j++) {
+			y1v[i * NA + j] = a1 * imgIn[i * NA + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+			xm1 = imgIn[i * NA + j];
+			ym2 = ym1;
+			ym1 = y1v[i * NA + j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		yp1 = 0.0;
+		yp2 = 0.0;
+		xp1 = 0.0;
+		xp2 = 0.0;
+		for (j = NC - 1; j >= 0; j--) {
+			y2v[i * NA + j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+			xp2 = xp1;
+			xp1 = imgIn[i * NA + j];
+			yp2 = yp1;
+			yp1 = y2v[i * NA + j];
+		}
+	}
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			imgOut[i * NA + j] = c1 * (y1v[i * NA + j] + y2v[i * NA + j]);
+		}
+	}
+	tm1 = 0.0;
+	tm2 = 0.0;
+	emit(checksum_mat(imgOut, NC) + tm1 + tm2);
+	return (int)fmod(checksum_mat(imgOut, NC) * 100.0, 100000.0);
+}
+`
+
+const srcFloydWarshall = polyCommon + `
+int* path;
+
+int main() {
+	int i; int j; int k;
+	path = (int*)malloc(NA * NA * 4);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			path[i * NA + j] = i * j % 7 + 1;
+			if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {
+				path[i * NA + j] = 999;
+			}
+		}
+	}
+	for (k = 0; k < NC; k++) {
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				if (path[i * NA + j] > path[i * NA + k] + path[k * NA + j]) {
+					path[i * NA + j] = path[i * NA + k] + path[k * NA + j];
+				}
+			}
+		}
+	}
+	{
+		int s = 0;
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				s += path[i * NA + j] * ((i + j) % 3 + 1);
+			}
+		}
+		print_i((long)s);
+		return s % 100000;
+	}
+}
+`
+
+const srcNussinov = polyCommon + `
+int* table;
+int* seq;
+
+int max_score(int a, int b) {
+	if (a >= b) return a;
+	return b;
+}
+
+int match(int b1, int b2) {
+	if (b1 + b2 == 3) return 1;
+	return 0;
+}
+
+int main() {
+	int i; int j; int k;
+	table = (int*)malloc(NA * NA * 4);
+	seq = (int*)malloc(NA * 4);
+	for (i = 0; i < NC; i++) {
+		seq[i] = (i + 1) % 4;
+		for (j = 0; j < NC; j++) {
+			table[i * NA + j] = 0;
+		}
+	}
+	for (i = NC - 1; i >= 0; i--) {
+		for (j = i + 1; j < NC; j++) {
+			if (j - 1 >= 0) {
+				table[i * NA + j] = max_score(table[i * NA + j], table[i * NA + j - 1]);
+			}
+			if (i + 1 < NC) {
+				table[i * NA + j] = max_score(table[i * NA + j], table[(i + 1) * NA + j]);
+			}
+			if (j - 1 >= 0 && i + 1 < NC) {
+				if (i < j - 1) {
+					table[i * NA + j] = max_score(table[i * NA + j], table[(i + 1) * NA + j - 1] + match(seq[i], seq[j]));
+				} else {
+					table[i * NA + j] = max_score(table[i * NA + j], table[(i + 1) * NA + j - 1]);
+				}
+			}
+			for (k = i + 1; k < j; k++) {
+				table[i * NA + j] = max_score(table[i * NA + j], table[i * NA + k] + table[(k + 1) * NA + j]);
+			}
+		}
+	}
+	print_i((long)table[0 * NA + NC - 1]);
+	return table[0 * NA + NC - 1];
+}
+`
+
+const srcAdi = polyCommon + `
+double* u;
+double* v;
+double* p;
+double* q;
+
+int main() {
+	int t; int i; int j;
+	double DX; double DY; double DT;
+	double B1; double B2;
+	double mul1; double mul2;
+	double a; double b; double c; double d; double e; double f;
+	u = (double*)malloc(NA * NA * 8);
+	v = (double*)malloc(NA * NA * 8);
+	p = (double*)malloc(NA * NA * 8);
+	q = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			u[i * NA + j] = (double)(i + NC - j) / (double)NC;
+			v[i * NA + j] = 0.0;
+			p[i * NA + j] = 0.0;
+			q[i * NA + j] = 0.0;
+		}
+	}
+	DX = 1.0 / (double)NC;
+	DY = 1.0 / (double)NC;
+	DT = 1.0 / (double)TS;
+	B1 = 2.0;
+	B2 = 1.0;
+	mul1 = B1 * DT / (DX * DX);
+	mul2 = B2 * DT / (DY * DY);
+	a = 0.0 - mul1 / 2.0;
+	b = 1.0 + mul1;
+	c = a;
+	d = 0.0 - mul2 / 2.0;
+	e = 1.0 + mul2;
+	f = d;
+	for (t = 1; t <= TS; t++) {
+		for (i = 1; i < NC - 1; i++) {
+			v[0 * NA + i] = 1.0;
+			p[i * NA + 0] = 0.0;
+			q[i * NA + 0] = v[0 * NA + i];
+			for (j = 1; j < NC - 1; j++) {
+				p[i * NA + j] = (0.0 - c) / (a * p[i * NA + j - 1] + b);
+				q[i * NA + j] = ((0.0 - d) * u[j * NA + i - 1] + (1.0 + 2.0 * d) * u[j * NA + i] - f * u[j * NA + i + 1] - a * q[i * NA + j - 1]) / (a * p[i * NA + j - 1] + b);
+			}
+			v[(NC - 1) * NA + i] = 1.0;
+			for (j = NC - 2; j >= 1; j--) {
+				v[j * NA + i] = p[i * NA + j] * v[(j + 1) * NA + i] + q[i * NA + j];
+			}
+		}
+		for (i = 1; i < NC - 1; i++) {
+			u[i * NA + 0] = 1.0;
+			p[i * NA + 0] = 0.0;
+			q[i * NA + 0] = u[i * NA + 0];
+			for (j = 1; j < NC - 1; j++) {
+				p[i * NA + j] = (0.0 - f) / (d * p[i * NA + j - 1] + e);
+				q[i * NA + j] = ((0.0 - a) * v[(i - 1) * NA + j] + (1.0 + 2.0 * a) * v[i * NA + j] - c * v[(i + 1) * NA + j] - d * q[i * NA + j - 1]) / (d * p[i * NA + j - 1] + e);
+			}
+			u[i * NA + NC - 1] = 1.0;
+			for (j = NC - 2; j >= 1; j--) {
+				u[i * NA + j] = p[i * NA + j] * u[i * NA + j + 1] + q[i * NA + j];
+			}
+		}
+	}
+	emit(checksum_mat(u, NC));
+	return (int)fmod(checksum_mat(u, NC) * 100.0, 100000.0);
+}
+`
+
+const srcFdtd2d = polyCommon + `
+double* ex;
+double* ey;
+double* hz;
+
+int main() {
+	int t; int i; int j;
+	ex = (double*)malloc(NA * NA * 8);
+	ey = (double*)malloc(NA * NA * 8);
+	hz = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			ex[i * NA + j] = (double)i * (double)(j + 1) / (double)NC;
+			ey[i * NA + j] = (double)i * (double)(j + 2) / (double)NC;
+			hz[i * NA + j] = (double)i * (double)(j + 3) / (double)NC;
+		}
+	}
+	for (t = 0; t < TS; t++) {
+		for (j = 0; j < NC; j++) {
+			ey[0 * NA + j] = (double)t;
+		}
+		for (i = 1; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				ey[i * NA + j] = ey[i * NA + j] - 0.5 * (hz[i * NA + j] - hz[(i - 1) * NA + j]);
+			}
+		}
+		for (i = 0; i < NC; i++) {
+			for (j = 1; j < NC; j++) {
+				ex[i * NA + j] = ex[i * NA + j] - 0.5 * (hz[i * NA + j] - hz[i * NA + j - 1]);
+			}
+		}
+		for (i = 0; i < NC - 1; i++) {
+			for (j = 0; j < NC - 1; j++) {
+				hz[i * NA + j] = hz[i * NA + j] - 0.7 * (ex[i * NA + j + 1] - ex[i * NA + j] + ey[(i + 1) * NA + j] - ey[i * NA + j]);
+			}
+		}
+	}
+	emit(checksum_mat(hz, NC));
+	return (int)fmod(checksum_mat(hz, NC) * 100.0, 100000.0);
+}
+`
+
+const srcHeat3d = polyCommon + `
+double* A;
+double* B;
+
+int main() {
+	int t; int i; int j; int k;
+	A = (double*)malloc(NA * NA * NA * 8);
+	B = (double*)malloc(NA * NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			for (k = 0; k < NC; k++) {
+				A[(i * NA + j) * NA + k] = (double)(i + j + (NC - k)) * 10.0 / (double)NC;
+				B[(i * NA + j) * NA + k] = A[(i * NA + j) * NA + k];
+			}
+		}
+	}
+	for (t = 1; t <= TS; t++) {
+		for (i = 1; i < NC - 1; i++) {
+			for (j = 1; j < NC - 1; j++) {
+				for (k = 1; k < NC - 1; k++) {
+					B[(i * NA + j) * NA + k] = 0.125 * (A[((i + 1) * NA + j) * NA + k] - 2.0 * A[(i * NA + j) * NA + k] + A[((i - 1) * NA + j) * NA + k])
+						+ 0.125 * (A[(i * NA + j + 1) * NA + k] - 2.0 * A[(i * NA + j) * NA + k] + A[(i * NA + j - 1) * NA + k])
+						+ 0.125 * (A[(i * NA + j) * NA + k + 1] - 2.0 * A[(i * NA + j) * NA + k] + A[(i * NA + j) * NA + k - 1])
+						+ A[(i * NA + j) * NA + k];
+				}
+			}
+		}
+		for (i = 1; i < NC - 1; i++) {
+			for (j = 1; j < NC - 1; j++) {
+				for (k = 1; k < NC - 1; k++) {
+					A[(i * NA + j) * NA + k] = 0.125 * (B[((i + 1) * NA + j) * NA + k] - 2.0 * B[(i * NA + j) * NA + k] + B[((i - 1) * NA + j) * NA + k])
+						+ 0.125 * (B[(i * NA + j + 1) * NA + k] - 2.0 * B[(i * NA + j) * NA + k] + B[(i * NA + j - 1) * NA + k])
+						+ 0.125 * (B[(i * NA + j) * NA + k + 1] - 2.0 * B[(i * NA + j) * NA + k] + B[(i * NA + j) * NA + k - 1])
+						+ B[(i * NA + j) * NA + k];
+				}
+			}
+		}
+	}
+	{
+		double s = 0.0;
+		for (i = 0; i < NC; i++) {
+			for (j = 0; j < NC; j++) {
+				s += A[(i * NA + j) * NA + (i + j) % NC];
+			}
+		}
+		emit(s);
+		return (int)fmod(s * 100.0, 100000.0);
+	}
+}
+`
+
+const srcJacobi1d = polyCommon + `
+double* A;
+double* B;
+
+int main() {
+	int t; int i;
+	A = (double*)malloc(NA * 8);
+	B = (double*)malloc(NA * 8);
+	for (i = 0; i < NC; i++) {
+		A[i] = ((double)i + 2.0) / (double)NC;
+		B[i] = ((double)i + 3.0) / (double)NC;
+	}
+	for (t = 0; t < TS; t++) {
+		for (i = 1; i < NC - 1; i++) {
+			B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+		}
+		for (i = 1; i < NC - 1; i++) {
+			A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+		}
+	}
+	emit(checksum_vec(A, NC));
+	return (int)fmod(checksum_vec(A, NC) * 100.0, 100000.0);
+}
+`
+
+const srcJacobi2d = polyCommon + `
+double* A;
+double* B;
+
+int main() {
+	int t; int i; int j;
+	A = (double*)malloc(NA * NA * 8);
+	B = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = (double)i * (double)(j + 2) / (double)NC;
+			B[i * NA + j] = (double)i * (double)(j + 3) / (double)NC;
+		}
+	}
+	for (t = 0; t < TS; t++) {
+		for (i = 1; i < NC - 1; i++) {
+			for (j = 1; j < NC - 1; j++) {
+				B[i * NA + j] = 0.2 * (A[i * NA + j] + A[i * NA + j - 1] + A[i * NA + j + 1] + A[(i + 1) * NA + j] + A[(i - 1) * NA + j]);
+			}
+		}
+		for (i = 1; i < NC - 1; i++) {
+			for (j = 1; j < NC - 1; j++) {
+				A[i * NA + j] = 0.2 * (B[i * NA + j] + B[i * NA + j - 1] + B[i * NA + j + 1] + B[(i + 1) * NA + j] + B[(i - 1) * NA + j]);
+			}
+		}
+	}
+	emit(checksum_mat(A, NC));
+	return (int)fmod(checksum_mat(A, NC) * 100.0, 100000.0);
+}
+`
+
+const srcSeidel2d = polyCommon + `
+double* A;
+
+int main() {
+	int t; int i; int j;
+	A = (double*)malloc(NA * NA * 8);
+	for (i = 0; i < NC; i++) {
+		for (j = 0; j < NC; j++) {
+			A[i * NA + j] = ((double)i * (double)(j + 2) + 2.0) / (double)NC;
+		}
+	}
+	for (t = 0; t <= TS - 1; t++) {
+		for (i = 1; i <= NC - 2; i++) {
+			for (j = 1; j <= NC - 2; j++) {
+				A[i * NA + j] = (A[(i - 1) * NA + j - 1] + A[(i - 1) * NA + j] + A[(i - 1) * NA + j + 1]
+					+ A[i * NA + j - 1] + A[i * NA + j] + A[i * NA + j + 1]
+					+ A[(i + 1) * NA + j - 1] + A[(i + 1) * NA + j] + A[(i + 1) * NA + j + 1]) / 9.0;
+			}
+		}
+	}
+	emit(checksum_mat(A, NC));
+	return (int)fmod(checksum_mat(A, NC) * 100.0, 100000.0);
+}
+`

@@ -1,0 +1,183 @@
+package benchsuite
+
+import (
+	"reflect"
+	"testing"
+
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/jsvm"
+	"wasmbench/internal/wasmvm"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 41 {
+		t.Fatalf("expected 41 benchmarks (30 PolyBenchC + 11 CHStone), got %d", len(all))
+	}
+	poly, chs := 0, 0
+	for _, b := range all {
+		switch b.Suite {
+		case "polybench":
+			poly++
+		case "chstone":
+			chs++
+		default:
+			t.Errorf("%s: unknown suite %q", b.Name, b.Suite)
+		}
+		for _, sz := range AllSizes {
+			if _, ok := b.Sizes[sz]; !ok {
+				t.Errorf("%s: missing size %v", b.Name, sz)
+			}
+		}
+	}
+	if poly != 30 || chs != 11 {
+		t.Errorf("suite split: %d polybench, %d chstone", poly, chs)
+	}
+}
+
+// compileBench compiles one benchmark at one size.
+func compileBench(t *testing.T, b *Benchmark, sz Size, level ir.OptLevel) *compiler.Artifact {
+	t.Helper()
+	art, err := compiler.Compile(b.Source, compiler.Options{
+		Opt:        level,
+		Defines:    b.Defines(sz),
+		HeapLimit:  b.HeapLimitBytes(sz),
+		ModuleName: b.Name,
+	})
+	if err != nil {
+		t.Fatalf("%s/%v: compile: %v", b.Name, sz, err)
+	}
+	return art
+}
+
+// TestAllBenchmarksDifferential compiles every benchmark at XS with -O2 and
+// requires identical outputs from the Wasm, JS, and x86 backends.
+func TestAllBenchmarksDifferential(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			art := compileBench(t, b, XS, ir.O2)
+			w, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+			if err != nil {
+				t.Fatalf("wasm: %v", err)
+			}
+			x, err := compiler.RunX86(art, codegen.DefaultX86Config())
+			if err != nil {
+				t.Fatalf("x86: %v", err)
+			}
+			j, err := compiler.RunJS(art, jsvm.DefaultConfig())
+			if err != nil {
+				t.Fatalf("js: %v", err)
+			}
+			if w.Exit != x.Exit {
+				t.Errorf("wasm exit %d != x86 exit %d", w.Exit, x.Exit)
+			}
+			if j.Exit != x.Exit {
+				t.Errorf("js exit %d != x86 exit %d", j.Exit, x.Exit)
+			}
+			if !reflect.DeepEqual(w.OutputStrings(), x.OutputStrings()) {
+				t.Errorf("wasm output %v != x86 %v", w.OutputStrings(), x.OutputStrings())
+			}
+			if !reflect.DeepEqual(j.OutputStrings(), x.OutputStrings()) {
+				t.Errorf("js output %v != x86 %v", j.OutputStrings(), x.OutputStrings())
+			}
+			if w.Steps == 0 {
+				t.Error("benchmark did no work")
+			}
+		})
+	}
+}
+
+// TestOptLevelsPreserveBehavior runs a representative subset across all
+// measured optimization levels on the Wasm backend.
+func TestOptLevelsPreserveBehavior(t *testing.T) {
+	names := []string{"gemm", "covariance", "ADPCM", "SHA", "DFSIN", "nussinov", "MIPS"}
+	levels := []ir.OptLevel{ir.O0, ir.O1, ir.O2, ir.Oz, ir.Ofast}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []string
+			var refExit int32
+			for i, lv := range levels {
+				art := compileBench(t, b, XS, lv)
+				r, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+				if err != nil {
+					t.Fatalf("%v: %v", lv, err)
+				}
+				if i == 0 {
+					ref = r.OutputStrings()
+					refExit = r.Exit
+					continue
+				}
+				if lv == ir.Ofast {
+					// -Ofast is value-unsafe (fast-math): floating-point
+					// outputs may differ in the last ULPs. The integer exit
+					// checksum must still match.
+					if r.Exit != refExit {
+						t.Errorf("-Ofast exit %d vs %d", r.Exit, refExit)
+					}
+					continue
+				}
+				if r.Exit != refExit || !reflect.DeepEqual(r.OutputStrings(), ref) {
+					t.Errorf("%v changed behavior: exit %d vs %d, %v vs %v",
+						lv, r.Exit, refExit, r.OutputStrings(), ref)
+				}
+			}
+		})
+	}
+}
+
+// TestSizesScaleWork checks that larger input classes do strictly more work
+// and that the L/XL memory classes allocate substantially more.
+func TestSizesScaleWork(t *testing.T) {
+	for _, name := range []string{"gemm", "jacobi-2d", "SHA"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prevSteps uint64
+		for _, sz := range []Size{XS, S, M} {
+			art := compileBench(t, b, sz, ir.O2)
+			r, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, sz, err)
+			}
+			if r.Steps <= prevSteps {
+				t.Errorf("%s/%v: steps %d not greater than previous %d", name, sz, r.Steps, prevSteps)
+			}
+			prevSteps = r.Steps
+		}
+	}
+}
+
+func TestLargeClassMemoryFootprint(t *testing.T) {
+	b, err := ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := compileBench(t, b, M, ir.O2)
+	l := compileBench(t, b, L, ir.O2)
+	rm, err := compiler.RunWasm(m, wasmvm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := compiler.RunWasm(l, wasmvm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L allocates 3 × 1000² × 8 ≈ 24 MB; M ≈ 1 MB.
+	if rl.MemoryBytes < 20<<20 {
+		t.Errorf("L memory = %d bytes, want ≥ 20 MiB", rl.MemoryBytes)
+	}
+	if rm.MemoryBytes > 8<<20 {
+		t.Errorf("M memory = %d bytes, want ≤ 8 MiB", rm.MemoryBytes)
+	}
+}

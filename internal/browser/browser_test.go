@@ -1,0 +1,133 @@
+package browser
+
+import (
+	"testing"
+
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+const tinyProg = `
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 2000; i++) {
+		s += i & 15;
+	}
+	print_i((long)s);
+	return s & 255;
+}
+`
+
+func compileTiny(t *testing.T) *compiler.Artifact {
+	t.Helper()
+	art, err := compiler.Compile(tinyProg, compiler.Options{Opt: ir.O2, ModuleName: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	art := compileTiny(t)
+	seen := map[string]float64{}
+	for _, p := range AllProfiles() {
+		wm, err := p.MeasureWasm(art)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if wm.ExecMS <= 0 {
+			t.Errorf("%s: non-positive time", p.Name())
+		}
+		seen[p.Name()] = wm.ExecMS
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 deployments, got %d", len(seen))
+	}
+	// Mobile must be slower than the same browser's desktop.
+	for _, b := range []string{"chrome", "firefox", "edge"} {
+		if seen[b+"-mobile"] <= seen[b+"-desktop"] {
+			t.Errorf("%s: mobile (%v) should be slower than desktop (%v)",
+				b, seen[b+"-mobile"], seen[b+"-desktop"])
+		}
+	}
+}
+
+func TestMeasurementDeterminism(t *testing.T) {
+	art := compileTiny(t)
+	p := Chrome(Desktop)
+	a, err := p.MeasureWasm(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chrome(Desktop).MeasureWasm(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecMS != b.ExecMS || a.MemoryKB != b.MemoryKB {
+		t.Errorf("virtual-time measurement must be deterministic: %v/%v vs %v/%v",
+			a.ExecMS, a.MemoryKB, b.ExecMS, b.MemoryKB)
+	}
+}
+
+func TestJSMemoryBaselines(t *testing.T) {
+	art := compileTiny(t)
+	chrome, err := Chrome(Desktop).MeasureJS(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firefox, err := Firefox(Desktop).MeasureJS(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Tables 4/6: Chrome's JS baseline ≈ 880 KB, Firefox ≈ 510.
+	if chrome.MemoryKB < 850 || chrome.MemoryKB > 950 {
+		t.Errorf("chrome JS memory = %.1f KB, want ≈ 880", chrome.MemoryKB)
+	}
+	if firefox.MemoryKB < 480 || firefox.MemoryKB > 580 {
+		t.Errorf("firefox JS memory = %.1f KB, want ≈ 510", firefox.MemoryKB)
+	}
+}
+
+func TestCtxSwitchOrdering(t *testing.T) {
+	chrome := Chrome(Desktop).CtxSwitchNS()
+	firefox := Firefox(Desktop).CtxSwitchNS()
+	ratio := firefox / chrome
+	// Paper §4.5: Firefox ≈ 0.13x of Chrome.
+	if ratio < 0.08 || ratio > 0.25 {
+		t.Errorf("firefox/chrome context switch = %.3f, want ≈ 0.13", ratio)
+	}
+}
+
+func TestWasmOutputMatchesJS(t *testing.T) {
+	art := compileTiny(t)
+	p := Chrome(Desktop)
+	wm, err := p.MeasureWasm(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := p.MeasureJS(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, js := wm.Result.OutputStrings(), jm.Result.OutputStrings()
+	if len(ws) != 1 || len(js) != 1 || ws[0] != js[0] {
+		t.Errorf("outputs differ: %v vs %v", ws, js)
+	}
+}
+
+func TestJSSourceMeasurement(t *testing.T) {
+	p := Chrome(Desktop)
+	m, err := p.MeasureJSSource(`
+var s = 0;
+for (var i = 0; i < 1000; i++) s += i;
+print_i(s);
+var __exit = 0;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Result.Output) != 1 || m.Result.Output[0].I != 499500 {
+		t.Errorf("manual JS output: %v", m.Result.Output)
+	}
+}

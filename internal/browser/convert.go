@@ -1,0 +1,10 @@
+package browser
+
+import (
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/jsvm"
+)
+
+func toCodegenEvent(o jsvm.OutputEvent) codegen.OutputEvent {
+	return codegen.OutputEvent{Kind: o.Kind, I: o.I, F: o.F, S: o.S}
+}

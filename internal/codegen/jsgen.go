@@ -1,0 +1,597 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"wasmbench/internal/ir"
+)
+
+// JSOptions tunes the Cheerp-style JavaScript emission.
+type JSOptions struct {
+	ModuleName string
+}
+
+// JS compiles an IR program to Cheerp-style JavaScript source: linear
+// memory as typed-array views over one ArrayBuffer (grown by reallocation,
+// as Cheerp's genericjs does), asm.js-style |0 coercions, Math.imul for
+// 32-bit multiplication, Math.fround for f32, and 64-bit integers lowered
+// to lo/hi pairs with a helper library — the representation whose
+// instruction blow-up the paper quantifies in Appendix D.
+func JS(p *ir.Program, opts JSOptions) (string, error) {
+	g := &jsGen{p: p}
+	g.line("// module %s — generated Cheerp-style JavaScript", opts.ModuleName)
+	g.preamble()
+	for i, gl := range p.Globals {
+		g.emitGlobal(i, gl)
+	}
+	for _, d := range p.Data {
+		g.emitData(d)
+	}
+	for i, f := range p.Funcs {
+		if err := g.genFunc(i, f); err != nil {
+			return "", fmt.Errorf("codegen/js: func %s: %w", f.Name, err)
+		}
+	}
+	g.line("var __exit = %s()|0;", g.fname(p.MainFunc))
+	return g.out.String(), nil
+}
+
+type jsGen struct {
+	p      *ir.Program
+	out    strings.Builder
+	indent int
+	tmp    int
+	lbl    int
+	f      *ir.Func
+	// loop label stack: (breakLabel, continueLabel)
+	loops []jsLoopLabels
+	// current frame pointer variable (set when FrameSize > 0)
+	fp string
+}
+
+type jsLoopLabels struct {
+	brk, cont string
+	isSwitch  bool
+}
+
+func (g *jsGen) line(format string, args ...interface{}) {
+	g.out.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.out, format, args...)
+	g.out.WriteByte('\n')
+}
+
+func (g *jsGen) fname(i int) string {
+	n := g.p.Funcs[i].Name
+	if n == "" {
+		return fmt.Sprintf("f%d", i)
+	}
+	return "f_" + sanitizeJS(n)
+}
+
+func sanitizeJS(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('$')
+		}
+	}
+	return sb.String()
+}
+
+func (g *jsGen) newTmp() string {
+	g.tmp++
+	return fmt.Sprintf("t%d", g.tmp)
+}
+
+func (g *jsGen) newLabel(prefix string) string {
+	g.lbl++
+	return fmt.Sprintf("%s%d", prefix, g.lbl)
+}
+
+// preamble emits the memory model and the i64 helper library.
+func (g *jsGen) preamble() {
+	initPages := (g.p.StackTop + 65535) / 65536
+	maxPages := (g.p.StackTop + g.p.HeapLimit + 65535) / 65536
+	g.line("var __memPages = %d, __maxPages = %d;", initPages, maxPages)
+	g.line("var buffer = new ArrayBuffer(__memPages * 65536);")
+	g.line("var HEAP8, HEAPU8, HEAP16, HEAPU16, HEAP32, HEAPU32, HEAPF32, HEAPF64;")
+	g.line("function __views() {")
+	g.line("  HEAP8 = new Int8Array(buffer); HEAPU8 = new Uint8Array(buffer);")
+	g.line("  HEAP16 = new Int16Array(buffer); HEAPU16 = new Uint16Array(buffer);")
+	g.line("  HEAP32 = new Int32Array(buffer); HEAPU32 = new Uint32Array(buffer);")
+	g.line("  HEAPF32 = new Float32Array(buffer); HEAPF64 = new Float64Array(buffer);")
+	g.line("}")
+	g.line("__views();")
+	g.line("function __memgrow(p) {")
+	g.line("  p = p|0;")
+	g.line("  if (p < 0) return -1;")
+	g.line("  if (__memPages + p > __maxPages) return -1;")
+	g.line("  var old = __memPages;")
+	g.line("  __memPages = __memPages + p;")
+	g.line("  var nb = new ArrayBuffer(__memPages * 65536);")
+	g.line("  new Uint8Array(nb).set(HEAPU8);")
+	g.line("  buffer = nb; __views();")
+	g.line("  return old;")
+	g.line("}")
+	g.line("function __data(a, bytes) { for (var i = 0; i < bytes.length; i++) HEAPU8[a + i] = bytes[i]; }")
+	g.line("function print_cstr(p) {")
+	g.line("  var s = '';")
+	g.line("  p = p|0;")
+	g.line("  while (HEAPU8[p]|0) { s = s + String.fromCharCode(HEAPU8[p]|0); p = (p + 1)|0; }")
+	g.line("  print_s(s);")
+	g.line("}")
+	g.line("function __trap() { throw 'trap'; }")
+	// i64 helper library: results in __hl/__hh (and remainders in __rl/__rh).
+	g.line("var __hl = 0, __hh = 0, __rl = 0, __rh = 0, __rethi = 0;")
+	g.line("function __i64add(al, ah, bl, bh) {")
+	g.line("  var l = (al>>>0) + (bl>>>0);")
+	g.line("  __hl = l|0; __hh = (ah + bh + (l > 4294967295 ? 1 : 0))|0;")
+	g.line("}")
+	g.line("function __i64sub(al, ah, bl, bh) {")
+	g.line("  var l = (al>>>0) - (bl>>>0);")
+	g.line("  __hl = l|0; __hh = (ah - bh - (l < 0 ? 1 : 0))|0;")
+	g.line("}")
+	g.line("function __i64mul(al, ah, bl, bh) {")
+	g.line("  var a00 = al & 0xFFFF, a16 = al >>> 16, a32 = ah & 0xFFFF, a48 = ah >>> 16;")
+	g.line("  var b00 = bl & 0xFFFF, b16 = bl >>> 16, b32 = bh & 0xFFFF, b48 = bh >>> 16;")
+	g.line("  var c00 = 0, c16 = 0, c32 = 0, c48 = 0;")
+	g.line("  c00 = c00 + a00 * b00; c16 = c16 + (c00 >>> 16); c00 = c00 & 0xFFFF;")
+	g.line("  c16 = c16 + a16 * b00; c32 = c32 + (c16 >>> 16); c16 = c16 & 0xFFFF;")
+	g.line("  c16 = c16 + a00 * b16; c32 = c32 + (c16 >>> 16); c16 = c16 & 0xFFFF;")
+	g.line("  c32 = c32 + a32 * b00; c48 = c48 + (c32 >>> 16); c32 = c32 & 0xFFFF;")
+	g.line("  c32 = c32 + a16 * b16; c48 = c48 + (c32 >>> 16); c32 = c32 & 0xFFFF;")
+	g.line("  c32 = c32 + a00 * b32; c48 = c48 + (c32 >>> 16); c32 = c32 & 0xFFFF;")
+	g.line("  c48 = (c48 + a48 * b00 + a32 * b16 + a16 * b32 + a00 * b48) & 0xFFFF;")
+	g.line("  __hl = ((c16 << 16) | c00)|0; __hh = ((c48 << 16) | c32)|0;")
+	g.line("}")
+	g.line("function __i64geu(al, ah, bl, bh) {")
+	g.line("  if ((ah>>>0) > (bh>>>0)) return 1;")
+	g.line("  if ((ah>>>0) < (bh>>>0)) return 0;")
+	g.line("  return (al>>>0) >= (bl>>>0) ? 1 : 0;")
+	g.line("}")
+	g.line("function __i64divu(al, ah, bl, bh) {")
+	g.line("  if ((bl|0) == 0 && (bh|0) == 0) __trap();")
+	g.line("  var ql = 0, qh = 0, rl = 0, rh = 0, i = 0, bit = 0;")
+	g.line("  for (i = 63; i >= 0; i--) {")
+	g.line("    rh = ((rh << 1) | (rl >>> 31))|0; rl = (rl << 1)|0;")
+	g.line("    bit = i >= 32 ? (ah >>> (i - 32)) & 1 : (al >>> i) & 1;")
+	g.line("    rl = (rl | bit)|0;")
+	g.line("    if (__i64geu(rl, rh, bl, bh)) {")
+	g.line("      __i64sub(rl, rh, bl, bh); rl = __hl; rh = __hh;")
+	g.line("      if (i >= 32) qh = (qh | (1 << (i - 32)))|0; else ql = (ql | (1 << i))|0;")
+	g.line("    }")
+	g.line("  }")
+	g.line("  __hl = ql; __hh = qh; __rl = rl; __rh = rh;")
+	g.line("}")
+	g.line("function __i64neg(al, ah) {")
+	g.line("  var l = ((al ^ -1) >>> 0) + 1;")
+	g.line("  __hl = l|0; __hh = ((ah ^ -1) + (l > 4294967295 ? 1 : 0))|0;")
+	g.line("}")
+	g.line("function __i64divs(al, ah, bl, bh) {")
+	g.line("  var neg = 0;")
+	g.line("  if ((ah|0) < 0) { __i64neg(al, ah); al = __hl; ah = __hh; neg = neg ^ 1; }")
+	g.line("  if ((bh|0) < 0) { __i64neg(bl, bh); bl = __hl; bh = __hh; neg = neg ^ 1; }")
+	g.line("  __i64divu(al, ah, bl, bh);")
+	g.line("  if (neg) { var rl0 = __rl, rh0 = __rh; __i64neg(__hl, __hh); __rl = rl0; __rh = rh0; }")
+	g.line("}")
+	g.line("function __i64rems(al, ah, bl, bh) {")
+	g.line("  var neg = (ah|0) < 0;")
+	g.line("  if (neg) { __i64neg(al, ah); al = __hl; ah = __hh; }")
+	g.line("  if ((bh|0) < 0) { __i64neg(bl, bh); bl = __hl; bh = __hh; }")
+	g.line("  __i64divu(al, ah, bl, bh);")
+	g.line("  __hl = __rl; __hh = __rh;")
+	g.line("  if (neg) __i64neg(__hl, __hh);")
+	g.line("}")
+	g.line("function __i64shl(al, ah, n) {")
+	g.line("  n = n & 63;")
+	g.line("  if (n == 0) { __hl = al|0; __hh = ah|0; }")
+	g.line("  else if (n < 32) { __hl = (al << n)|0; __hh = ((ah << n) | (al >>> (32 - n)))|0; }")
+	g.line("  else { __hl = 0; __hh = (al << (n - 32))|0; }")
+	g.line("}")
+	g.line("function __i64shru(al, ah, n) {")
+	g.line("  n = n & 63;")
+	g.line("  if (n == 0) { __hl = al|0; __hh = ah|0; }")
+	g.line("  else if (n < 32) { __hl = ((al >>> n) | (ah << (32 - n)))|0; __hh = (ah >>> n)|0; }")
+	g.line("  else { __hl = (ah >>> (n - 32))|0; __hh = 0; }")
+	g.line("}")
+	g.line("function __i64shrs(al, ah, n) {")
+	g.line("  n = n & 63;")
+	g.line("  if (n == 0) { __hl = al|0; __hh = ah|0; }")
+	g.line("  else if (n < 32) { __hl = ((al >>> n) | (ah << (32 - n)))|0; __hh = (ah >> n)|0; }")
+	g.line("  else { __hl = (ah >> (n - 32))|0; __hh = (ah >> 31)|0; }")
+	g.line("}")
+	g.line("function __i64tof(al, ah) { return (ah|0) * 4294967296 + (al>>>0); }")
+	g.line("function __i64toufu(al, ah) { return (ah>>>0) * 4294967296 + (al>>>0); }")
+	g.line("function __ftoi64(x) {")
+	g.line("  var t = x < 0 ? Math.ceil(x) : Math.floor(x);")
+	g.line("  var lo = t %% 4294967296;")
+	g.line("  if (lo < 0) lo = lo + 4294967296;")
+	g.line("  __hl = lo|0; __hh = ((t - lo) / 4294967296)|0;")
+	g.line("}")
+}
+
+func (g *jsGen) gname(i int) string {
+	n := g.p.Globals[i].Name
+	if n == "" {
+		return fmt.Sprintf("g%d", i)
+	}
+	return "g_" + sanitizeJS(n)
+}
+
+func (g *jsGen) emitGlobal(i int, gl *ir.Global) {
+	switch gl.Type {
+	case ir.I64:
+		g.line("var %sl = %d, %sh = %d;", g.gname(i), int32(gl.Init), g.gname(i), int32(gl.Init>>32))
+	case ir.F32:
+		g.line("var %s = %s;", g.gname(i), jsFloat(float64(math.Float32frombits(uint32(gl.Init)))))
+	case ir.F64:
+		g.line("var %s = %s;", g.gname(i), jsFloat(math.Float64frombits(uint64(gl.Init))))
+	default:
+		g.line("var %s = %d;", g.gname(i), int32(gl.Init))
+	}
+}
+
+func jsFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Ensure the literal parses as a number (avoid bare exponents).
+	return s
+}
+
+func (g *jsGen) emitData(d ir.DataSeg) {
+	var sb strings.Builder
+	for i, b := range d.Bytes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(b)))
+	}
+	g.line("__data(%d, [%s]);", d.Addr, sb.String())
+}
+
+// localName returns the JS variable for an I32/F32/F64 local; i64 locals
+// use the pair names localName+"l"/"h".
+func localName(i int) string { return "l" + strconv.Itoa(i) }
+
+func (g *jsGen) genFunc(idx int, f *ir.Func) error {
+	g.f = f
+	g.loops = nil
+	g.fp = ""
+
+	var params []string
+	for i, pt := range f.Params {
+		if pt == ir.I64 {
+			params = append(params, localName(i)+"l", localName(i)+"h")
+		} else {
+			params = append(params, localName(i))
+		}
+	}
+	g.line("function %s(%s) {", g.fname(idx), strings.Join(params, ", "))
+	g.indent++
+
+	// Parameter coercions (asm.js style).
+	for i, pt := range f.Params {
+		switch pt {
+		case ir.I32:
+			g.line("%s = %s|0;", localName(i), localName(i))
+		case ir.I64:
+			g.line("%sl = %sl|0; %sh = %sh|0;", localName(i), localName(i), localName(i), localName(i))
+		case ir.F32, ir.F64:
+			g.line("%s = +%s;", localName(i), localName(i))
+		}
+	}
+	// Non-parameter locals.
+	for i := len(f.Params); i < len(f.Locals); i++ {
+		switch f.Locals[i] {
+		case ir.I64:
+			g.line("var %sl = 0, %sh = 0;", localName(i), localName(i))
+		case ir.F32, ir.F64:
+			g.line("var %s = 0.0;", localName(i))
+		default:
+			g.line("var %s = 0;", localName(i))
+		}
+	}
+
+	if f.FrameSize > 0 {
+		g.fp = "sp"
+		spg := g.gname(g.p.SPGlobal)
+		g.line("var sp = 0;")
+		g.line("sp = (%s - %d)|0; %s = sp;", spg, f.FrameSize, spg)
+		g.line("try {")
+		g.indent++
+	}
+
+	if err := g.stmts(f.Body); err != nil {
+		return err
+	}
+
+	if f.FrameSize > 0 {
+		g.indent--
+		spg := g.gname(g.p.SPGlobal)
+		g.line("} finally { %s = (sp + %d)|0; }", spg, f.FrameSize)
+	}
+	g.indent--
+	g.line("}")
+	return nil
+}
+
+func (g *jsGen) stmts(body []ir.Stmt) error {
+	for _, s := range body {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *jsGen) stmt(s ir.Stmt) error {
+	switch st := s.(type) {
+	case *ir.SetLocal:
+		t := g.f.Locals[st.Local]
+		if t == ir.I64 {
+			lo, hi, err := g.expr64(st.X)
+			if err != nil {
+				return err
+			}
+			g.line("%sl = %s; %sh = %s;", localName(st.Local), lo, localName(st.Local), hi)
+			return nil
+		}
+		v, err := g.expr(st.X)
+		if err != nil {
+			return err
+		}
+		g.line("%s = %s;", localName(st.Local), v)
+	case *ir.SetGlobal:
+		if g.p.Globals[st.Global].Type == ir.I64 {
+			lo, hi, err := g.expr64(st.X)
+			if err != nil {
+				return err
+			}
+			g.line("%sl = %s; %sh = %s;", g.gname(st.Global), lo, g.gname(st.Global), hi)
+			return nil
+		}
+		v, err := g.expr(st.X)
+		if err != nil {
+			return err
+		}
+		g.line("%s = %s;", g.gname(st.Global), v)
+	case *ir.Store:
+		return g.store(st)
+	case *ir.EvalStmt:
+		if st.X.ResultType() == ir.I64 {
+			_, _, err := g.expr64(st.X)
+			return err
+		}
+		v, err := g.expr(st.X)
+		if err != nil {
+			return err
+		}
+		g.line("%s;", v)
+	case *ir.If:
+		c, err := g.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.line("if (%s) {", c)
+		g.indent++
+		if err := g.stmts(st.Then); err != nil {
+			return err
+		}
+		g.indent--
+		if len(st.Else) > 0 {
+			g.line("} else {")
+			g.indent++
+			if err := g.stmts(st.Else); err != nil {
+				return err
+			}
+			g.indent--
+		}
+		g.line("}")
+	case *ir.Loop:
+		return g.loop(st)
+	case *ir.Break:
+		for i := len(g.loops) - 1; i >= 0; i-- {
+			if g.loops[i].isSwitch {
+				g.line("break;")
+				return nil
+			}
+			g.line("break %s;", g.loops[i].brk)
+			return nil
+		}
+		return fmt.Errorf("break outside loop")
+	case *ir.Continue:
+		for i := len(g.loops) - 1; i >= 0; i-- {
+			if !g.loops[i].isSwitch {
+				g.line("break %s;", g.loops[i].cont)
+				return nil
+			}
+		}
+		return fmt.Errorf("continue outside loop")
+	case *ir.Return:
+		if st.X == nil {
+			g.line("return;")
+			return nil
+		}
+		if st.X.ResultType() == ir.I64 {
+			lo, hi, err := g.expr64(st.X)
+			if err != nil {
+				return err
+			}
+			g.line("__rethi = %s;", hi)
+			g.line("return %s;", lo)
+			return nil
+		}
+		v, err := g.expr(st.X)
+		if err != nil {
+			return err
+		}
+		g.line("return %s;", v)
+	case *ir.Switch:
+		tag, err := g.expr(st.Tag)
+		if err != nil {
+			return err
+		}
+		g.line("switch (%s|0) {", tag)
+		g.indent++
+		g.loops = append(g.loops, jsLoopLabels{isSwitch: true})
+		for _, cs := range st.Cases {
+			for _, v := range cs.Vals {
+				g.line("case %d:", int32(v))
+			}
+			g.line("{")
+			g.indent++
+			if err := g.stmts(cs.Body); err != nil {
+				return err
+			}
+			g.indent--
+			g.line("}")
+			g.line("break;")
+		}
+		g.line("default: {")
+		g.indent++
+		if err := g.stmts(st.Default); err != nil {
+			return err
+		}
+		g.indent--
+		g.line("}")
+		g.loops = g.loops[:len(g.loops)-1]
+		g.indent--
+		g.line("}")
+	case *ir.VecSection:
+		// JavaScript likewise has no SIMD here: scalar shadow lanes.
+		return g.stmts(st.Body)
+	default:
+		return fmt.Errorf("unhandled statement %T", s)
+	}
+	return nil
+}
+
+func (g *jsGen) loop(st *ir.Loop) error {
+	brk := g.newLabel("L")
+	cont := g.newLabel("C")
+	needCont := ir.ContainsContinue(st.Body)
+	g.line("%s: while (1) {", brk)
+	g.indent++
+	if !st.PostTest && st.Cond != nil {
+		c, err := g.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.line("if (!(%s)) break %s;", c, brk)
+	}
+	if needCont {
+		g.line("%s: {", cont)
+		g.indent++
+	}
+	g.loops = append(g.loops, jsLoopLabels{brk: brk, cont: cont})
+	err := g.stmts(st.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	if needCont {
+		g.indent--
+		g.line("}")
+	}
+	if err := g.stmts(st.Post); err != nil {
+		return err
+	}
+	if st.PostTest {
+		if st.Cond != nil {
+			c, err := g.expr(st.Cond)
+			if err != nil {
+				return err
+			}
+			g.line("if (!(%s)) break %s;", c, brk)
+		}
+	}
+	g.indent--
+	g.line("}")
+	return nil
+}
+
+func (g *jsGen) store(st *ir.Store) error {
+	addr, err := g.expr(st.Addr)
+	if err != nil {
+		return err
+	}
+	if st.Mem == ir.MemI64 {
+		lo, hi, err := g.expr64(st.X)
+		if err != nil {
+			return err
+		}
+		a := g.captureI32(addr)
+		g.line("HEAP32[%s >> 2] = %s; HEAP32[(%s + 4) >> 2] = %s;", a, lo, a, hi)
+		return nil
+	}
+	v, err := g.expr(st.X)
+	if err != nil {
+		return err
+	}
+	view, shift := jsView(st.Mem)
+	if shift == 0 {
+		g.line("%s[%s] = %s;", view, g.wrapAddr(addr), v)
+	} else {
+		g.line("%s[(%s) >> %d] = %s;", view, addr, shift, v)
+	}
+	return nil
+}
+
+// captureI32 ensures an address expression is evaluated once.
+func (g *jsGen) captureI32(expr string) string {
+	if isSimpleJS(expr) {
+		return expr
+	}
+	t := g.newTmp()
+	g.line("var %s = (%s)|0;", t, expr)
+	return t
+}
+
+func isSimpleJS(s string) bool {
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func (g *jsGen) wrapAddr(addr string) string {
+	if isSimpleJS(addr) {
+		return addr
+	}
+	return "(" + addr + ")|0"
+}
+
+func jsView(m ir.MemType) (string, int) {
+	switch m {
+	case ir.MemI8S:
+		return "HEAP8", 0
+	case ir.MemI8U:
+		return "HEAPU8", 0
+	case ir.MemI16S:
+		return "HEAP16", 1
+	case ir.MemI16U:
+		return "HEAPU16", 1
+	case ir.MemI32:
+		return "HEAP32", 2
+	case ir.MemF32:
+		return "HEAPF32", 2
+	case ir.MemF64:
+		return "HEAPF64", 3
+	}
+	return "HEAP32", 2
+}

@@ -1,0 +1,781 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wasmbench/internal/ir"
+)
+
+// emitsStmts reports whether compiling e requires emitting statements
+// (sequences, i64 machinery, impure ternaries). Such operands force
+// left-to-right temp capture to preserve evaluation order.
+func emitsStmts(e ir.Expr) bool {
+	switch x := e.(type) {
+	case *ir.Seq:
+		return true
+	case *ir.Const, *ir.GetLocal, *ir.GetGlobal, *ir.FrameAddr:
+		return x.ResultType() == ir.I64 && false // pair reads are direct
+	case *ir.Load:
+		return x.Mem == ir.MemI64 || emitsStmts(x.Addr)
+	case *ir.Bin:
+		if x.T == ir.I64 {
+			return true
+		}
+		return emitsStmts(x.X) || emitsStmts(x.Y)
+	case *ir.Un:
+		if x.T == ir.I64 && x.Op != ir.OpEqz {
+			return true
+		}
+		return emitsStmts(x.X)
+	case *ir.Conv:
+		if x.From == ir.I64 || x.To == ir.I64 {
+			return true
+		}
+		return emitsStmts(x.X)
+	case *ir.Call:
+		if x.T == ir.I64 {
+			return true
+		}
+		for _, a := range x.Args {
+			if a.ResultType() == ir.I64 || emitsStmts(a) {
+				return true
+			}
+		}
+		return false
+	case *ir.CallHost:
+		for _, a := range x.Args {
+			if a.ResultType() == ir.I64 || emitsStmts(a) {
+				return true
+			}
+		}
+		return false
+	case *ir.Ternary:
+		if x.T == ir.I64 {
+			return true
+		}
+		return emitsStmts(x.C) || emitsStmts(x.X) || emitsStmts(x.Y)
+	}
+	return false
+}
+
+// operands compiles a list of expressions preserving evaluation order: when
+// any operand needs statement emission, every earlier operand is captured
+// into a temp first.
+func (g *jsGen) operands(list []ir.Expr) ([]string, error) {
+	anyStmts := false
+	for _, e := range list {
+		if emitsStmts(e) {
+			anyStmts = true
+			break
+		}
+	}
+	out := make([]string, len(list))
+	for i, e := range list {
+		s, err := g.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		if anyStmts && !isSimpleJS(s) && !isJSLiteral(s) {
+			t := g.newTmp()
+			switch e.ResultType() {
+			case ir.F32, ir.F64:
+				g.line("var %s = +(%s);", t, s)
+			default:
+				g.line("var %s = (%s)|0;", t, s)
+			}
+			s = t
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func isJSLiteral(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r == '.' || r == '-' || r == 'e' || r == '+') {
+			return false
+		}
+	}
+	return true
+}
+
+// expr compiles a non-i64 expression to a JS expression string, emitting
+// prerequisite statements as needed.
+func (g *jsGen) expr(e ir.Expr) (string, error) {
+	switch x := e.(type) {
+	case *ir.Const:
+		switch x.T {
+		case ir.I32:
+			v := int32(x.Raw)
+			if v < 0 {
+				return fmt.Sprintf("(%d)", v), nil
+			}
+			return fmt.Sprintf("%d", v), nil
+		case ir.F32:
+			return fmt.Sprintf("Math.fround(%s)", jsFloat(float64(math.Float32frombits(uint32(x.Raw))))), nil
+		case ir.F64:
+			f := math.Float64frombits(uint64(x.Raw))
+			if f < 0 {
+				return "(" + jsFloat(f) + ")", nil
+			}
+			return jsFloat(f), nil
+		}
+		return "", fmt.Errorf("i64 constant in scalar context")
+	case *ir.GetLocal:
+		if x.T == ir.I64 {
+			return "", fmt.Errorf("i64 local in scalar context")
+		}
+		return localName(x.Local), nil
+	case *ir.GetGlobal:
+		if x.T == ir.I64 {
+			return "", fmt.Errorf("i64 global in scalar context")
+		}
+		return g.gname(x.Global), nil
+	case *ir.FrameAddr:
+		if x.Off == 0 {
+			return g.fp, nil
+		}
+		return fmt.Sprintf("((%s + %d)|0)", g.fp, x.Off), nil
+	case *ir.Load:
+		if x.Mem == ir.MemI64 {
+			return "", fmt.Errorf("i64 load in scalar context")
+		}
+		addr, err := g.expr(x.Addr)
+		if err != nil {
+			return "", err
+		}
+		view, shift := jsView(x.Mem)
+		if shift == 0 {
+			return fmt.Sprintf("%s[%s]", view, g.wrapAddr(addr)), nil
+		}
+		return fmt.Sprintf("%s[(%s) >> %d]", view, addr, shift), nil
+	case *ir.Bin:
+		return g.bin(x)
+	case *ir.Un:
+		return g.un(x)
+	case *ir.Conv:
+		return g.conv(x)
+	case *ir.Call:
+		return g.callScalar(x)
+	case *ir.CallHost:
+		return g.callHost(x)
+	case *ir.Ternary:
+		return g.ternary(x)
+	case *ir.Seq:
+		if err := g.stmts(x.Stmts); err != nil {
+			return "", err
+		}
+		return g.expr(x.X)
+	}
+	return "", fmt.Errorf("unhandled expression %T", e)
+}
+
+func (g *jsGen) bin(x *ir.Bin) (string, error) {
+	if x.T == ir.I64 {
+		return g.binI64Compare(x)
+	}
+	ops, err := g.operands([]ir.Expr{x.X, x.Y})
+	if err != nil {
+		return "", err
+	}
+	a, b := ops[0], ops[1]
+	switch x.T {
+	case ir.I32:
+		if x.Op.IsCompare() {
+			ca, cb := "("+a+"|0)", "("+b+"|0)"
+			if x.Unsigned {
+				ca, cb = "("+a+">>>0)", "("+b+">>>0)"
+			}
+			return fmt.Sprintf("((%s %s %s)|0)", ca, cmpOpJS(x.Op), cb), nil
+		}
+		switch x.Op {
+		case ir.OpAdd:
+			return fmt.Sprintf("((%s + %s)|0)", a, b), nil
+		case ir.OpSub:
+			return fmt.Sprintf("((%s - %s)|0)", a, b), nil
+		case ir.OpMul:
+			return fmt.Sprintf("Math.imul(%s, %s)", a, b), nil
+		case ir.OpDiv:
+			if x.Unsigned {
+				return fmt.Sprintf("((((%s>>>0) / (%s>>>0))>>>0)|0)", a, b), nil
+			}
+			return fmt.Sprintf("(((%s|0) / (%s|0))|0)", a, b), nil
+		case ir.OpRem:
+			if x.Unsigned {
+				return fmt.Sprintf("((((%s>>>0) %% (%s>>>0))>>>0)|0)", a, b), nil
+			}
+			return fmt.Sprintf("(((%s|0) %% (%s|0))|0)", a, b), nil
+		case ir.OpAnd:
+			return fmt.Sprintf("(%s & %s)", a, b), nil
+		case ir.OpOr:
+			return fmt.Sprintf("(%s | %s)", a, b), nil
+		case ir.OpXor:
+			return fmt.Sprintf("(%s ^ %s)", a, b), nil
+		case ir.OpShl:
+			return fmt.Sprintf("(%s << (%s))", a, b), nil
+		case ir.OpShr:
+			if x.Unsigned {
+				return fmt.Sprintf("((%s >>> (%s))|0)", a, b), nil
+			}
+			return fmt.Sprintf("(%s >> (%s))", a, b), nil
+		}
+	case ir.F32:
+		inner, err := f64BinJS(x.Op, a, b)
+		if err != nil {
+			return "", err
+		}
+		if x.Op.IsCompare() {
+			return inner, nil
+		}
+		return "Math.fround(" + inner + ")", nil
+	case ir.F64:
+		return f64BinJS(x.Op, a, b)
+	}
+	return "", fmt.Errorf("unhandled bin %v %v", x.Op, x.T)
+}
+
+func cmpOpJS(op ir.BinOp) string {
+	switch op {
+	case ir.OpEq:
+		return "=="
+	case ir.OpNe:
+		return "!="
+	case ir.OpLt:
+		return "<"
+	case ir.OpLe:
+		return "<="
+	case ir.OpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+func f64BinJS(op ir.BinOp, a, b string) (string, error) {
+	switch op {
+	case ir.OpAdd:
+		return fmt.Sprintf("(%s + %s)", a, b), nil
+	case ir.OpSub:
+		return fmt.Sprintf("(%s - %s)", a, b), nil
+	case ir.OpMul:
+		return fmt.Sprintf("(%s * %s)", a, b), nil
+	case ir.OpDiv:
+		return fmt.Sprintf("(%s / %s)", a, b), nil
+	case ir.OpMin:
+		return fmt.Sprintf("Math.min(%s, %s)", a, b), nil
+	case ir.OpMax:
+		return fmt.Sprintf("Math.max(%s, %s)", a, b), nil
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		return fmt.Sprintf("((%s %s %s)|0)", a, cmpOpJS(op), b), nil
+	}
+	return "", fmt.Errorf("unhandled float op %v", op)
+}
+
+// binI64Compare handles i64-typed Bin nodes appearing in scalar context:
+// comparisons (result i32).
+func (g *jsGen) binI64Compare(x *ir.Bin) (string, error) {
+	if !x.Op.IsCompare() {
+		return "", fmt.Errorf("i64 arithmetic in scalar context")
+	}
+	al, ah, err := g.capture64(x.X)
+	if err != nil {
+		return "", err
+	}
+	bl, bh, err := g.capture64(x.Y)
+	if err != nil {
+		return "", err
+	}
+	switch x.Op {
+	case ir.OpEq:
+		return fmt.Sprintf("(((%s|0) == (%s|0) && (%s|0) == (%s|0))|0)", al, bl, ah, bh), nil
+	case ir.OpNe:
+		return fmt.Sprintf("(((%s|0) != (%s|0) || (%s|0) != (%s|0))|0)", al, bl, ah, bh), nil
+	}
+	hiCmpA, hiCmpB := "("+ah+"|0)", "("+bh+"|0)"
+	if x.Unsigned {
+		hiCmpA, hiCmpB = "("+ah+">>>0)", "("+bh+">>>0)"
+	}
+	loA, loB := "("+al+">>>0)", "("+bl+">>>0)"
+	var strict string
+	switch x.Op {
+	case ir.OpLt, ir.OpLe:
+		strict = "<"
+	default:
+		strict = ">"
+	}
+	loOp := cmpOpJS(x.Op)
+	return fmt.Sprintf("((%s %s %s || (%s == %s && %s %s %s))|0)",
+		hiCmpA, strict, hiCmpB, hiCmpA, hiCmpB, loA, loOp, loB), nil
+}
+
+func (g *jsGen) un(x *ir.Un) (string, error) {
+	if x.T == ir.I64 && x.Op == ir.OpEqz {
+		lo, hi, err := g.capture64(x.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(((%s|0) == 0 && (%s|0) == 0)|0)", lo, hi), nil
+	}
+	a, err := g.expr(x.X)
+	if err != nil {
+		return "", err
+	}
+	switch x.Op {
+	case ir.OpNeg:
+		switch x.T {
+		case ir.I32:
+			return fmt.Sprintf("((0 - %s)|0)", a), nil
+		case ir.F32:
+			return fmt.Sprintf("Math.fround(-%s)", a), nil
+		default:
+			return fmt.Sprintf("(-%s)", a), nil
+		}
+	case ir.OpEqz:
+		return fmt.Sprintf("(((%s|0) == 0)|0)", a), nil
+	case ir.OpBitNot:
+		return fmt.Sprintf("(~%s)", a), nil
+	case ir.OpSqrt:
+		return g.froundIf(x.T, fmt.Sprintf("Math.sqrt(%s)", a)), nil
+	case ir.OpAbs:
+		return g.froundIf(x.T, fmt.Sprintf("Math.abs(%s)", a)), nil
+	case ir.OpFloor:
+		return g.froundIf(x.T, fmt.Sprintf("Math.floor(%s)", a)), nil
+	case ir.OpCeil:
+		return g.froundIf(x.T, fmt.Sprintf("Math.ceil(%s)", a)), nil
+	case ir.OpTrunc:
+		return g.froundIf(x.T, fmt.Sprintf("Math.trunc(%s)", a)), nil
+	}
+	return "", fmt.Errorf("unhandled unary %v", x.Op)
+}
+
+func (g *jsGen) froundIf(t ir.Type, s string) string {
+	if t == ir.F32 {
+		return "Math.fround(" + s + ")"
+	}
+	return s
+}
+
+func (g *jsGen) conv(x *ir.Conv) (string, error) {
+	// i64-source conversions.
+	if x.From == ir.I64 {
+		lo, hi, err := g.expr64(x.X)
+		if err != nil {
+			return "", err
+		}
+		switch x.To {
+		case ir.I32:
+			s := fmt.Sprintf("(%s|0)", lo)
+			_ = hi
+			return g.narrowJS(s, x), nil
+		case ir.F64, ir.F32:
+			fn := "__i64tof"
+			if !x.Signed {
+				fn = "__i64toufu"
+			}
+			s := fmt.Sprintf("%s(%s, %s)", fn, lo, hi)
+			return g.froundIf(x.To, s), nil
+		}
+		return "", fmt.Errorf("unhandled i64 conversion to %v", x.To)
+	}
+	a, err := g.expr(x.X)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case x.From == ir.I32 && x.To == ir.I32:
+		return g.narrowJS(a, x), nil
+	case x.From == ir.I32 && (x.To == ir.F64 || x.To == ir.F32):
+		s := "(" + a + "|0)"
+		if !x.Signed {
+			s = "(" + a + ">>>0)"
+		}
+		return g.froundIf(x.To, "(+"+s+")"), nil
+	case (x.From == ir.F64 || x.From == ir.F32) && x.To == ir.I32:
+		var s string
+		if x.Signed {
+			s = fmt.Sprintf("(~~(%s))", a)
+		} else {
+			s = fmt.Sprintf("(((%s)>>>0)|0)", a)
+		}
+		return g.narrowJS(s, x), nil
+	case x.From == ir.F32 && x.To == ir.F64:
+		return "(+" + a + ")", nil
+	case x.From == ir.F64 && x.To == ir.F32:
+		return "Math.fround(" + a + ")", nil
+	case x.From == x.To:
+		return a, nil
+	}
+	return "", fmt.Errorf("unhandled conversion %v->%v in scalar context", x.From, x.To)
+}
+
+func (g *jsGen) narrowJS(s string, x *ir.Conv) string {
+	if x.Narrow == 0 {
+		return s
+	}
+	if x.NarrowSigned {
+		sh := 32 - int(x.Narrow)
+		return fmt.Sprintf("((%s) << %d >> %d)", s, sh, sh)
+	}
+	mask := (1 << x.Narrow) - 1
+	return fmt.Sprintf("((%s) & %d)", s, mask)
+}
+
+func (g *jsGen) callArgs(x *ir.Call) (string, error) {
+	callee := g.p.Funcs[x.Func]
+	var parts []string
+	// Order preservation: capture everything when any arg emits statements.
+	anyStmts := false
+	for _, a := range x.Args {
+		if a.ResultType() == ir.I64 || emitsStmts(a) {
+			anyStmts = true
+		}
+	}
+	for i, a := range x.Args {
+		if callee.Params[i] == ir.I64 {
+			lo, hi, err := g.capture64(a)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, lo, hi)
+			continue
+		}
+		s, err := g.expr(a)
+		if err != nil {
+			return "", err
+		}
+		if anyStmts && !isSimpleJS(s) && !isJSLiteral(s) {
+			t := g.newTmp()
+			if a.ResultType().IsFloat() {
+				g.line("var %s = +(%s);", t, s)
+			} else {
+				g.line("var %s = (%s)|0;", t, s)
+			}
+			s = t
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", "), nil
+}
+
+func (g *jsGen) callScalar(x *ir.Call) (string, error) {
+	args, err := g.callArgs(x)
+	if err != nil {
+		return "", err
+	}
+	call := fmt.Sprintf("%s(%s)", g.fname(x.Func), args)
+	switch x.T {
+	case ir.Void:
+		return call, nil
+	case ir.F32, ir.F64:
+		return "(+" + call + ")", nil
+	case ir.I64:
+		return "", fmt.Errorf("i64 call in scalar context")
+	default:
+		return "(" + call + "|0)", nil
+	}
+}
+
+func (g *jsGen) callHost(x *ir.CallHost) (string, error) {
+	switch x.Name {
+	case "memsize":
+		return "__memPages", nil
+	case "memgrow":
+		a, err := g.expr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(__memgrow(%s)|0)", a), nil
+	case "heapbase":
+		return fmt.Sprintf("%d", g.p.StackTop), nil
+	case "heaplimit":
+		return fmt.Sprintf("%d", g.p.StackTop+g.p.HeapLimit), nil
+	case "trap":
+		return "__trap()", nil
+	case "print_i":
+		lo, hi, err := g.capture64(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("print_i64(%s, %s)", lo, hi), nil
+	case "print_f":
+		a, err := g.expr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("print_f(%s)", a), nil
+	case "print_s":
+		a, err := g.expr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("print_cstr(%s)", a), nil
+	case "sin", "cos", "exp", "log", "pow":
+		var parts []string
+		for _, arg := range x.Args {
+			s, err := g.expr(arg)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, s)
+		}
+		return fmt.Sprintf("Math.%s(%s)", x.Name, strings.Join(parts, ", ")), nil
+	case "fmod":
+		a, err := g.expr(x.Args[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := g.expr(x.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %% %s)", a, b), nil
+	}
+	return "", fmt.Errorf("unhandled host call %q", x.Name)
+}
+
+func (g *jsGen) ternary(x *ir.Ternary) (string, error) {
+	if x.T != ir.I64 && !emitsStmts(x.X) && !emitsStmts(x.Y) && !emitsStmts(x.C) {
+		c, err := g.expr(x.C)
+		if err != nil {
+			return "", err
+		}
+		a, err := g.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.expr(x.Y)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("((%s) ? (%s) : (%s))", c, a, b), nil
+	}
+	// Statement lowering.
+	c, err := g.expr(x.C)
+	if err != nil {
+		return "", err
+	}
+	t := g.newTmp()
+	switch x.T {
+	case ir.F32, ir.F64:
+		g.line("var %s = 0.0;", t)
+	default:
+		g.line("var %s = 0;", t)
+	}
+	g.line("if (%s) {", c)
+	g.indent++
+	a, err := g.expr(x.X)
+	if err != nil {
+		return "", err
+	}
+	g.line("%s = %s;", t, a)
+	g.indent--
+	g.line("} else {")
+	g.indent++
+	b, err := g.expr(x.Y)
+	if err != nil {
+		return "", err
+	}
+	g.line("%s = %s;", t, b)
+	g.indent--
+	g.line("}")
+	return t, nil
+}
+
+// ---- i64 pair emission ----
+
+// expr64 compiles an i64 expression to a (lo, hi) pair of *pure* JS
+// expressions, emitting prerequisite statements.
+func (g *jsGen) expr64(e ir.Expr) (lo, hi string, err error) {
+	switch x := e.(type) {
+	case *ir.Const:
+		return fmt.Sprintf("%d", int32(x.Raw)), fmt.Sprintf("%d", int32(x.Raw>>32)), nil
+	case *ir.GetLocal:
+		return localName(x.Local) + "l", localName(x.Local) + "h", nil
+	case *ir.GetGlobal:
+		return g.gname(x.Global) + "l", g.gname(x.Global) + "h", nil
+	case *ir.Load:
+		addr, err := g.expr(x.Addr)
+		if err != nil {
+			return "", "", err
+		}
+		a := g.captureI32(addr)
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = HEAP32[%s >> 2]|0, %s = HEAP32[(%s + 4) >> 2]|0;", tl, a, th, a)
+		return tl, th, nil
+	case *ir.Bin:
+		return g.bin64(x)
+	case *ir.Un:
+		return g.un64(x)
+	case *ir.Conv:
+		return g.conv64(x)
+	case *ir.Call:
+		args, err := g.callArgs(x)
+		if err != nil {
+			return "", "", err
+		}
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = %s(%s)|0;", tl, g.fname(x.Func), args)
+		g.line("var %s = __rethi|0;", th)
+		return tl, th, nil
+	case *ir.Ternary:
+		c, err := g.expr(x.C)
+		if err != nil {
+			return "", "", err
+		}
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = 0, %s = 0;", tl, th)
+		g.line("if (%s) {", c)
+		g.indent++
+		al, ah, err := g.expr64(x.X)
+		if err != nil {
+			return "", "", err
+		}
+		g.line("%s = %s; %s = %s;", tl, al, th, ah)
+		g.indent--
+		g.line("} else {")
+		g.indent++
+		bl, bh, err := g.expr64(x.Y)
+		if err != nil {
+			return "", "", err
+		}
+		g.line("%s = %s; %s = %s;", tl, bl, th, bh)
+		g.indent--
+		g.line("}")
+		return tl, th, nil
+	case *ir.Seq:
+		if err := g.stmts(x.Stmts); err != nil {
+			return "", "", err
+		}
+		return g.expr64(x.X)
+	}
+	return "", "", fmt.Errorf("unhandled i64 expression %T", e)
+}
+
+// capture64 evaluates an i64 expression into simple variables (safe for
+// multiple uses).
+func (g *jsGen) capture64(e ir.Expr) (lo, hi string, err error) {
+	lo, hi, err = g.expr64(e)
+	if err != nil {
+		return
+	}
+	if !isSimpleJS(lo) && !isJSLiteral(lo) {
+		t := g.newTmp()
+		g.line("var %s = (%s)|0;", t, lo)
+		lo = t
+	}
+	if !isSimpleJS(hi) && !isJSLiteral(hi) {
+		t := g.newTmp()
+		g.line("var %s = (%s)|0;", t, hi)
+		hi = t
+	}
+	return lo, hi, nil
+}
+
+func (g *jsGen) bin64(x *ir.Bin) (string, string, error) {
+	al, ah, err := g.capture64(x.X)
+	if err != nil {
+		return "", "", err
+	}
+	bl, bh, err := g.capture64(x.Y)
+	if err != nil {
+		return "", "", err
+	}
+	inlinePair := func(lo, hi string) (string, string, error) {
+		return lo, hi, nil
+	}
+	helper := func(name string, args ...string) (string, string, error) {
+		g.line("%s(%s);", name, strings.Join(args, ", "))
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = __hl, %s = __hh;", tl, th)
+		return tl, th, nil
+	}
+	switch x.Op {
+	case ir.OpAdd:
+		return helper("__i64add", al, ah, bl, bh)
+	case ir.OpSub:
+		return helper("__i64sub", al, ah, bl, bh)
+	case ir.OpMul:
+		return helper("__i64mul", al, ah, bl, bh)
+	case ir.OpDiv:
+		if x.Unsigned {
+			return helper("__i64divu", al, ah, bl, bh)
+		}
+		return helper("__i64divs", al, ah, bl, bh)
+	case ir.OpRem:
+		if x.Unsigned {
+			lo, hi, err := helper("__i64divu", al, ah, bl, bh)
+			if err != nil {
+				return "", "", err
+			}
+			_ = lo
+			_ = hi
+			tl, th := g.newTmp(), g.newTmp()
+			g.line("var %s = __rl, %s = __rh;", tl, th)
+			return tl, th, nil
+		}
+		return helper("__i64rems", al, ah, bl, bh)
+	case ir.OpAnd:
+		return inlinePair(fmt.Sprintf("(%s & %s)", al, bl), fmt.Sprintf("(%s & %s)", ah, bh))
+	case ir.OpOr:
+		return inlinePair(fmt.Sprintf("(%s | %s)", al, bl), fmt.Sprintf("(%s | %s)", ah, bh))
+	case ir.OpXor:
+		return inlinePair(fmt.Sprintf("(%s ^ %s)", al, bl), fmt.Sprintf("(%s ^ %s)", ah, bh))
+	case ir.OpShl:
+		return helper("__i64shl", al, ah, fmt.Sprintf("(%s & 63)", bl))
+	case ir.OpShr:
+		if x.Unsigned {
+			return helper("__i64shru", al, ah, fmt.Sprintf("(%s & 63)", bl))
+		}
+		return helper("__i64shrs", al, ah, fmt.Sprintf("(%s & 63)", bl))
+	}
+	return "", "", fmt.Errorf("unhandled i64 op %v", x.Op)
+}
+
+func (g *jsGen) un64(x *ir.Un) (string, string, error) {
+	al, ah, err := g.capture64(x.X)
+	if err != nil {
+		return "", "", err
+	}
+	switch x.Op {
+	case ir.OpNeg:
+		g.line("__i64neg(%s, %s);", al, ah)
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = __hl, %s = __hh;", tl, th)
+		return tl, th, nil
+	case ir.OpBitNot:
+		return fmt.Sprintf("(%s ^ -1)", al), fmt.Sprintf("(%s ^ -1)", ah), nil
+	}
+	return "", "", fmt.Errorf("unhandled i64 unary %v", x.Op)
+}
+
+func (g *jsGen) conv64(x *ir.Conv) (string, string, error) {
+	switch {
+	case x.From == ir.I32 && x.To == ir.I64:
+		a, err := g.expr(x.X)
+		if err != nil {
+			return "", "", err
+		}
+		t := g.captureI32(g.wrapAddr(a))
+		if x.Signed {
+			return t, fmt.Sprintf("(%s >> 31)", t), nil
+		}
+		return t, "0", nil
+	case (x.From == ir.F64 || x.From == ir.F32) && x.To == ir.I64:
+		a, err := g.expr(x.X)
+		if err != nil {
+			return "", "", err
+		}
+		g.line("__ftoi64(%s);", a)
+		tl, th := g.newTmp(), g.newTmp()
+		g.line("var %s = __hl, %s = __hh;", tl, th)
+		return tl, th, nil
+	case x.From == ir.I64 && x.To == ir.I64:
+		return g.expr64(x.X)
+	}
+	return "", "", fmt.Errorf("unhandled conversion %v->%v in i64 context", x.From, x.To)
+}

@@ -1,0 +1,60 @@
+package codegen
+
+import "wasmbench/internal/wasm"
+
+// PeepholeWasm applies local peephole cleanups to every function body —
+// the extra backend polish the Emscripten flavour has over Cheerp:
+//
+//	local.set N; local.get N   →  local.tee N
+//	local.get N; drop          →  (removed)
+//	*.const C;  drop           →  (removed)
+//	local.tee N; drop          →  local.set N
+//
+// Adjacent instruction pairs are safe to fuse because branch targets in
+// WebAssembly are block boundaries (block/loop/else/end), never arbitrary
+// instructions.
+func PeepholeWasm(m *wasm.Module) {
+	for fi := range m.Funcs {
+		m.Funcs[fi].Body = peepholeBody(m.Funcs[fi].Body)
+	}
+}
+
+func peepholeBody(body []wasm.Instr) []wasm.Instr {
+	changed := true
+	for changed {
+		changed = false
+		out := body[:0:0]
+		i := 0
+		for i < len(body) {
+			in := body[i]
+			if i+1 < len(body) {
+				next := body[i+1]
+				switch {
+				case in.Op == wasm.OpLocalSet && next.Op == wasm.OpLocalGet && in.A == next.A:
+					out = append(out, wasm.Instr{Op: wasm.OpLocalTee, A: in.A})
+					i += 2
+					changed = true
+					continue
+				case in.Op == wasm.OpLocalGet && next.Op == wasm.OpDrop:
+					i += 2
+					changed = true
+					continue
+				case (in.Op == wasm.OpI32Const || in.Op == wasm.OpI64Const ||
+					in.Op == wasm.OpF32Const || in.Op == wasm.OpF64Const) && next.Op == wasm.OpDrop:
+					i += 2
+					changed = true
+					continue
+				case in.Op == wasm.OpLocalTee && next.Op == wasm.OpDrop:
+					out = append(out, wasm.Instr{Op: wasm.OpLocalSet, A: in.A})
+					i += 2
+					changed = true
+					continue
+				}
+			}
+			out = append(out, in)
+			i++
+		}
+		body = out
+	}
+	return body
+}

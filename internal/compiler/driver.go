@@ -1,0 +1,202 @@
+// Package compiler is the toolchain driver: it runs the full §3 pipeline —
+// source transformation, preprocessing, parsing, checking, runtime linking,
+// IR lowering, the optimization pipeline, and code generation for the three
+// targets (Wasm, Cheerp-style JS, x86-like native).
+//
+// Two toolchain flavours mirror the paper's §4.2.2 comparison:
+//
+//   - Cheerp: 64 KiB allocation granularity (memory grows page-exact, so
+//     large inputs trigger frequent grow requests that cross the JS
+//     boundary), compact integral-float constants, no Wasm peephole
+//     cleanup.
+//   - Emscripten: 16 MiB allocation chunks and an up-front 16 MiB heap
+//     (more memory, fewer grows), direct f64.const emission, and a
+//     peephole pass over the generated Wasm (set/get → tee, dead pushes).
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/minic"
+	"wasmbench/internal/wasm"
+)
+
+// Toolchain selects the C-to-Web toolchain flavour.
+type Toolchain int
+
+// Toolchains.
+const (
+	Cheerp Toolchain = iota
+	Emscripten
+)
+
+func (t Toolchain) String() string {
+	if t == Emscripten {
+		return "emscripten"
+	}
+	return "cheerp"
+}
+
+// Options configures a compilation.
+type Options struct {
+	Opt       ir.OptLevel
+	Toolchain Toolchain
+	// Defines are -D macro definitions (the study's input-size selectors).
+	Defines map[string]string
+	// StackSize / HeapLimit override the toolchain defaults
+	// (cheerp-linear-stack-size / cheerp-linear-heap-size, §3.2).
+	StackSize uint32
+	HeapLimit uint32
+	// ModuleName labels the artifacts.
+	ModuleName string
+	// Targets selects the backends to run; empty = all.
+	Targets []Target
+}
+
+// Target is a code generation target.
+type Target string
+
+// Targets.
+const (
+	TargetWasm Target = "wasm"
+	TargetJS   Target = "js"
+	TargetX86  Target = "x86"
+)
+
+// Artifact is the result of a compilation.
+type Artifact struct {
+	Opts      Options
+	Transform *minic.TransformReport
+	IR        *ir.Program
+
+	Module     *wasm.Module
+	WasmBinary []byte
+
+	JS string
+
+	X86 *codegen.X86Program
+}
+
+// WasmSize returns the Wasm binary size in bytes (the paper's code size
+// metric for Wasm).
+func (a *Artifact) WasmSize() int { return len(a.WasmBinary) }
+
+// JSSize returns the generated JavaScript size in bytes.
+func (a *Artifact) JSSize() int { return len(a.JS) }
+
+// X86Size returns the estimated native code size in bytes.
+func (a *Artifact) X86Size() int {
+	if a.X86 == nil {
+		return 0
+	}
+	return a.X86.EncodedSize()
+}
+
+// WAT renders the module in text format.
+func (a *Artifact) WAT() string {
+	if a.Module == nil {
+		return ""
+	}
+	return wasm.WAT(a.Module)
+}
+
+func wantTarget(opts Options, t Target) bool {
+	if len(opts.Targets) == 0 {
+		return true
+	}
+	for _, w := range opts.Targets {
+		if w == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Compile runs the pipeline on minic source.
+func Compile(src string, opts Options) (*Artifact, error) {
+	chunkPages := "1"
+	if opts.Toolchain == Emscripten {
+		chunkPages = "256"
+	}
+	defines := map[string]string{"__MALLOC_CHUNK_PAGES": chunkPages}
+	for k, v := range opts.Defines {
+		defines[k] = v
+	}
+
+	full := runtimeSource + "\n" + src
+	file, err := minic.ParseSource(full, defines)
+	if err != nil {
+		return nil, err
+	}
+	report := minic.Transform(file)
+	if err := minic.Check(file, minic.CheckOptions{}); err != nil {
+		return nil, err
+	}
+
+	bopts := ir.DefaultBuildOptions()
+	if opts.StackSize != 0 {
+		bopts.StackSize = opts.StackSize
+	}
+	if opts.HeapLimit != 0 {
+		bopts.HeapLimit = opts.HeapLimit
+	}
+	prog, err := ir.Build(file, bopts)
+	if err != nil {
+		return nil, err
+	}
+	ir.Optimize(prog, opts.Opt)
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: post-optimization IR invalid: %w", err)
+	}
+
+	art := &Artifact{Opts: opts, Transform: report, IR: prog}
+
+	if wantTarget(opts, TargetWasm) {
+		wopts := codegen.WasmOptions{
+			ModuleName:       opts.ModuleName,
+			CompactF64Consts: opts.Toolchain == Cheerp,
+		}
+		if opts.Toolchain == Emscripten {
+			wopts.InitialHeapPages = 256 // 16 MiB committed up front
+		}
+		m, err := codegen.Wasm(prog, wopts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Toolchain == Emscripten {
+			codegen.PeepholeWasm(m)
+			if err := wasm.Validate(m); err != nil {
+				return nil, fmt.Errorf("compiler: peephole broke module: %w", err)
+			}
+		}
+		bin, err := wasm.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		art.Module = m
+		art.WasmBinary = bin
+	}
+
+	if wantTarget(opts, TargetJS) {
+		js, err := codegen.JS(prog, codegen.JSOptions{ModuleName: opts.ModuleName})
+		if err != nil {
+			return nil, err
+		}
+		art.JS = js
+	}
+
+	if wantTarget(opts, TargetX86) {
+		xp, err := codegen.X86(prog)
+		if err != nil {
+			return nil, err
+		}
+		art.X86 = xp
+	}
+	return art, nil
+}
+
+// InputSizeDefine renders a numeric -D definition.
+func InputSizeDefine(n int) string { return strconv.Itoa(n) }

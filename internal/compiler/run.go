@@ -1,0 +1,160 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/jsvm"
+	"wasmbench/internal/wasmvm"
+)
+
+// Result captures one program execution on any backend.
+type Result struct {
+	Exit   int32
+	Output []codegen.OutputEvent
+	Cycles float64
+	Steps  uint64
+	// MemoryBytes is the backend's memory metric: linear-memory high-water
+	// mark for Wasm/x86, JS-heap peak for JS.
+	MemoryBytes uint64
+	// ExternalBytes is the JS backing-store peak (JS backend only).
+	ExternalBytes uint64
+	// WasmStats carries the Wasm VM counters when applicable.
+	WasmStats wasmvm.Stats
+	GrowOps   int
+	GCs       int
+	TierUps   int
+}
+
+// OutputStrings renders the output channel for differential comparison.
+func (r *Result) OutputStrings() []string {
+	out := make([]string, len(r.Output))
+	for i, o := range r.Output {
+		out[i] = o.String()
+	}
+	return out
+}
+
+// BindWasmImports installs the standard host environment on a Wasm VM,
+// collecting print output into the returned slice.
+func BindWasmImports(vm *wasmvm.VM) *[]codegen.OutputEvent {
+	out := &[]codegen.OutputEvent{}
+	bind := func(field string, fn wasmvm.HostFunc) {
+		// Modules only declare the imports they use; ignore absent ones.
+		_ = vm.BindImport("env", field, fn)
+	}
+	bind("print_i", func(_ *wasmvm.VM, args []uint64) ([]uint64, error) {
+		*out = append(*out, codegen.OutputEvent{Kind: "i", I: int64(args[0])})
+		return nil, nil
+	})
+	bind("print_f", func(_ *wasmvm.VM, args []uint64) ([]uint64, error) {
+		*out = append(*out, codegen.OutputEvent{Kind: "f", F: wasmvm.AsF64(args[0])})
+		return nil, nil
+	})
+	bind("print_s", func(v *wasmvm.VM, args []uint64) ([]uint64, error) {
+		addr := uint32(args[0])
+		var s []byte
+		mem := v.Memory().Bytes()
+		for int(addr) < len(mem) && mem[addr] != 0 {
+			s = append(s, mem[addr])
+			addr++
+		}
+		*out = append(*out, codegen.OutputEvent{Kind: "s", S: string(s)})
+		return nil, nil
+	})
+	f1 := func(name string, fn func(float64) float64) {
+		bind(name, func(_ *wasmvm.VM, args []uint64) ([]uint64, error) {
+			return []uint64{wasmvm.F64(fn(wasmvm.AsF64(args[0])))}, nil
+		})
+	}
+	f1("sin", math.Sin)
+	f1("cos", math.Cos)
+	f1("exp", math.Exp)
+	f1("log", math.Log)
+	bind("pow", func(_ *wasmvm.VM, args []uint64) ([]uint64, error) {
+		return []uint64{wasmvm.F64(math.Pow(wasmvm.AsF64(args[0]), wasmvm.AsF64(args[1])))}, nil
+	})
+	bind("fmod", func(_ *wasmvm.VM, args []uint64) ([]uint64, error) {
+		return []uint64{wasmvm.F64(math.Mod(wasmvm.AsF64(args[0]), wasmvm.AsF64(args[1])))}, nil
+	})
+	return out
+}
+
+// RunWasm executes the artifact's Wasm module under the given VM
+// configuration and returns the measured result.
+func RunWasm(art *Artifact, cfg wasmvm.Config) (*Result, error) {
+	if art.Module == nil {
+		return nil, fmt.Errorf("compiler: artifact has no wasm module")
+	}
+	vm, err := wasmvm.New(art.Module, len(art.WasmBinary), cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := BindWasmImports(vm)
+	if err := vm.Instantiate(); err != nil {
+		return nil, err
+	}
+	res, err := vm.Call("main")
+	if err != nil {
+		return nil, fmt.Errorf("wasm main: %w", err)
+	}
+	r := &Result{
+		Output:      *out,
+		Cycles:      vm.Cycles(),
+		MemoryBytes: vm.PeakMemoryBytes(),
+		WasmStats:   vm.Stats(),
+	}
+	r.Steps = r.WasmStats.Steps
+	r.GrowOps = r.WasmStats.GrowOps
+	r.TierUps = r.WasmStats.TierUps
+	if len(res) == 1 {
+		r.Exit = wasmvm.AsI32(res[0])
+	}
+	return r, nil
+}
+
+// RunJS executes the artifact's JavaScript under the given engine
+// configuration.
+func RunJS(art *Artifact, cfg jsvm.Config) (*Result, error) {
+	if art.JS == "" {
+		return nil, fmt.Errorf("compiler: artifact has no JS")
+	}
+	vm := jsvm.New(cfg)
+	if _, err := vm.Run(art.JS); err != nil {
+		return nil, fmt.Errorf("js run: %w", err)
+	}
+	r := &Result{
+		Cycles:        vm.Cycles(),
+		Steps:         vm.Steps(),
+		MemoryBytes:   vm.PeakHeapBytes(),
+		ExternalBytes: vm.PeakExternalBytes(),
+		GCs:           vm.GCCount(),
+	}
+	for _, o := range vm.Output {
+		r.Output = append(r.Output, codegen.OutputEvent{Kind: o.Kind, I: o.I, F: o.F, S: o.S})
+	}
+	if v, ok := vm.Global("__exit"); ok {
+		r.Exit = v.ToInt32()
+	}
+	return r, nil
+}
+
+// RunX86 executes the artifact's x86-like bytecode.
+func RunX86(art *Artifact, cfg codegen.X86Config) (*Result, error) {
+	if art.X86 == nil {
+		return nil, fmt.Errorf("compiler: artifact has no x86 program")
+	}
+	vm := codegen.NewX86VM(art.X86, cfg)
+	exit, err := vm.Run()
+	if err != nil {
+		return nil, fmt.Errorf("x86 main: %w", err)
+	}
+	return &Result{
+		Exit:        int32(uint32(exit)),
+		Output:      vm.Output,
+		Cycles:      vm.Cycles(),
+		Steps:       vm.Steps(),
+		MemoryBytes: vm.PeakMemoryBytes(),
+	}, nil
+}

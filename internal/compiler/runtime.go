@@ -1,0 +1,94 @@
+package compiler
+
+// runtimeSource is the minic runtime library linked into every program,
+// playing the role of Cheerp's pre-compiled libc subset (§3.2). It
+// implements the allocator over the linear-memory intrinsics: a first-fit
+// free list with bump extension, growing memory on demand and trapping
+// when the configured heap limit is exceeded (the paper's
+// cheerp-linear-heap-size runtime error).
+//
+// __MALLOC_CHUNK_PAGES is substituted by the driver: Cheerp grows by the
+// exact page count (64 KiB granularity), Emscripten reserves 16 MiB chunks
+// (256 pages) — the §4.2.2 memory/speed trade.
+const runtimeSource = `
+unsigned __heap_ptr = 0;
+unsigned __free_head = 0;
+
+void* malloc(unsigned n) {
+	unsigned need;
+	unsigned prev;
+	unsigned cur;
+	unsigned end;
+	unsigned pages;
+	if (__heap_ptr == 0) {
+		__heap_ptr = __builtin_heapbase();
+	}
+	if (n == 0) {
+		n = 1;
+	}
+	n = (n + 7) / 8 * 8;
+	prev = 0;
+	cur = __free_head;
+	while (cur != 0) {
+		unsigned sz = *(unsigned*)cur;
+		unsigned nxt = *(unsigned*)(cur + 4);
+		if (sz >= n) {
+			if (prev == 0) {
+				__free_head = nxt;
+			} else {
+				*(unsigned*)(prev + 4) = nxt;
+			}
+			return (void*)(cur + 8);
+		}
+		prev = cur;
+		cur = nxt;
+	}
+	need = n + 8;
+	if (__heap_ptr + need > __builtin_heaplimit()) {
+		__builtin_trap();
+	}
+	end = __builtin_memsize() * 65536;
+	if (__heap_ptr + need > end) {
+		pages = (__heap_ptr + need - end + 65535) / 65536;
+		if (pages < __MALLOC_CHUNK_PAGES) {
+			pages = __MALLOC_CHUNK_PAGES;
+		}
+		if (__builtin_memgrow((int)pages) < 0) {
+			__builtin_trap();
+		}
+	}
+	cur = __heap_ptr;
+	*(unsigned*)cur = n;
+	__heap_ptr = __heap_ptr + need;
+	return (void*)(cur + 8);
+}
+
+void free(void* p) {
+	unsigned blk;
+	if (p == 0) {
+		return;
+	}
+	blk = (unsigned)p - 8;
+	*(unsigned*)(blk + 4) = __free_head;
+	__free_head = blk;
+}
+
+void* memset(void* dst, int c, unsigned n) {
+	char* d = (char*)dst;
+	unsigned i;
+	for (i = 0; i < n; i++) {
+		d[i] = (char)c;
+	}
+	return dst;
+}
+
+void* memcpy(void* dst, void* src, unsigned n) {
+	char* d = (char*)dst;
+	char* s = (char*)src;
+	unsigned i;
+	for (i = 0; i < n; i++) {
+		d[i] = s[i];
+	}
+	return dst;
+}
+`

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/harness"
+	"wasmbench/internal/ir"
+)
+
+// RenderTable2 prints the Table 2 geometric means (ratios vs -O2; below 1
+// means faster/smaller than -O2).
+func (r *OptLevelsResult) RenderTable2() string {
+	g := r.Geomeans()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: geometric means of compiler optimization results (vs -O2)\n")
+	fmt.Fprintf(&b, "%-12s %-10s %8s %8s %8s\n", "Metric", "Targets", "JS", "WASM", "x86")
+	rows := []struct {
+		metric string
+		lv     ir.OptLevel
+		label  string
+	}{
+		{"time", ir.O1, "O1/O2"}, {"time", ir.Ofast, "Ofast/O2"}, {"time", ir.Oz, "Oz/O2"},
+		{"size", ir.O1, "O1/O2"}, {"size", ir.Ofast, "Ofast/O2"}, {"size", ir.Oz, "Oz/O2"},
+		{"mem", ir.O1, "O1/O2"}, {"mem", ir.Ofast, "Ofast/O2"}, {"mem", ir.Oz, "Oz/O2"},
+	}
+	names := map[string]string{"time": "Exec. Time", "size": "Code Size", "mem": "Memory"}
+	last := ""
+	for _, row := range rows {
+		label := names[row.metric]
+		if label == last {
+			label = ""
+		} else {
+			last = label
+		}
+		x86 := "-"
+		if row.metric != "mem" {
+			x86 = fmt.Sprintf("%.2fx", g[row.metric]["x86"][row.lv])
+		}
+		fmt.Fprintf(&b, "%-12s %-10s %7.2fx %7.2fx %8s\n",
+			label, row.label,
+			g[row.metric]["js"][row.lv], g[row.metric]["wasm"][row.lv], x86)
+	}
+	// Fastest-flag distribution (the §4.2.1 per-benchmark discussion).
+	counts := map[ir.OptLevel]int{}
+	for _, row := range r.Rows {
+		counts[row.FastestWasm]++
+	}
+	b.WriteString("\nFastest Wasm binaries per flag: ")
+	for _, lv := range []ir.OptLevel{ir.O1, ir.O2, ir.Ofast, ir.Oz} {
+		fmt.Fprintf(&b, "%s:%d ", lv, counts[lv])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderFig5 prints per-benchmark execution-time and code-size ratios (the
+// Fig. 5 series; Fig. 6 is the x86 column).
+func (r *OptLevelsResult) RenderFig5() string {
+	var b strings.Builder
+	b.WriteString("Fig 5/6: per-benchmark ratios vs -O2 (time | size)\n")
+	fmt.Fprintf(&b, "%-16s %21s %21s %21s\n", "", "JS (O1 Ofast Oz)", "WASM (O1 Ofast Oz)", "x86 (O1 Ofast Oz)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			row.Bench,
+			row.TimeJS[ir.O1], row.TimeJS[ir.Ofast], row.TimeJS[ir.Oz],
+			row.TimeWasm[ir.O1], row.TimeWasm[ir.Ofast], row.TimeWasm[ir.Oz],
+			row.TimeX86[ir.O1], row.TimeX86[ir.Ofast], row.TimeX86[ir.Oz])
+	}
+	return b.String()
+}
+
+// RenderFig11 prints the five-number summaries of the optimization ratios
+// (Appendix B / Fig. 11).
+func (r *OptLevelsResult) RenderFig11() string {
+	var b strings.Builder
+	b.WriteString("Fig 11: five-number summaries of ratios vs -O2\n")
+	collect := func(f func(OptLevelRow) map[ir.OptLevel]float64, lv ir.OptLevel) []float64 {
+		var out []float64
+		for _, row := range r.Rows {
+			if v, ok := f(row)[lv]; ok && v > 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	groups := []struct {
+		name string
+		f    func(OptLevelRow) map[ir.OptLevel]float64
+	}{
+		{"JS time", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeJS }},
+		{"WASM time", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeWasm }},
+		{"x86 time", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeX86 }},
+		{"JS size", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeJS }},
+		{"WASM size", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeWasm }},
+		{"x86 size", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeX86 }},
+		{"JS mem", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.MemJS }},
+		{"WASM mem", func(r OptLevelRow) map[ir.OptLevel]float64 { return r.MemWasm }},
+	}
+	for _, grp := range groups {
+		for _, lv := range []ir.OptLevel{ir.O1, ir.Ofast, ir.Oz} {
+			fn := harness.Summarize(collect(grp.f, lv))
+			fmt.Fprintf(&b, "%-10s %-9s %s\n", grp.name, lv.String()+"/O2", fn)
+		}
+	}
+	return b.String()
+}
+
+// RenderSpeedStats prints the Table 3/5 split.
+func (r *InputSizesResult) RenderSpeedStats() string {
+	stats := r.SpeedStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Execution time statistics on %s (Table 3/5 format)\n", r.Profile)
+	fmt.Fprintf(&b, "%-12s %5s %10s %5s %10s %12s\n", "Input Size", "SD #", "SD gmean", "SU #", "SU gmean", "All gmean")
+	for _, sz := range benchsuite.AllSizes {
+		s := stats[sz]
+		dir := "v"
+		if s.AllUp {
+			dir = "^"
+		}
+		fmt.Fprintf(&b, "%-12s %5d %9.2fx %5d %9.2fx %10.2fx %s\n",
+			sz, s.SDCount, s.SDGmean, s.SUCount, s.SUGmean, s.AllGmean, dir)
+	}
+	b.WriteString("(SD: Wasm slower than JS; SU: Wasm faster; ^ = Wasm faster overall)\n")
+	return b.String()
+}
+
+// RenderMemStats prints the Table 4/6 averages.
+func (r *InputSizesResult) RenderMemStats() string {
+	stats := r.MemStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Average memory usage on %s (Table 4/6 format, KB)\n", r.Profile)
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "Input Size", "JavaScript", "WebAssembly")
+	for _, sz := range benchsuite.AllSizes {
+		v := stats[sz]
+		fmt.Fprintf(&b, "%-12s %14.2f %14.2f\n", sz, v[0], v[1])
+	}
+	return b.String()
+}
+
+// RenderFig9 prints per-benchmark time/memory series.
+func (r *InputSizesResult) RenderFig9() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9: per-benchmark execution time (ms) and memory (KB) on %s\n", r.Profile)
+	fmt.Fprintf(&b, "%-16s %-4s %12s %12s %12s %12s\n", "benchmark", "size", "wasm ms", "js ms", "wasm KB", "js KB")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-16s %-4s %12.3f %12.3f %12.1f %12.1f\n",
+			c.Bench, c.Size, c.WasmMS, c.JSMS, c.WasmMemKB, c.JSMemKB)
+	}
+	return b.String()
+}
+
+// RenderFig10 prints the JIT improvement factors.
+func (r *JITResult) RenderFig10() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: speedup with JIT enabled vs JIT-less (desktop Chrome)\n")
+	fmt.Fprintf(&b, "%-16s %-10s %10s %10s\n", "benchmark", "suite", "JS", "WASM")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %-10s %9.2fx %9.2fx\n", row.Bench, row.Suite, row.JS, row.Wasm)
+	}
+	for _, suite := range []string{"polybench", "chstone"} {
+		var js, wasm []float64
+		for _, row := range r.Rows {
+			if row.Suite == suite {
+				js = append(js, row.JS)
+				wasm = append(wasm, row.Wasm)
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %9.2fx %9.2fx  (geomean)\n", "", suite,
+			harness.GeoMean(js), harness.GeoMean(wasm))
+		fmt.Fprintf(&b, "%-16s %-10s %9.2fx %9.2fx  (average)\n", "", suite,
+			harness.Mean(js), harness.Mean(wasm))
+	}
+	return b.String()
+}
+
+// RenderTable7 prints the Wasm tier comparison.
+func (r *Table7Result) RenderTable7() string {
+	var b strings.Builder
+	b.WriteString("Table 7: Wasm speed ratio of the default (both tiers) to single-tier settings\n")
+	fmt.Fprintf(&b, "%-10s %-9s %12s %12s\n", "Suite", "Browser", "Basic only", "Opt only")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-9s %11.2fx %11.2fx\n", row.Suite, row.Browser, row.BasicOnly, row.OptOnly)
+	}
+	return b.String()
+}
+
+// RenderTable8 prints the six-deployment aggregate.
+func (r *Table8Result) RenderTable8() string {
+	var b strings.Builder
+	b.WriteString("Table 8: per-deployment averages (41 benchmarks, -O2, medium input)\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s %12s\n", "Deployment", "JS ms", "WASM ms", "JS KB", "WASM KB")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-18s %12.2f %12.2f %12.1f %12.1f\n",
+			c.Profile, c.ExecMSJS, c.ExecMSWasm, c.MemKBJS, c.MemKBWasm)
+	}
+	return b.String()
+}
+
+// RenderFig1213 prints the per-benchmark Fig. 12/13 series.
+func (r *Table8Result) RenderFig1213() string {
+	var b strings.Builder
+	b.WriteString("Fig 12/13: per-benchmark time (ms) and memory (KB) per deployment\n")
+	var profiles []string
+	for name := range r.PerBench {
+		profiles = append(profiles, name)
+	}
+	sort.Strings(profiles)
+	for _, pname := range profiles {
+		byBench := r.PerBench[pname]
+		var names []string
+		for n := range byBench {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "-- %s --\n", pname)
+		for _, n := range names {
+			v := byBench[n]
+			fmt.Fprintf(&b, "%-16s js %10.3f ms %10.1f KB | wasm %10.3f ms %10.1f KB\n",
+				n, v[0], v[2], v[1], v[3])
+		}
+	}
+	return b.String()
+}
+
+// RenderCompilerCompare prints the §4.2.2 toolchain comparison.
+func (r *CompilerCompareResult) Render() string {
+	return fmt.Sprintf("Cheerp vs Emscripten (-O2, medium input, desktop Chrome):\n"+
+		"  Emscripten runs %.2fx faster (geomean) and uses %.2fx more memory (geomean)\n",
+		r.SpeedupGmean, r.MemRatio)
+}
+
+// RenderTable9 prints the manual-JS comparison.
+func (r *Table9Result) RenderTable9() string {
+	var b strings.Builder
+	b.WriteString("Table 9: manually-written JavaScript programs (desktop Chrome)\n")
+	fmt.Fprintf(&b, "%-20s %10s %10s %10s %10s %10s %10s\n",
+		"Benchmark", "Manual ms", "Cheerp ms", "WASM ms", "Man KB", "Cheerp KB", "WASM KB")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %10.3f %10.3f %10.3f %10.0f %10.0f %10.0f\n",
+			row.Bench, row.ManualMS, row.CheerpJSMS, row.WasmMS,
+			row.ManualMemKB, row.CheerpMemKB, row.WasmMemKB)
+	}
+	return b.String()
+}
+
+// RenderTable10 prints the real-world application results.
+func (r *Table10Result) RenderTable10() string {
+	var b strings.Builder
+	b.WriteString("Table 10: real-world applications (desktop Chrome)\n")
+	fmt.Fprintf(&b, "%-14s %-16s %-24s %12s %12s %8s\n", "App", "Operation", "Input", "WA ms", "JS ms", "Ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-16s %-24s %12.3f %12.3f %8.3f\n",
+			row.App, row.Op, row.Input, row.WasmMS, row.JSMS, row.Ratio)
+	}
+	return b.String()
+}
+
+// RenderTable12 prints the Long.js operation counts.
+func (r *Table12Result) RenderTable12() string {
+	var b strings.Builder
+	b.WriteString("Table 12: Long.js executed arithmetic operations\n")
+	fmt.Fprintf(&b, "%-16s %-5s", "Benchmark", "Lang")
+	for _, op := range table12OpOrder {
+		fmt.Fprintf(&b, " %9s", op)
+	}
+	fmt.Fprintf(&b, " %10s\n", "Total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %-5s", row.Bench, row.Lang)
+		for _, op := range table12OpOrder {
+			fmt.Fprintf(&b, " %9d", row.Ops[op])
+		}
+		fmt.Fprintf(&b, " %10d\n", row.Total)
+	}
+	return b.String()
+}
+
+// Render prints the context-switch comparison.
+func (r *CtxSwitchResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Wasm<->JS context switch (one round trip, desktop browsers)\n")
+	chrome := r.NS["chrome"]
+	for _, name := range []string{"chrome", "firefox", "edge"} {
+		fmt.Fprintf(&b, "  %-8s %8.1f ns (%.2fx of Chrome)\n", name, r.NS[name], r.NS[name]/chrome)
+	}
+	return b.String()
+}

@@ -1,0 +1,608 @@
+// Package core implements the paper's study itself: the §3 pipeline
+// (source transformation → compilation → deployment instrumentation → data
+// collection) and one entry point per evaluation experiment (§4), each
+// regenerating the corresponding table or figure.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/harness"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/jsvm"
+	"wasmbench/internal/wasmvm"
+)
+
+// Options scopes a study run.
+type Options struct {
+	// Benchmarks defaults to the full 41-program suite.
+	Benchmarks []*benchsuite.Benchmark
+	// Sizes defaults to all five classes (input-size experiments only).
+	Sizes []benchsuite.Size
+}
+
+func (o Options) benchmarks() []*benchsuite.Benchmark {
+	if o.Benchmarks != nil {
+		return o.Benchmarks
+	}
+	return benchsuite.All()
+}
+
+func (o Options) sizes() []benchsuite.Size {
+	if o.Sizes != nil {
+		return o.Sizes
+	}
+	return benchsuite.AllSizes
+}
+
+// ---- §4.2.1: compiler optimization levels (Table 2, Figs. 5/6/11) ----
+
+// OptLevelRow is one benchmark's ratios relative to -O2.
+type OptLevelRow struct {
+	Bench string
+	// Ratio[level][metric]: level in {O1, Ofast, Oz}, metric rows below.
+	TimeJS, TimeWasm, TimeX86 map[ir.OptLevel]float64
+	SizeJS, SizeWasm, SizeX86 map[ir.OptLevel]float64
+	MemJS, MemWasm            map[ir.OptLevel]float64
+	FastestWasm               ir.OptLevel
+}
+
+// OptLevelsResult backs Table 2 and Figs. 5, 6, 11.
+type OptLevelsResult struct {
+	Rows   []OptLevelRow
+	Levels []ir.OptLevel // the measured non-baseline levels
+}
+
+var optLevels = []ir.OptLevel{ir.O1, ir.O2, ir.Oz, ir.Ofast}
+
+// RunOptLevels measures the 41 benchmarks at -O1/-O2/-Oz/-Ofast on desktop
+// Chrome (Wasm + JS) and on the native x86 backend, with the medium input.
+func RunOptLevels(opts Options) (*OptLevelsResult, error) {
+	chrome := browser.Chrome(browser.Desktop)
+	benches := opts.benchmarks()
+	res := &OptLevelsResult{Levels: []ir.OptLevel{ir.O1, ir.Ofast, ir.Oz}}
+
+	type cellOut struct {
+		timeJS, timeWasm, timeX86 float64
+		sizeJS, sizeWasm, sizeX86 float64
+		memJS, memWasm            float64
+	}
+	type key struct {
+		bench int
+		level ir.OptLevel
+	}
+	outs := make(map[key]*cellOut)
+	var mu sync.Mutex
+
+	type job struct {
+		bi    int
+		level ir.OptLevel
+	}
+	var jobs []job
+	for bi := range benches {
+		for _, lv := range optLevels {
+			jobs = append(jobs, job{bi, lv})
+		}
+	}
+	err := parallelDo(len(jobs), func(i int) error {
+		j := jobs[i]
+		b := benches[j.bi]
+		art, err := compiler.Compile(b.Source, compiler.Options{
+			Opt:        j.level,
+			Defines:    b.Defines(benchsuite.M),
+			HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+			ModuleName: b.Name,
+		})
+		if err != nil {
+			return fmt.Errorf("%s %v: %w", b.Name, j.level, err)
+		}
+		wm, err := chrome.MeasureWasm(art)
+		if err != nil {
+			return fmt.Errorf("%s %v wasm: %w", b.Name, j.level, err)
+		}
+		jm, err := chrome.MeasureJS(art)
+		if err != nil {
+			return fmt.Errorf("%s %v js: %w", b.Name, j.level, err)
+		}
+		xr, err := compiler.RunX86(art, codegen.DefaultX86Config())
+		if err != nil {
+			return fmt.Errorf("%s %v x86: %w", b.Name, j.level, err)
+		}
+		mu.Lock()
+		outs[key{j.bi, j.level}] = &cellOut{
+			timeJS: jm.ExecMS, timeWasm: wm.ExecMS, timeX86: xr.Cycles,
+			sizeJS: float64(art.JSSize()), sizeWasm: float64(art.WasmSize()), sizeX86: float64(art.X86Size()),
+			memJS: jm.MemoryKB, memWasm: wm.MemoryKB,
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for bi, b := range benches {
+		base := outs[key{bi, ir.O2}]
+		row := OptLevelRow{
+			Bench:    b.Name,
+			TimeJS:   map[ir.OptLevel]float64{},
+			TimeWasm: map[ir.OptLevel]float64{},
+			TimeX86:  map[ir.OptLevel]float64{},
+			SizeJS:   map[ir.OptLevel]float64{},
+			SizeWasm: map[ir.OptLevel]float64{},
+			SizeX86:  map[ir.OptLevel]float64{},
+			MemJS:    map[ir.OptLevel]float64{},
+			MemWasm:  map[ir.OptLevel]float64{},
+		}
+		best, bestT := ir.O2, base.timeWasm
+		for _, lv := range optLevels {
+			o := outs[key{bi, lv}]
+			if o.timeWasm < bestT {
+				best, bestT = lv, o.timeWasm
+			}
+			if lv == ir.O2 {
+				continue
+			}
+			row.TimeJS[lv] = o.timeJS / base.timeJS
+			row.TimeWasm[lv] = o.timeWasm / base.timeWasm
+			row.TimeX86[lv] = o.timeX86 / base.timeX86
+			row.SizeJS[lv] = o.sizeJS / base.sizeJS
+			row.SizeWasm[lv] = o.sizeWasm / base.sizeWasm
+			row.SizeX86[lv] = o.sizeX86 / base.sizeX86
+			row.MemJS[lv] = o.memJS / base.memJS
+			row.MemWasm[lv] = o.memWasm / base.memWasm
+		}
+		row.FastestWasm = best
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Geomeans extracts Table 2: metric → target → level → geomean ratio.
+func (r *OptLevelsResult) Geomeans() map[string]map[string]map[ir.OptLevel]float64 {
+	pick := func(f func(OptLevelRow) map[ir.OptLevel]float64, lv ir.OptLevel) float64 {
+		var vals []float64
+		for _, row := range r.Rows {
+			if v, ok := f(row)[lv]; ok && v > 0 {
+				vals = append(vals, v)
+			}
+		}
+		return harness.GeoMean(vals)
+	}
+	out := map[string]map[string]map[ir.OptLevel]float64{}
+	metrics := map[string]map[string]func(OptLevelRow) map[ir.OptLevel]float64{
+		"time": {
+			"js":   func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeJS },
+			"wasm": func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeWasm },
+			"x86":  func(r OptLevelRow) map[ir.OptLevel]float64 { return r.TimeX86 },
+		},
+		"size": {
+			"js":   func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeJS },
+			"wasm": func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeWasm },
+			"x86":  func(r OptLevelRow) map[ir.OptLevel]float64 { return r.SizeX86 },
+		},
+		"mem": {
+			"js":   func(r OptLevelRow) map[ir.OptLevel]float64 { return r.MemJS },
+			"wasm": func(r OptLevelRow) map[ir.OptLevel]float64 { return r.MemWasm },
+		},
+	}
+	for metric, targets := range metrics {
+		out[metric] = map[string]map[ir.OptLevel]float64{}
+		for tgt, f := range targets {
+			out[metric][tgt] = map[ir.OptLevel]float64{}
+			for _, lv := range r.Levels {
+				out[metric][tgt][lv] = pick(f, lv)
+			}
+		}
+	}
+	return out
+}
+
+// ---- §4.3: input sizes (Tables 3–6, Fig. 9) ----
+
+// InputSizeCell is one (benchmark, size) pair's measurements.
+type InputSizeCell struct {
+	Bench     string
+	Size      benchsuite.Size
+	WasmMS    float64
+	JSMS      float64
+	WasmMemKB float64
+	JSMemKB   float64
+}
+
+// InputSizesResult backs Tables 3–6 and Fig. 9.
+type InputSizesResult struct {
+	Profile string
+	Cells   []InputSizeCell
+}
+
+// RunInputSizes measures the suite across input classes on one profile
+// (the paper uses desktop Chrome for Tables 3/4, desktop Firefox for 5/6).
+func RunInputSizes(p *browser.Profile, opts Options) (*InputSizesResult, error) {
+	benches := opts.benchmarks()
+	sizes := opts.sizes()
+	res := &InputSizesResult{Profile: p.Name()}
+	res.Cells = make([]InputSizeCell, len(benches)*len(sizes))
+	err := parallelDo(len(res.Cells), func(i int) error {
+		b := benches[i/len(sizes)]
+		sz := sizes[i%len(sizes)]
+		art, err := compiler.Compile(b.Source, compiler.Options{
+			Opt:        ir.O2,
+			Defines:    b.Defines(sz),
+			HeapLimit:  b.HeapLimitBytes(sz),
+			ModuleName: b.Name,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", b.Name, sz, err)
+		}
+		wm, err := p.MeasureWasm(art)
+		if err != nil {
+			return fmt.Errorf("%s/%v wasm: %w", b.Name, sz, err)
+		}
+		jm, err := p.MeasureJS(art)
+		if err != nil {
+			return fmt.Errorf("%s/%v js: %w", b.Name, sz, err)
+		}
+		res.Cells[i] = InputSizeCell{
+			Bench: b.Name, Size: sz,
+			WasmMS: wm.ExecMS, JSMS: jm.ExecMS,
+			WasmMemKB: wm.MemoryKB, JSMemKB: jm.MemoryKB,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SpeedStats computes the Table 3/5 split per size class.
+func (r *InputSizesResult) SpeedStats() map[benchsuite.Size]harness.SpeedSplit {
+	out := map[benchsuite.Size]harness.SpeedSplit{}
+	bySize := map[benchsuite.Size][][2]float64{}
+	for _, c := range r.Cells {
+		bySize[c.Size] = append(bySize[c.Size], [2]float64{c.WasmMS, c.JSMS})
+	}
+	for sz, pairs := range bySize {
+		var w, j []float64
+		for _, p := range pairs {
+			w = append(w, p[0])
+			j = append(j, p[1])
+		}
+		out[sz] = harness.SplitSpeed(w, j)
+	}
+	return out
+}
+
+// MemStats computes Table 4/6: average memory per size class.
+func (r *InputSizesResult) MemStats() map[benchsuite.Size][2]float64 {
+	out := map[benchsuite.Size][2]float64{}
+	bySize := map[benchsuite.Size][][2]float64{}
+	for _, c := range r.Cells {
+		bySize[c.Size] = append(bySize[c.Size], [2]float64{c.JSMemKB, c.WasmMemKB})
+	}
+	for sz, pairs := range bySize {
+		var js, wm []float64
+		for _, p := range pairs {
+			js = append(js, p[0])
+			wm = append(wm, p[1])
+		}
+		out[sz] = [2]float64{harness.Mean(js), harness.Mean(wm)}
+	}
+	return out
+}
+
+// ---- §4.4: JIT (Fig. 10, Table 7) ----
+
+// JITRow is one benchmark's JIT-on/JIT-off improvement factors.
+type JITRow struct {
+	Bench string
+	Suite string
+	JS    float64 // JIT-enabled speedup over JIT-less (JS)
+	Wasm  float64 // same for Wasm (default vs basic-only)
+}
+
+// JITResult backs Fig. 10.
+type JITResult struct{ Rows []JITRow }
+
+// RunJIT measures JIT impact on desktop Chrome with medium inputs.
+func RunJIT(opts Options) (*JITResult, error) {
+	benches := opts.benchmarks()
+	res := &JITResult{Rows: make([]JITRow, len(benches))}
+	err := parallelDo(len(benches), func(i int) error {
+		b := benches[i]
+		art, err := compiler.Compile(b.Source, compiler.Options{
+			Opt:        ir.O2,
+			Defines:    b.Defines(benchsuite.M),
+			HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+			ModuleName: b.Name,
+		})
+		if err != nil {
+			return err
+		}
+		on := browser.Chrome(browser.Desktop)
+		off := browser.Chrome(browser.Desktop)
+		off.JS.JITEnabled = false // --no-opt
+
+		jsOn, err := on.MeasureJS(art)
+		if err != nil {
+			return err
+		}
+		jsOff, err := off.MeasureJS(art)
+		if err != nil {
+			return err
+		}
+		wOn, err := on.MeasureWasmMode(art, wasmvm.TierBoth)
+		if err != nil {
+			return err
+		}
+		wOff, err := on.MeasureWasmMode(art, wasmvm.TierBasicOnly) // --liftoff --no-wasm-tier-up
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = JITRow{
+			Bench: b.Name,
+			Suite: b.Suite,
+			JS:    jsOff.ExecMS / jsOn.ExecMS,
+			Wasm:  wOff.ExecMS / wOn.ExecMS,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table7Row is the Wasm tier comparison for one browser/suite pair.
+type Table7Row struct {
+	Suite     string
+	Browser   string
+	BasicOnly float64 // default ÷ basic-only execution speed ratio
+	OptOnly   float64 // default ÷ optimizing-only
+}
+
+// Table7Result backs Table 7.
+type Table7Result struct{ Rows []Table7Row }
+
+// RunTable7 compares Wasm tier configurations on Chrome and Firefox.
+func RunTable7(opts Options) (*Table7Result, error) {
+	benches := opts.benchmarks()
+	profiles := []*browser.Profile{browser.Chrome(browser.Desktop), browser.Firefox(browser.Desktop)}
+	type samp struct {
+		suite      string
+		basic, opt float64
+	}
+	samples := make([][]samp, len(profiles))
+	for pi, p := range profiles {
+		samples[pi] = make([]samp, len(benches))
+		p := p
+		pi := pi
+		err := parallelDo(len(benches), func(i int) error {
+			b := benches[i]
+			art, err := compiler.Compile(b.Source, compiler.Options{
+				Opt:        ir.O2,
+				Defines:    b.Defines(benchsuite.M),
+				HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+				ModuleName: b.Name,
+			})
+			if err != nil {
+				return err
+			}
+			both, err := p.MeasureWasmMode(art, wasmvm.TierBoth)
+			if err != nil {
+				return err
+			}
+			basic, err := p.MeasureWasmMode(art, wasmvm.TierBasicOnly)
+			if err != nil {
+				return err
+			}
+			optOnly, err := p.MeasureWasmMode(art, wasmvm.TierOptOnly)
+			if err != nil {
+				return err
+			}
+			// Execution-speed ratio of default to the single-tier setting:
+			// >1 means the default (both tiers) is faster.
+			samples[pi][i] = samp{
+				suite: b.Suite,
+				basic: basic.ExecMS / both.ExecMS,
+				opt:   optOnly.ExecMS / both.ExecMS,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Table7Result{}
+	for _, suite := range []string{"polybench", "chstone", "overall"} {
+		for pi, p := range profiles {
+			var basics, opts []float64
+			for _, s := range samples[pi] {
+				if suite != "overall" && s.suite != suite {
+					continue
+				}
+				basics = append(basics, s.basic)
+				opts = append(opts, s.opt)
+			}
+			res.Rows = append(res.Rows, Table7Row{
+				Suite:     suite,
+				Browser:   p.Browser,
+				BasicOnly: harness.GeoMean(basics),
+				OptOnly:   harness.GeoMean(opts),
+			})
+		}
+	}
+	return res, nil
+}
+
+// ---- §4.5: browsers and platforms (Table 8, Figs. 12/13) ----
+
+// Table8Cell is one deployment setting's aggregate.
+type Table8Cell struct {
+	Profile    string
+	ExecMSJS   float64
+	ExecMSWasm float64
+	MemKBJS    float64
+	MemKBWasm  float64
+}
+
+// Table8Result backs Table 8 and Figs. 12/13.
+type Table8Result struct {
+	Cells []Table8Cell
+	// PerBench[profile][bench] = (jsMS, wasmMS, jsKB, wasmKB) for the figures.
+	PerBench map[string]map[string][4]float64
+}
+
+// RunBrowsersPlatforms measures the suite in the six deployment settings.
+func RunBrowsersPlatforms(opts Options) (*Table8Result, error) {
+	benches := opts.benchmarks()
+	res := &Table8Result{PerBench: map[string]map[string][4]float64{}}
+	for _, p := range browser.AllProfiles() {
+		p := p
+		perBench := make([][4]float64, len(benches))
+		err := parallelDo(len(benches), func(i int) error {
+			b := benches[i]
+			art, err := compiler.Compile(b.Source, compiler.Options{
+				Opt:        ir.O2,
+				Defines:    b.Defines(benchsuite.M),
+				HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+				ModuleName: b.Name,
+			})
+			if err != nil {
+				return err
+			}
+			wm, err := p.MeasureWasm(art)
+			if err != nil {
+				return err
+			}
+			jm, err := p.MeasureJS(art)
+			if err != nil {
+				return err
+			}
+			perBench[i] = [4]float64{jm.ExecMS, wm.ExecMS, jm.MemoryKB, wm.MemoryKB}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cell := Table8Cell{Profile: p.Name()}
+		var js, wm, jmem, wmem []float64
+		byName := map[string][4]float64{}
+		for i, v := range perBench {
+			js = append(js, v[0])
+			wm = append(wm, v[1])
+			jmem = append(jmem, v[2])
+			wmem = append(wmem, v[3])
+			byName[benches[i].Name] = v
+		}
+		cell.ExecMSJS = harness.Mean(js)
+		cell.ExecMSWasm = harness.Mean(wm)
+		cell.MemKBJS = harness.Mean(jmem)
+		cell.MemKBWasm = harness.Mean(wmem)
+		res.Cells = append(res.Cells, cell)
+		res.PerBench[p.Name()] = byName
+	}
+	return res, nil
+}
+
+// ---- §4.2.2: Cheerp vs Emscripten ----
+
+// CompilerCompareResult holds the toolchain comparison.
+type CompilerCompareResult struct {
+	SpeedupGmean float64 // Emscripten time ÷ Cheerp time inverse: >1 = Emscripten faster
+	MemRatio     float64 // Emscripten mem ÷ Cheerp mem
+}
+
+// RunCompilerCompare compiles the suite with both toolchains at -O2/M on
+// desktop Chrome.
+func RunCompilerCompare(opts Options) (*CompilerCompareResult, error) {
+	benches := opts.benchmarks()
+	chrome := browser.Chrome(browser.Desktop)
+	speed := make([]float64, len(benches))
+	mem := make([]float64, len(benches))
+	err := parallelDo(len(benches), func(i int) error {
+		b := benches[i]
+		com := compiler.Options{
+			Opt:        ir.O2,
+			Defines:    b.Defines(benchsuite.M),
+			HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+			ModuleName: b.Name,
+			Targets:    []compiler.Target{compiler.TargetWasm},
+		}
+		com.Toolchain = compiler.Cheerp
+		ch, err := compiler.Compile(b.Source, com)
+		if err != nil {
+			return err
+		}
+		com.Toolchain = compiler.Emscripten
+		em, err := compiler.Compile(b.Source, com)
+		if err != nil {
+			return err
+		}
+		chM, err := chrome.MeasureWasm(ch)
+		if err != nil {
+			return err
+		}
+		emM, err := chrome.MeasureWasm(em)
+		if err != nil {
+			return err
+		}
+		speed[i] = chM.ExecMS / emM.ExecMS // >1: Emscripten faster
+		mem[i] = emM.MemoryKB / chM.MemoryKB
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CompilerCompareResult{
+		SpeedupGmean: harness.GeoMean(speed),
+		MemRatio:     harness.GeoMean(mem),
+	}, nil
+}
+
+// ---- parallel helper ----
+
+func parallelDo(n int, fn func(i int) error) error {
+	workers := 8
+	if n < workers {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsvm is referenced by the §4.6 experiments in study2.go.
+var _ = jsvm.New

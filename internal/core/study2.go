@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/wasmvm"
+)
+
+// ---- §4.6.1: manually-written JavaScript (Table 9) ----
+
+// Table9Row compares one manual implementation with its compiled
+// counterparts.
+type Table9Row struct {
+	Bench       string
+	ManualMS    float64
+	CheerpJSMS  float64
+	WasmMS      float64
+	ManualMemKB float64
+	CheerpMemKB float64
+	WasmMemKB   float64
+}
+
+// Table9Result backs Table 9.
+type Table9Result struct{ Rows []Table9Row }
+
+// RunManualJS measures the 11 Table 9 rows on desktop Chrome.
+func RunManualJS() (*Table9Result, error) {
+	manuals := benchsuite.ManualBenchmarks()
+	res := &Table9Result{Rows: make([]Table9Row, len(manuals))}
+	err := parallelDo(len(manuals), func(i int) error {
+		m := manuals[i]
+		chrome := browser.Chrome(browser.Desktop)
+		mm, err := chrome.MeasureJSSource(m.Source)
+		if err != nil {
+			return fmt.Errorf("manual %s: %w", m.Name, err)
+		}
+		b, err := benchsuite.ByName(m.Counterpart)
+		if err != nil {
+			return err
+		}
+		art, err := compiler.Compile(b.Source, compiler.Options{
+			Opt:        ir.O2,
+			Defines:    b.Defines(benchsuite.M),
+			HeapLimit:  b.HeapLimitBytes(benchsuite.M),
+			ModuleName: b.Name,
+		})
+		if err != nil {
+			return err
+		}
+		cm, err := chrome.MeasureJS(art)
+		if err != nil {
+			return err
+		}
+		wm, err := chrome.MeasureWasm(art)
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = Table9Row{
+			Bench:       m.Name,
+			ManualMS:    mm.ExecMS,
+			CheerpJSMS:  cm.ExecMS,
+			WasmMS:      wm.ExecMS,
+			ManualMemKB: mm.MemoryKB,
+			CheerpMemKB: cm.MemoryKB,
+			WasmMemKB:   wm.MemoryKB,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---- §4.6.2: real-world applications (Table 10) ----
+
+// Table10Row is one real-world experiment.
+type Table10Row struct {
+	App    string
+	Op     string
+	Input  string
+	WasmMS float64
+	JSMS   float64
+	Ratio  float64 // Wasm ÷ JS (the paper's final column)
+}
+
+// Table10Result backs Table 10.
+type Table10Result struct{ Rows []Table10Row }
+
+// RunRealWorld measures the six Table 10 experiments on desktop Chrome.
+// The FFmpeg Wasm implementation runs its frames across WebWorker
+// instances (one module instance per worker, §4.6.2); JS is serial.
+func RunRealWorld() (*Table10Result, error) {
+	ops := benchsuite.RealWorld()
+	res := &Table10Result{Rows: make([]Table10Row, len(ops))}
+	err := parallelDo(len(ops), func(i int) error {
+		op := ops[i]
+		chrome := browser.Chrome(browser.Desktop)
+		// Real-world Wasm artifacts are independent release builds (the
+		// paper's ffmpeg.wasm is an Emscripten -O build, Long.js ships
+		// hand-written WAT): compile with the Emscripten flavour at -Oz.
+		var wasmMS float64
+		if op.Workers > 1 {
+			ms, err := runWorkerSharded(chrome, op.WasmSrc, op.Workers)
+			if err != nil {
+				return fmt.Errorf("%s/%s wasm: %w", op.App, op.Op, err)
+			}
+			wasmMS = ms
+		} else {
+			art, err := compiler.Compile(op.WasmSrc, compiler.Options{
+				Opt:        ir.Oz,
+				Toolchain:  compiler.Emscripten,
+				ModuleName: op.App,
+				Targets:    []compiler.Target{compiler.TargetWasm},
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s compile: %w", op.App, op.Op, err)
+			}
+			m, err := chrome.MeasureWasm(art)
+			if err != nil {
+				return fmt.Errorf("%s/%s wasm: %w", op.App, op.Op, err)
+			}
+			wasmMS = m.ExecMS
+		}
+		jm, err := chrome.MeasureJSSource(op.JSSrc)
+		if err != nil {
+			return fmt.Errorf("%s/%s js: %w", op.App, op.Op, err)
+		}
+		res.Rows[i] = Table10Row{
+			App: op.App, Op: op.Op, Input: op.Input,
+			WasmMS: wasmMS, JSMS: jm.ExecMS,
+			Ratio: wasmMS / jm.ExecMS,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runWorkerSharded compiles the frame-range-parameterized module once per
+// worker and executes the instances concurrently; the page observes the
+// slowest worker plus per-worker spawn overhead.
+func runWorkerSharded(p *browser.Profile, src string, workers int) (float64, error) {
+	frames := benchsuite.FFmpegFrames
+	per := (frames + workers - 1) / workers
+	type out struct {
+		ms  float64
+		err error
+	}
+	outs := make([]out, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > frames {
+			hi = frames
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			art, err := compiler.Compile(src, compiler.Options{
+				Opt:        ir.Oz,
+				Toolchain:  compiler.Emscripten,
+				ModuleName: fmt.Sprintf("ffmpeg-w%d", w),
+				Defines:    map[string]string{"LO": fmt.Sprint(lo), "HI": fmt.Sprint(hi)},
+				Targets:    []compiler.Target{compiler.TargetWasm},
+			})
+			if err != nil {
+				outs[w] = out{err: err}
+				return
+			}
+			m, err := p.MeasureWasm(art)
+			if err != nil {
+				outs[w] = out{err: err}
+				return
+			}
+			outs[w] = out{ms: m.ExecMS}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	const workerSpawnMS = 0.12 // worker creation + message round trip
+	maxMS := 0.0
+	for _, o := range outs {
+		if o.err != nil {
+			return 0, o.err
+		}
+		if o.ms > maxMS {
+			maxMS = o.ms
+		}
+	}
+	return maxMS + workerSpawnMS*float64(workers), nil
+}
+
+// ---- Appendix D: Long.js operation counts (Table 12) ----
+
+// Table12Row is one operation's executed arithmetic-op counts.
+type Table12Row struct {
+	Bench string
+	Lang  string
+	Ops   map[string]uint64
+	Total uint64
+}
+
+// Table12Result backs Table 12.
+type Table12Result struct{ Rows []Table12Row }
+
+var table12OpOrder = []string{"ADD", "MUL", "DIV", "REM", "SHIFT", "AND", "OR"}
+
+// RunTable12 instruments the Long.js experiments' arithmetic operations on
+// both implementations.
+func RunTable12() (*Table12Result, error) {
+	res := &Table12Result{}
+	for _, op := range benchsuite.RealWorld() {
+		if op.App != "Long.js" {
+			continue
+		}
+		art, err := compiler.Compile(op.WasmSrc, compiler.Options{
+			Opt:        ir.Oz,
+			Toolchain:  compiler.Emscripten,
+			ModuleName: "longjs",
+			Targets:    []compiler.Target{compiler.TargetWasm},
+		})
+		if err != nil {
+			return nil, err
+		}
+		wres, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		wOps := wres.WasmStats.ArithOps()
+
+		chrome := browser.Chrome(browser.Desktop)
+		vm := chrome.NewJSVM()
+		if _, err := vm.Run(op.JSSrc); err != nil {
+			return nil, err
+		}
+		jOps := vm.ArithOps()
+
+		total := func(m map[string]uint64) uint64 {
+			var t uint64
+			for _, v := range m {
+				t += v
+			}
+			return t
+		}
+		res.Rows = append(res.Rows,
+			Table12Row{Bench: op.Op, Lang: "JS", Ops: jOps, Total: total(jOps)},
+			Table12Row{Bench: op.Op, Lang: "WASM", Ops: wOps, Total: total(wOps)},
+		)
+	}
+	return res, nil
+}
+
+// ---- §4.5 context-switch microbenchmark ----
+
+// CtxSwitchResult holds per-browser Wasm↔JS round-trip costs.
+type CtxSwitchResult struct {
+	NS map[string]float64 // browser → nanoseconds per round trip
+}
+
+// RunCtxSwitch reports the §4.5 boundary-cost comparison for the three
+// desktop browsers.
+func RunCtxSwitch() *CtxSwitchResult {
+	res := &CtxSwitchResult{NS: map[string]float64{}}
+	for _, p := range browser.AllDesktop() {
+		res.NS[p.Browser] = p.CtxSwitchNS()
+	}
+	return res
+}

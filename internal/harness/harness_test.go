@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/ir"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); g != 1 {
+		t.Errorf("geomean(1,1,1) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	// Non-positive values are skipped.
+	if g := GeoMean([]float64{-1, 0, 4}); g != 4 {
+		t.Errorf("geomean with junk = %v", g)
+	}
+}
+
+func TestGeoMeanScaleInvariance(t *testing.T) {
+	// Property: geomean(k*x) = k * geomean(x) for positive inputs.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var vals, scaled []float64
+		for _, r := range raw {
+			v := float64(r)/16 + 0.5
+			vals = append(vals, v)
+			scaled = append(scaled, 3*v)
+		}
+		return math.Abs(GeoMean(scaled)-3*GeoMean(vals)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiveNumberSummary(t *testing.T) {
+	fn := Summarize([]float64{4, 1, 3, 2, 5})
+	if fn.Min != 1 || fn.Max != 5 || fn.Median != 3 || fn.Q1 != 2 || fn.Q3 != 4 {
+		t.Errorf("five-number: %+v", fn)
+	}
+	// Property: min ≤ q1 ≤ median ≤ q3 ≤ max always holds.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r))
+		}
+		fn := Summarize(vals)
+		ordered := fn.Min <= fn.Q1 && fn.Q1 <= fn.Median &&
+			fn.Median <= fn.Q3 && fn.Q3 <= fn.Max
+		s := append([]float64(nil), vals...)
+		sort.Float64s(s)
+		return ordered && fn.Min == s[0] && fn.Max == s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitSpeed(t *testing.T) {
+	// Wasm 1ms vs JS 2ms twice (speedups of 2), wasm 4 vs js 2 once
+	// (slowdown of 2).
+	s := SplitSpeed([]float64{1, 1, 4}, []float64{2, 2, 2})
+	if s.SUCount != 2 || s.SDCount != 1 {
+		t.Fatalf("split counts: %+v", s)
+	}
+	if math.Abs(s.SUGmean-2) > 1e-9 || math.Abs(s.SDGmean-2) > 1e-9 {
+		t.Errorf("split gmeans: %+v", s)
+	}
+	if !s.AllUp || math.Abs(s.AllGmean-math.Pow(2, 1.0/3)) > 1e-9 {
+		t.Errorf("all gmean: %+v", s)
+	}
+}
+
+func TestRunCellsEndToEnd(t *testing.T) {
+	b, err := benchsuite.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell{
+		{Bench: b, Size: benchsuite.XS, Level: ir.O2, Lang: "wasm", Profile: browser.Chrome(browser.Desktop)},
+		{Bench: b, Size: benchsuite.XS, Level: ir.O2, Lang: "js", Profile: browser.Chrome(browser.Desktop)},
+	}
+	results := RunCells(cells)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Meas.ExecMS <= 0 || results[1].Meas.ExecMS <= 0 {
+		t.Error("measurements missing")
+	}
+	// Both languages must produce the same program output.
+	w := results[0].Meas.Result.OutputStrings()
+	j := results[1].Meas.Result.OutputStrings()
+	if len(w) == 0 || len(j) == 0 || w[0] != j[0] {
+		t.Errorf("outputs differ: %v vs %v", w, j)
+	}
+}

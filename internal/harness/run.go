@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+// Cell is one measurement cell: a benchmark compiled with a configuration
+// and measured on a profile.
+type Cell struct {
+	Bench   *benchsuite.Benchmark
+	Size    benchsuite.Size
+	Level   ir.OptLevel
+	Lang    string // "wasm" or "js"
+	Profile *browser.Profile
+	// Toolchain defaults to Cheerp.
+	Toolchain compiler.Toolchain
+}
+
+// CellResult is the measured outcome.
+type CellResult struct {
+	Cell
+	Meas *browser.Measurement
+	Art  *compiler.Artifact
+	Err  error
+}
+
+// CompileCell builds the artifact for a cell (cached per (bench, size,
+// level, toolchain) by the caller when needed; compilation is cheap).
+func CompileCell(c Cell) (*compiler.Artifact, error) {
+	targets := []compiler.Target{compiler.TargetWasm}
+	if c.Lang == "js" {
+		targets = []compiler.Target{compiler.TargetJS}
+	}
+	return compiler.Compile(c.Bench.Source, compiler.Options{
+		Opt:        c.Level,
+		Toolchain:  c.Toolchain,
+		Defines:    c.Bench.Defines(c.Size),
+		HeapLimit:  c.Bench.HeapLimitBytes(c.Size),
+		ModuleName: c.Bench.Name,
+		Targets:    targets,
+	})
+}
+
+// RunCell compiles and measures one cell.
+func RunCell(c Cell) CellResult {
+	art, err := CompileCell(c)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}
+	}
+	var m *browser.Measurement
+	if c.Lang == "js" {
+		m, err = c.Profile.MeasureJS(art)
+	} else {
+		m, err = c.Profile.MeasureWasm(art)
+	}
+	if err != nil {
+		err = fmt.Errorf("%s/%v/%s: %w", c.Bench.Name, c.Size, c.Lang, err)
+	}
+	return CellResult{Cell: c, Meas: m, Art: art, Err: err}
+}
+
+// RunCells executes cells in parallel (virtual-time metrics are
+// deterministic and independent across VM instances).
+func RunCells(cells []Cell) []CellResult {
+	out := make([]CellResult, len(cells))
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = RunCell(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// FirstError returns the first cell error, if any.
+func FirstError(results []CellResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

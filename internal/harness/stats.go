@@ -1,0 +1,111 @@
+// Package harness provides the study's measurement machinery (§3.4): the
+// experiment runner that executes subject programs under browser profiles,
+// and the statistics the paper reports — geometric means, speedup/slowdown
+// splits, and five-number summaries.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of positive values (non-positive
+// values are skipped, matching ratio statistics).
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// FiveNum is a boxplot five-number summary (paper Fig. 11).
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the five-number summary.
+func Summarize(vals []float64) FiveNum {
+	if len(vals) == 0 {
+		return FiveNum{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := p * float64(len(s)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		if lo == hi {
+			return s[lo]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return FiveNum{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1]}
+}
+
+func (f FiveNum) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f", f.Min, f.Q1, f.Median, f.Q3, f.Max)
+}
+
+// SpeedSplit is the paper's Table 3/5 statistic: how many benchmarks run
+// slower (SD) vs faster (SU) in Wasm than JS, with per-group geometric
+// means and the overall geomean.
+type SpeedSplit struct {
+	SDCount  int
+	SDGmean  float64 // slowdown factor geomean (>1 = JS faster)
+	SUCount  int
+	SUGmean  float64 // speedup factor geomean (>1 = Wasm faster)
+	AllGmean float64 // >1 means Wasm faster overall
+	AllUp    bool
+}
+
+// SplitSpeed computes the split from paired (wasmMS, jsMS) samples.
+func SplitSpeed(wasmMS, jsMS []float64) SpeedSplit {
+	var sd, su, all []float64
+	for i := range wasmMS {
+		if wasmMS[i] <= 0 || jsMS[i] <= 0 {
+			continue
+		}
+		ratio := jsMS[i] / wasmMS[i] // >1: Wasm faster (speedup)
+		all = append(all, ratio)
+		if ratio >= 1 {
+			su = append(su, ratio)
+		} else {
+			sd = append(sd, 1/ratio)
+		}
+	}
+	out := SpeedSplit{
+		SDCount: len(sd),
+		SUCount: len(su),
+		SDGmean: GeoMean(sd),
+		SUGmean: GeoMean(su),
+	}
+	g := GeoMean(all)
+	if g >= 1 {
+		out.AllGmean = g
+		out.AllUp = true
+	} else if g > 0 {
+		out.AllGmean = 1 / g
+	}
+	return out
+}

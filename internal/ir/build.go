@@ -1,0 +1,652 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wasmbench/internal/minic"
+)
+
+// BuildOptions parameterizes the minic → IR lowering.
+type BuildOptions struct {
+	// StackSize is the shadow stack in bytes (Cheerp default 1 MiB; raised
+	// with cheerp-linear-stack-size, §3.2).
+	StackSize uint32
+	// HeapLimit is the maximum heap in bytes (Cheerp default 8 MiB; raised
+	// with cheerp-linear-heap-size).
+	HeapLimit uint32
+}
+
+// DefaultBuildOptions mirrors Cheerp's defaults.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{StackSize: 1 << 20, HeapLimit: 8 << 20}
+}
+
+// Build lowers a checked minic file into an IR program. The file must have
+// passed minic.Check.
+func Build(f *minic.File, opts BuildOptions) (*Program, error) {
+	b := &builder{
+		prog:      &Program{},
+		opts:      opts,
+		globalReg: map[*minic.VarDecl]int{},
+		globalMem: map[*minic.VarDecl]uint32{},
+		memSize:   map[*minic.VarDecl]uint32{},
+		funcIdx:   map[string]int{},
+		strs:      map[string]uint32{},
+	}
+	// Shadow stack pointer is global 0.
+	b.prog.Globals = append(b.prog.Globals, &Global{Name: "__sp", Type: I32, Mutable: true})
+	b.prog.SPGlobal = 0
+
+	// Layout pass: addresses for memory-resident globals and string data.
+	b.nextAddr = 1024 // null page reserved
+	for _, g := range f.Globals {
+		if g.AddrTaken || g.Type.Kind == minic.KArray || g.Type.Kind == minic.KStruct {
+			size := uint32(g.Type.Size())
+			align := uint32(g.Type.Align())
+			b.nextAddr = (b.nextAddr + align - 1) / align * align
+			b.globalMem[g] = b.nextAddr
+			b.memSize[g] = size
+			b.prog.MemGlobals = append(b.prog.MemGlobals, MemGlobal{
+				Name: g.Name, Addr: b.nextAddr, Size: size,
+			})
+			b.nextAddr += size
+		} else {
+			init, err := b.constScalar(g.Type, g.Init)
+			if err != nil {
+				return nil, fmt.Errorf("ir: global %s: %w", g.Name, err)
+			}
+			idx := len(b.prog.Globals)
+			b.prog.Globals = append(b.prog.Globals, &Global{
+				Name: g.Name, Type: irType(g.Type), Init: init, Mutable: true,
+			})
+			b.globalReg[g] = idx
+		}
+	}
+	// Data segments for initialized memory globals.
+	for _, g := range f.Globals {
+		addr, ok := b.globalMem[g]
+		if !ok || g.Init == nil {
+			continue
+		}
+		buf := make([]byte, g.Type.Size())
+		if err := b.fillInit(buf, 0, g.Type, g.Init); err != nil {
+			return nil, fmt.Errorf("ir: global %s: %w", g.Name, err)
+		}
+		b.prog.Data = append(b.prog.Data, DataSeg{Addr: addr, Bytes: buf})
+	}
+
+	// Declare all functions first (mutual recursion).
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		idx := len(b.prog.Funcs)
+		irf := &Func{Name: fn.Name, Ret: irType(fn.Ret)}
+		for _, p := range fn.Params {
+			irf.Params = append(irf.Params, irType(p.Type))
+		}
+		irf.Locals = append([]Type(nil), irf.Params...)
+		irf.Exported = fn.Name == "main"
+		b.prog.Funcs = append(b.prog.Funcs, irf)
+		b.funcIdx[fn.Name] = idx
+	}
+
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if err := b.buildFunc(fn); err != nil {
+			return nil, fmt.Errorf("ir: func %s: %w", fn.Name, err)
+		}
+	}
+
+	// Finalize layout: stack then heap.
+	b.prog.StaticEnd = b.nextAddr
+	stackTop := (b.nextAddr + 15) / 16 * 16
+	stackTop += opts.StackSize
+	b.prog.StackTop = stackTop
+	b.prog.HeapLimit = opts.HeapLimit
+	b.prog.Globals[0].Init = int64(stackTop)
+
+	mi, ok := b.funcIdx["main"]
+	if !ok {
+		return nil, fmt.Errorf("ir: no main function")
+	}
+	b.prog.MainFunc = mi
+	return b.prog, nil
+}
+
+type builder struct {
+	prog      *Program
+	opts      BuildOptions
+	nextAddr  uint32
+	globalReg map[*minic.VarDecl]int
+	globalMem map[*minic.VarDecl]uint32
+	memSize   map[*minic.VarDecl]uint32
+	funcIdx   map[string]int
+	strs      map[string]uint32
+
+	// per-function state
+	fn       *Func
+	localReg map[*minic.VarDecl]int
+	localMem map[*minic.VarDecl]uint32
+}
+
+func irType(t *minic.Type) Type {
+	switch t.Kind {
+	case minic.KVoid:
+		return Void
+	case minic.KLong, minic.KULong:
+		return I64
+	case minic.KFloat:
+		return F32
+	case minic.KDouble:
+		return F64
+	default:
+		return I32 // char/short/int/uint/ptr/array(decayed)
+	}
+}
+
+func memTypeOf(t *minic.Type) MemType {
+	switch t.Kind {
+	case minic.KChar:
+		return MemI8S
+	case minic.KUChar:
+		return MemI8U
+	case minic.KShort:
+		return MemI16S
+	case minic.KUShort:
+		return MemI16U
+	case minic.KLong, minic.KULong:
+		return MemI64
+	case minic.KFloat:
+		return MemF32
+	case minic.KDouble:
+		return MemF64
+	default:
+		return MemI32
+	}
+}
+
+// constScalar folds a global scalar initializer into raw bits.
+func (b *builder) constScalar(t *minic.Type, init minic.Expr) (int64, error) {
+	if init == nil {
+		return 0, nil
+	}
+	v, f, isF, ok := constValue(init)
+	if !ok {
+		return 0, fmt.Errorf("global initializer must be constant")
+	}
+	return packScalar(t, v, f, isF)
+}
+
+func packScalar(t *minic.Type, v int64, f float64, isF bool) (int64, error) {
+	switch t.Kind {
+	case minic.KFloat:
+		if !isF {
+			f = float64(v)
+		}
+		return int64(math.Float32bits(float32(f))), nil
+	case minic.KDouble:
+		if !isF {
+			f = float64(v)
+		}
+		return int64(math.Float64bits(f)), nil
+	default:
+		if isF {
+			v = int64(f)
+		}
+		return v, nil
+	}
+}
+
+// constValue folds constant expressions (integers and floats).
+func constValue(e minic.Expr) (int64, float64, bool, bool) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return x.V, 0, false, true
+	case *minic.FloatLit:
+		return 0, x.V, true, true
+	case *minic.Unary:
+		v, f, isF, ok := constValue(x.X)
+		if !ok {
+			return 0, 0, false, false
+		}
+		switch x.Op {
+		case "-":
+			return -v, -f, isF, true
+		case "+":
+			return v, f, isF, true
+		case "~":
+			if isF {
+				return 0, 0, false, false
+			}
+			return ^v, 0, false, true
+		}
+	case *minic.Binary:
+		av, af, aisF, ok1 := constValue(x.X)
+		bv, bf, bisF, ok2 := constValue(x.Y)
+		if !ok1 || !ok2 {
+			return 0, 0, false, false
+		}
+		if aisF || bisF {
+			if !aisF {
+				af = float64(av)
+			}
+			if !bisF {
+				bf = float64(bv)
+			}
+			switch x.Op {
+			case "+":
+				return 0, af + bf, true, true
+			case "-":
+				return 0, af - bf, true, true
+			case "*":
+				return 0, af * bf, true, true
+			case "/":
+				return 0, af / bf, true, true
+			}
+			return 0, 0, false, false
+		}
+		switch x.Op {
+		case "+":
+			return av + bv, 0, false, true
+		case "-":
+			return av - bv, 0, false, true
+		case "*":
+			return av * bv, 0, false, true
+		case "/":
+			if bv == 0 {
+				return 0, 0, false, false
+			}
+			return av / bv, 0, false, true
+		case "%":
+			if bv == 0 {
+				return 0, 0, false, false
+			}
+			return av % bv, 0, false, true
+		case "<<":
+			return av << uint(bv&63), 0, false, true
+		case ">>":
+			return av >> uint(bv&63), 0, false, true
+		case "&":
+			return av & bv, 0, false, true
+		case "|":
+			return av | bv, 0, false, true
+		case "^":
+			return av ^ bv, 0, false, true
+		}
+	case *minic.CastExpr:
+		v, f, isF, ok := constValue(x.X)
+		if !ok {
+			return 0, 0, false, false
+		}
+		if x.To.IsFloat() {
+			if !isF {
+				return 0, float64(v), true, true
+			}
+			return 0, f, true, true
+		}
+		if isF {
+			return int64(f), 0, false, true
+		}
+		return v, 0, false, true
+	case *minic.SizeofExpr:
+		if x.OfType != nil {
+			return int64(x.OfType.Size()), 0, false, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// fillInit writes an initializer into a byte buffer at off.
+func (b *builder) fillInit(buf []byte, off int, t *minic.Type, init minic.Expr) error {
+	if il, ok := init.(*minic.InitList); ok {
+		switch t.Kind {
+		case minic.KArray:
+			es := t.Elem.Size()
+			for i, item := range il.Items {
+				if err := b.fillInit(buf, off+i*es, t.Elem, item); err != nil {
+					return err
+				}
+			}
+			return nil
+		case minic.KStruct:
+			for i, item := range il.Items {
+				fld := t.S.Fields[i]
+				if err := b.fillInit(buf, off+fld.Offset, fld.Type, item); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("braced initializer for scalar")
+	}
+	if s, ok := init.(*minic.StrLit); ok && t.Kind == minic.KArray {
+		copy(buf[off:], s.S)
+		return nil
+	}
+	v, f, isF, ok := constValue(init)
+	if !ok {
+		return fmt.Errorf("initializer must be constant")
+	}
+	raw, err := packScalar(t, v, f, isF)
+	if err != nil {
+		return err
+	}
+	switch t.Size() {
+	case 1:
+		buf[off] = byte(raw)
+	case 2:
+		binary.LittleEndian.PutUint16(buf[off:], uint16(raw))
+	case 4:
+		binary.LittleEndian.PutUint32(buf[off:], uint32(raw))
+	case 8:
+		binary.LittleEndian.PutUint64(buf[off:], uint64(raw))
+	default:
+		return fmt.Errorf("bad scalar size %d", t.Size())
+	}
+	return nil
+}
+
+// internString places a NUL-terminated string literal in static memory.
+func (b *builder) internString(s string) uint32 {
+	if addr, ok := b.strs[s]; ok {
+		return addr
+	}
+	addr := b.nextAddr
+	bytes := append([]byte(s), 0)
+	b.prog.Data = append(b.prog.Data, DataSeg{Addr: addr, Bytes: bytes})
+	b.nextAddr += uint32(len(bytes))
+	b.strs[s] = addr
+	return addr
+}
+
+func (b *builder) buildFunc(fn *minic.FuncDecl) error {
+	idx := b.funcIdx[fn.Name]
+	b.fn = b.prog.Funcs[idx]
+	b.localReg = map[*minic.VarDecl]int{}
+	b.localMem = map[*minic.VarDecl]uint32{}
+	frame := uint32(0)
+
+	var prologue []Stmt
+	for i, p := range fn.Params {
+		if p.AddrTaken {
+			// Spill the parameter into the frame so its address exists.
+			size := uint32(p.Type.Size())
+			align := uint32(p.Type.Align())
+			frame = (frame + align - 1) / align * align
+			off := frame
+			frame += size
+			b.localMem[p] = off
+			prologue = append(prologue, &Store{
+				Mem:  memTypeOf(p.Type),
+				Addr: &FrameAddr{Off: off},
+				X:    &GetLocal{T: irType(p.Type), Local: i},
+			})
+		} else {
+			b.localReg[p] = i
+		}
+	}
+	// Collect frame slots for address-taken locals.
+	b.fn.FrameSize = 0
+	body, err := b.stmts(fn.Body.Stmts, &frame)
+	if err != nil {
+		return err
+	}
+	b.fn.FrameSize = (frame + 15) / 16 * 16
+	b.fn.Body = append(prologue, body...)
+	return nil
+}
+
+func (b *builder) stmts(list []minic.Stmt, frame *uint32) ([]Stmt, error) {
+	var out []Stmt
+	for _, s := range list {
+		ss, err := b.stmt(s, frame)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ss...)
+	}
+	return out, nil
+}
+
+func (b *builder) stmt(s minic.Stmt, frame *uint32) ([]Stmt, error) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		return b.stmts(st.Stmts, frame)
+	case *minic.DeclStmt:
+		var out []Stmt
+		for _, v := range st.Vars {
+			ss, err := b.declLocal(v, frame)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ss...)
+		}
+		return out, nil
+	case *minic.ExprStmt:
+		return b.exprStmt(st.X)
+	case *minic.IfStmt:
+		cond, err := b.cond(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := b.stmt(st.Then, frame)
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if st.Else != nil {
+			els, err = b.stmt(st.Else, frame)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []Stmt{&If{Cond: cond, Then: then, Else: els}}, nil
+	case *minic.ForStmt:
+		var out []Stmt
+		if st.Init != nil {
+			init, err := b.stmt(st.Init, frame)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, init...)
+		}
+		loop := &Loop{}
+		if st.Cond != nil {
+			cond, err := b.cond(st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			loop.Cond = cond
+		}
+		body, err := b.stmt(st.Body, frame)
+		if err != nil {
+			return nil, err
+		}
+		loop.Body = body
+		if st.Post != nil {
+			post, err := b.exprStmt(st.Post)
+			if err != nil {
+				return nil, err
+			}
+			loop.Post = post
+		}
+		return append(out, loop), nil
+	case *minic.WhileStmt:
+		cond, err := b.cond(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := b.stmt(st.Body, frame)
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{&Loop{Cond: cond, Body: body, PostTest: st.DoWhile}}, nil
+	case *minic.SwitchStmt:
+		return b.switchStmt(st, frame)
+	case *minic.BreakStmt:
+		return []Stmt{&Break{}}, nil
+	case *minic.ContinueStmt:
+		return []Stmt{&Continue{}}, nil
+	case *minic.ReturnStmt:
+		if st.X == nil {
+			return []Stmt{&Return{}}, nil
+		}
+		x, err := b.expr(st.X)
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{&Return{X: x}}, nil
+	case *minic.TryStmt, *minic.ThrowStmt:
+		return nil, fmt.Errorf("untransformed exception construct reached the backend")
+	}
+	return nil, fmt.Errorf("unhandled statement %T", s)
+}
+
+func (b *builder) declLocal(v *minic.VarDecl, frame *uint32) ([]Stmt, error) {
+	if v.AddrTaken {
+		size := uint32(v.Type.Size())
+		align := uint32(v.Type.Align())
+		*frame = (*frame + align - 1) / align * align
+		off := *frame
+		*frame += size
+		b.localMem[v] = off
+		return b.initMem(&FrameAddr{Off: off}, v.Type, v.Init)
+	}
+	idx := b.fn.NewLocal(irType(v.Type))
+	b.localReg[v] = idx
+	if v.Init == nil {
+		return nil, nil
+	}
+	x, err := b.expr(v.Init)
+	if err != nil {
+		return nil, err
+	}
+	x = b.coerce(x, v.Init.Type(), v.Type)
+	return []Stmt{&SetLocal{Local: idx, X: x}}, nil
+}
+
+// initMem emits stores initializing a memory-resident variable.
+func (b *builder) initMem(base Expr, t *minic.Type, init minic.Expr) ([]Stmt, error) {
+	if init == nil {
+		return nil, nil
+	}
+	if il, ok := init.(*minic.InitList); ok {
+		var out []Stmt
+		switch t.Kind {
+		case minic.KArray:
+			es := t.Elem.Size()
+			for i, item := range il.Items {
+				addr := addOff(base, uint32(i*es))
+				ss, err := b.initMem(addr, t.Elem, item)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ss...)
+			}
+			return out, nil
+		case minic.KStruct:
+			for i, item := range il.Items {
+				fld := t.S.Fields[i]
+				addr := addOff(base, uint32(fld.Offset))
+				ss, err := b.initMem(addr, fld.Type, item)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ss...)
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("braced initializer for scalar")
+	}
+	x, err := b.expr(init)
+	if err != nil {
+		return nil, err
+	}
+	x = b.coerce(x, init.Type(), t)
+	return []Stmt{&Store{Mem: memTypeOf(t), Addr: base, X: x}}, nil
+}
+
+// addOff folds a constant offset into an address expression.
+func addOff(base Expr, off uint32) Expr {
+	if off == 0 {
+		return base
+	}
+	if fa, ok := base.(*FrameAddr); ok {
+		return &FrameAddr{Off: fa.Off + off}
+	}
+	if c, ok := base.(*Const); ok && c.T == I32 {
+		return ConstI32(int32(uint32(c.Raw) + off))
+	}
+	return &Bin{Op: OpAdd, T: I32, X: base, Y: ConstI32(int32(off))}
+}
+
+func (b *builder) switchStmt(st *minic.SwitchStmt, frame *uint32) ([]Stmt, error) {
+	tag, err := b.expr(st.Tag)
+	if err != nil {
+		return nil, err
+	}
+	if tag.ResultType() == I64 {
+		tag = &Conv{From: I64, To: I32, X: tag}
+	}
+	sw := &Switch{Tag: tag}
+	// Fallthrough materialization: each case body is its own statements
+	// plus the following cases' statements until an unconditional break.
+	terminated := func(list []Stmt) bool {
+		if len(list) == 0 {
+			return false
+		}
+		switch list[len(list)-1].(type) {
+		case *Break, *Return:
+			return true
+		}
+		return false
+	}
+	bodies := make([][]Stmt, len(st.Cases))
+	for i, cs := range st.Cases {
+		bodies[i], err = b.stmts(cs.Body, frame)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, cs := range st.Cases {
+		full := append([]Stmt(nil), bodies[i]...)
+		for j := i + 1; j < len(st.Cases) && !terminated(full); j++ {
+			full = append(full, bodies[j]...)
+		}
+		if cs.IsDefault {
+			sw.Default = full
+		} else {
+			sw.Cases = append(sw.Cases, SwitchCase{Vals: cs.Vals, Body: full})
+		}
+	}
+	return []Stmt{sw}, nil
+}
+
+// cond builds a branch condition as an i32 truthiness value.
+func (b *builder) cond(e minic.Expr) (Expr, error) {
+	x, err := b.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	return truthy(x), nil
+}
+
+// truthy converts a value to an i32 boolean-ish value (0 / nonzero).
+func truthy(x Expr) Expr {
+	switch x.ResultType() {
+	case I32:
+		return x
+	case I64:
+		return &Bin{Op: OpNe, T: I64, X: x, Y: ConstI64(0)}
+	case F32:
+		return &Bin{Op: OpNe, T: F32, X: x, Y: &Const{T: F32}}
+	case F64:
+		return &Bin{Op: OpNe, T: F64, X: x, Y: &Const{T: F64}}
+	}
+	return x
+}

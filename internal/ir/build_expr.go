@@ -1,0 +1,680 @@
+package ir
+
+import (
+	"fmt"
+
+	"wasmbench/internal/minic"
+)
+
+// lvalKind discriminates resolved lvalues.
+type lvalKind uint8
+
+const (
+	lvLocal lvalKind = iota
+	lvGlobal
+	lvMem
+)
+
+// lval is a resolved assignable location.
+type lval struct {
+	kind lvalKind
+	idx  int  // local/global index
+	addr Expr // memory address (lvMem)
+	t    *minic.Type
+}
+
+// resolveLval resolves an assignable expression to a location. It never
+// duplicates side effects; callers that read and write must stabilize the
+// address with stabilize().
+func (b *builder) resolveLval(e minic.Expr) (lval, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		v := x.Ref
+		if idx, ok := b.localReg[v]; ok {
+			return lval{kind: lvLocal, idx: idx, t: v.Type}, nil
+		}
+		if off, ok := b.localMem[v]; ok {
+			return lval{kind: lvMem, addr: &FrameAddr{Off: off}, t: v.Type}, nil
+		}
+		if idx, ok := b.globalReg[v]; ok {
+			return lval{kind: lvGlobal, idx: idx, t: v.Type}, nil
+		}
+		if addr, ok := b.globalMem[v]; ok {
+			return lval{kind: lvMem, addr: ConstI32(int32(addr)), t: v.Type}, nil
+		}
+		return lval{}, fmt.Errorf("unresolved identifier %q", x.Name)
+	case *minic.Index:
+		baseT := x.X.Type()
+		var base Expr
+		var err error
+		if baseT.Kind == minic.KArray {
+			// Address of the array lvalue.
+			blv, err2 := b.resolveLval(x.X)
+			if err2 != nil {
+				return lval{}, err2
+			}
+			if blv.kind != lvMem {
+				return lval{}, fmt.Errorf("array not memory-resident")
+			}
+			base = blv.addr
+		} else {
+			// Pointer value.
+			base, err = b.expr(x.X)
+			if err != nil {
+				return lval{}, err
+			}
+		}
+		idx, err := b.expr(x.I)
+		if err != nil {
+			return lval{}, err
+		}
+		if idx.ResultType() == I64 {
+			idx = &Conv{From: I64, To: I32, X: idx}
+		}
+		elem := baseT.Elem
+		addr := scaleAdd(base, idx, elem.Size())
+		return lval{kind: lvMem, addr: addr, t: elem}, nil
+	case *minic.Member:
+		var base Expr
+		if x.Arrow {
+			v, err := b.expr(x.X)
+			if err != nil {
+				return lval{}, err
+			}
+			base = v
+		} else {
+			blv, err := b.resolveLval(x.X)
+			if err != nil {
+				return lval{}, err
+			}
+			if blv.kind != lvMem {
+				return lval{}, fmt.Errorf("struct not memory-resident")
+			}
+			base = blv.addr
+		}
+		return lval{kind: lvMem, addr: addOff(base, uint32(x.F.Offset)), t: x.F.Type}, nil
+	case *minic.Unary:
+		if x.Op == "*" && !x.Postfix {
+			p, err := b.expr(x.X)
+			if err != nil {
+				return lval{}, err
+			}
+			pt := x.X.Type()
+			elem := pt.Elem
+			if pt.Kind == minic.KArray {
+				elem = pt.Elem
+			}
+			return lval{kind: lvMem, addr: p, t: elem}, nil
+		}
+	}
+	return lval{}, fmt.Errorf("not an lvalue: %T", e)
+}
+
+// scaleAdd computes base + idx*size with constant folding.
+func scaleAdd(base, idx Expr, size int) Expr {
+	if c, ok := idx.(*Const); ok {
+		return addOff(base, uint32(int32(c.Raw)*int32(size)))
+	}
+	var scaled Expr = idx
+	if size != 1 {
+		scaled = &Bin{Op: OpMul, T: I32, X: idx, Y: ConstI32(int32(size))}
+	}
+	return &Bin{Op: OpAdd, T: I32, X: base, Y: scaled}
+}
+
+// readLval produces the value of a location.
+func (b *builder) readLval(lv lval) Expr {
+	switch lv.kind {
+	case lvLocal:
+		return &GetLocal{T: irType(lv.t), Local: lv.idx}
+	case lvGlobal:
+		return &GetGlobal{T: irType(lv.t), Global: lv.idx}
+	default:
+		if lv.t.Kind == minic.KArray || lv.t.Kind == minic.KStruct {
+			return lv.addr // decay: value of aggregate is its address
+		}
+		return &Load{Mem: memTypeOf(lv.t), Addr: lv.addr}
+	}
+}
+
+// writeLval produces the statement storing x into the location.
+func (b *builder) writeLval(lv lval, x Expr) Stmt {
+	switch lv.kind {
+	case lvLocal:
+		return &SetLocal{Local: lv.idx, X: x}
+	case lvGlobal:
+		return &SetGlobal{Global: lv.idx, X: x}
+	default:
+		return &Store{Mem: memTypeOf(lv.t), Addr: lv.addr, X: x}
+	}
+}
+
+// stabilize rewrites a memory lvalue so its address is computed once (into
+// a temp local) for read-modify-write sequences. Returns prefix statements.
+func (b *builder) stabilize(lv *lval) []Stmt {
+	if lv.kind != lvMem {
+		return nil
+	}
+	switch lv.addr.(type) {
+	case *Const, *FrameAddr:
+		return nil // already effect-free and cheap
+	}
+	tmp := b.fn.NewLocal(I32)
+	set := &SetLocal{Local: tmp, X: lv.addr}
+	lv.addr = &GetLocal{T: I32, Local: tmp}
+	return []Stmt{set}
+}
+
+// coerce converts x (typed as the minic type from) to minic type to.
+func (b *builder) coerce(x Expr, from, to *minic.Type) Expr {
+	if from == nil || to == nil || from.Equal(to) {
+		return x
+	}
+	ft, tt := irType(from), irType(to)
+	// Pointer/array/int conversions within I32 are representation-free
+	// except for narrowing.
+	if ft == tt {
+		switch {
+		case tt == I32 && to.IsInteger() && to.Size() < 4 && from.Size() >= to.Size() && !from.Equal(to):
+			return narrow(x, to)
+		default:
+			return x
+		}
+	}
+	switch {
+	case ft == I32 && tt == I64:
+		return &Conv{From: I32, To: I64, Signed: !from.IsUnsigned(), X: x}
+	case ft == I64 && tt == I32:
+		c := &Conv{From: I64, To: I32, X: x}
+		if to.IsInteger() && to.Size() < 4 {
+			return narrow(c, to)
+		}
+		return c
+	case (ft == I32 || ft == I64) && (tt == F32 || tt == F64):
+		return &Conv{From: ft, To: tt, Signed: !from.IsUnsigned(), X: x}
+	case (ft == F32 || ft == F64) && (tt == I32 || tt == I64):
+		c := &Conv{From: ft, To: tt, Signed: !to.IsUnsigned(), X: x}
+		if to.IsInteger() && to.Size() < 4 {
+			return narrow(c, to)
+		}
+		return c
+	case ft == F32 && tt == F64, ft == F64 && tt == F32:
+		return &Conv{From: ft, To: tt, Signed: true, X: x}
+	}
+	return x
+}
+
+func narrow(x Expr, to *minic.Type) Expr {
+	bits := uint8(8)
+	if to.Size() == 2 {
+		bits = 16
+	}
+	return &Conv{From: I32, To: I32, Narrow: bits, NarrowSigned: !to.IsUnsigned(), X: x}
+}
+
+// bool01 normalizes a value to exactly 0 or 1.
+func bool01(x Expr) Expr {
+	if bx, ok := x.(*Bin); ok && bx.Op.IsCompare() {
+		return x
+	}
+	if ux, ok := x.(*Un); ok && ux.Op == OpEqz {
+		return x
+	}
+	t := x.ResultType()
+	switch t {
+	case I32:
+		return &Bin{Op: OpNe, T: I32, X: x, Y: ConstI32(0)}
+	case I64:
+		return &Bin{Op: OpNe, T: I64, X: x, Y: ConstI64(0)}
+	default:
+		return &Bin{Op: OpNe, T: t, X: x, Y: &Const{T: t}}
+	}
+}
+
+// expr lowers a minic expression to IR.
+func (b *builder) expr(e minic.Expr) (Expr, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		if x.Type() != nil && irType(x.Type()) == I64 {
+			return ConstI64(x.V), nil
+		}
+		return ConstI32(int32(x.V)), nil
+	case *minic.FloatLit:
+		if x.Type() != nil && x.Type().Kind == minic.KFloat {
+			return &Const{T: F32, Raw: f32raw(float32(x.V))}, nil
+		}
+		return &Const{T: F64, Raw: f64raw(x.V)}, nil
+	case *minic.StrLit:
+		return ConstI32(int32(b.internString(x.S))), nil
+	case *minic.Ident, *minic.Index, *minic.Member:
+		lv, err := b.resolveLval(e)
+		if err != nil {
+			return nil, err
+		}
+		return b.readLval(lv), nil
+	case *minic.Unary:
+		return b.unary(x)
+	case *minic.Binary:
+		return b.binary(x)
+	case *minic.Assign:
+		stmts, val, err := b.assign(x, true)
+		if err != nil {
+			return nil, err
+		}
+		return &Seq{Stmts: stmts, X: val}, nil
+	case *minic.Cond:
+		c, err := b.cond(x.C)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := b.expr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		fv, err := b.expr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{T: tv.ResultType(), C: c, X: tv, Y: fv}, nil
+	case *minic.Call:
+		return b.call(x)
+	case *minic.CastExpr:
+		v, err := b.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return b.coerce(v, x.X.Type(), x.To), nil
+	case *minic.SizeofExpr:
+		return ConstI32(int32(x.OfType.Size())), nil
+	}
+	return nil, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (b *builder) unary(x *minic.Unary) (Expr, error) {
+	switch x.Op {
+	case "-", "+", "!", "~":
+		v, err := b.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		t := v.ResultType()
+		switch x.Op {
+		case "+":
+			return v, nil
+		case "-":
+			return &Un{Op: OpNeg, T: t, X: v}, nil
+		case "!":
+			if t.IsFloat() {
+				return &Bin{Op: OpEq, T: t, X: v, Y: &Const{T: t}}, nil
+			}
+			return &Un{Op: OpEqz, T: t, X: v}, nil
+		case "~":
+			return &Un{Op: OpBitNot, T: t, X: v}, nil
+		}
+	case "*":
+		lv, err := b.resolveLval(x)
+		if err != nil {
+			return nil, err
+		}
+		return b.readLval(lv), nil
+	case "&":
+		lv, err := b.resolveLval(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if lv.kind != lvMem {
+			return nil, fmt.Errorf("address of register variable")
+		}
+		return lv.addr, nil
+	case "++", "--":
+		stmts, val, err := b.incDec(x, true)
+		if err != nil {
+			return nil, err
+		}
+		return &Seq{Stmts: stmts, X: val}, nil
+	}
+	return nil, fmt.Errorf("unhandled unary %s", x.Op)
+}
+
+// incDec builds ++/-- with optional value production.
+func (b *builder) incDec(x *minic.Unary, needValue bool) ([]Stmt, Expr, error) {
+	lv, err := b.resolveLval(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	stmts := b.stabilize(&lv)
+	t := lv.t
+	it := irType(t)
+	one := Expr(ConstI32(1))
+	delta := 1
+	if t.Kind == minic.KPtr {
+		delta = t.Elem.Size()
+	}
+	switch it {
+	case I32:
+		one = ConstI32(int32(delta))
+	case I64:
+		one = ConstI64(int64(delta))
+	case F32:
+		one = &Const{T: F32, Raw: f32raw(1)}
+	case F64:
+		one = &Const{T: F64, Raw: f64raw(1)}
+	}
+	op := OpAdd
+	if x.Op == "--" {
+		op = OpSub
+	}
+	oldVal := b.readLval(lv)
+	var valExpr Expr
+	if needValue && x.Postfix {
+		tmp := b.fn.NewLocal(it)
+		stmts = append(stmts, &SetLocal{Local: tmp, X: oldVal})
+		upd := Expr(&Bin{Op: op, T: it, X: &GetLocal{T: it, Local: tmp}, Y: one})
+		if t.IsInteger() && t.Size() < 4 {
+			upd = narrow(upd, t)
+		}
+		stmts = append(stmts, b.writeLval(lv, upd))
+		valExpr = &GetLocal{T: it, Local: tmp}
+	} else {
+		upd := Expr(&Bin{Op: op, T: it, X: oldVal, Y: one})
+		if t.IsInteger() && t.Size() < 4 {
+			upd = narrow(upd, t)
+		}
+		stmts = append(stmts, b.writeLval(lv, upd))
+		if needValue {
+			valExpr = b.readLval(lv)
+		}
+	}
+	return stmts, valExpr, nil
+}
+
+var binOpMap = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpRem,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (b *builder) binary(x *minic.Binary) (Expr, error) {
+	switch x.Op {
+	case ",":
+		pre, err := b.exprStmt(x.X)
+		if err != nil {
+			return nil, err
+		}
+		v, err := b.expr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Seq{Stmts: pre, X: v}, nil
+	case "&&":
+		l, err := b.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{T: I32, C: truthy(l), X: bool01(r), Y: ConstI32(0)}, nil
+	case "||":
+		l, err := b.expr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.expr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{T: I32, C: truthy(l), X: ConstI32(1), Y: bool01(r)}, nil
+	}
+
+	lt, rt := x.X.Type(), x.Y.Type()
+	dl, dr := lt, rt
+	if dl.Kind == minic.KArray {
+		dl = minic.PtrTo(dl.Elem)
+	}
+	if dr.Kind == minic.KArray {
+		dr = minic.PtrTo(dr.Elem)
+	}
+	l, err := b.expr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.expr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	// Pointer arithmetic.
+	if dl.Kind == minic.KPtr && (x.Op == "+" || x.Op == "-") && dr.IsInteger() {
+		if r.ResultType() == I64 {
+			r = &Conv{From: I64, To: I32, X: r}
+		}
+		op := OpAdd
+		if x.Op == "-" {
+			op = OpSub
+		}
+		size := dl.Elem.Size()
+		var scaled Expr = r
+		if size != 1 {
+			scaled = &Bin{Op: OpMul, T: I32, X: r, Y: ConstI32(int32(size))}
+		}
+		return &Bin{Op: op, T: I32, X: l, Y: scaled}, nil
+	}
+	if x.Op == "+" && dr.Kind == minic.KPtr && dl.IsInteger() {
+		if l.ResultType() == I64 {
+			l = &Conv{From: I64, To: I32, X: l}
+		}
+		return scaleAdd(r, l, dr.Elem.Size()), nil
+	}
+	if x.Op == "-" && dl.Kind == minic.KPtr && dr.Kind == minic.KPtr {
+		diff := &Bin{Op: OpSub, T: I32, X: l, Y: r}
+		size := dl.Elem.Size()
+		if size == 1 {
+			return diff, nil
+		}
+		return &Bin{Op: OpDiv, T: I32, X: diff, Y: ConstI32(int32(size))}, nil
+	}
+
+	op, ok := binOpMap[x.Op]
+	if !ok {
+		return nil, fmt.Errorf("unhandled binary %s", x.Op)
+	}
+	// Shift counts: C promotes the count separately; widen it to match the
+	// shifted operand (Wasm shifts require matching widths).
+	if (op == OpShl || op == OpShr) && l.ResultType() == I64 && r.ResultType() == I32 {
+		r = &Conv{From: I32, To: I64, Signed: false, X: r}
+	}
+	// Operand type: the checker converted both sides to a common type for
+	// arithmetic; comparisons of pointers use I32.
+	opT := l.ResultType()
+	if r.ResultType() != opT && !op.IsCompare() {
+		return nil, fmt.Errorf("operand type mismatch %v vs %v in %s", l.ResultType(), r.ResultType(), x.Op)
+	}
+	unsigned := dl.IsUnsigned() || dr.IsUnsigned()
+	if x.Op == ">>" {
+		unsigned = dl.IsUnsigned()
+	}
+	return &Bin{Op: op, T: opT, Unsigned: unsigned, X: l, Y: r}, nil
+}
+
+// assign lowers an assignment, returning statements and (optionally) the
+// assigned value expression.
+func (b *builder) assign(x *minic.Assign, needValue bool) ([]Stmt, Expr, error) {
+	lv, err := b.resolveLval(x.LHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	lt := lv.t
+	var stmts []Stmt
+
+	if x.Op == "=" {
+		rv, err := b.expr(x.RHS)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv = b.coerce(rv, x.RHS.Type(), lt)
+		if needValue {
+			stmts = b.stabilize(&lv)
+			tmp := b.fn.NewLocal(irType(lt))
+			stmts = append(stmts, &SetLocal{Local: tmp, X: rv})
+			stmts = append(stmts, b.writeLval(lv, &GetLocal{T: irType(lt), Local: tmp}))
+			return stmts, &GetLocal{T: irType(lt), Local: tmp}, nil
+		}
+		stmts = append(stmts, b.writeLval(lv, rv))
+		return stmts, nil, nil
+	}
+
+	// Compound assignment.
+	stmts = b.stabilize(&lv)
+	rv, err := b.expr(x.RHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt := x.RHS.Type()
+	opStr := x.Op[:len(x.Op)-1]
+
+	// Pointer += / -=.
+	if lt.Kind == minic.KPtr && (opStr == "+" || opStr == "-") && rt.IsInteger() {
+		if rv.ResultType() == I64 {
+			rv = &Conv{From: I64, To: I32, X: rv}
+		}
+		op := OpAdd
+		if opStr == "-" {
+			op = OpSub
+		}
+		size := lt.Elem.Size()
+		var scaled Expr = rv
+		if size != 1 {
+			scaled = &Bin{Op: OpMul, T: I32, X: rv, Y: ConstI32(int32(size))}
+		}
+		upd := &Bin{Op: op, T: I32, X: b.readLval(lv), Y: scaled}
+		stmts = append(stmts, b.writeLval(lv, upd))
+		if needValue {
+			return stmts, b.readLval(lv), nil
+		}
+		return stmts, nil, nil
+	}
+
+	common := minic.UsualArith(lt, rt)
+	op, ok := binOpMap[opStr]
+	if !ok {
+		return nil, nil, fmt.Errorf("unhandled compound op %s", x.Op)
+	}
+	lval := b.coerce(b.readLval(lv), lt, common)
+	rval := b.coerce(rv, rt, common)
+	unsigned := common.IsUnsigned()
+	if opStr == ">>" {
+		unsigned = lt.IsUnsigned()
+	}
+	result := Expr(&Bin{Op: op, T: irType(common), Unsigned: unsigned, X: lval, Y: rval})
+	result = b.coerce(result, common, lt)
+	stmts = append(stmts, b.writeLval(lv, result))
+	if needValue {
+		return stmts, b.readLval(lv), nil
+	}
+	return stmts, nil, nil
+}
+
+// exprStmt lowers an expression evaluated for effect.
+func (b *builder) exprStmt(e minic.Expr) ([]Stmt, error) {
+	switch x := e.(type) {
+	case *minic.Assign:
+		stmts, _, err := b.assign(x, false)
+		return stmts, err
+	case *minic.Unary:
+		if x.Op == "++" || x.Op == "--" {
+			stmts, _, err := b.incDec(x, false)
+			return stmts, err
+		}
+	case *minic.Binary:
+		if x.Op == "," {
+			l, err := b.exprStmt(x.X)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.exprStmt(x.Y)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+	}
+	v, err := b.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{&EvalStmt{X: v}}, nil
+}
+
+func (b *builder) call(x *minic.Call) (Expr, error) {
+	var args []Expr
+	for _, a := range x.Args {
+		v, err := b.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	if x.Builtin != "" {
+		return b.builtinCall(x, args)
+	}
+	idx, ok := b.funcIdx[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("call to undefined function %q (missing body?)", x.Name)
+	}
+	return &Call{Func: idx, T: irType(x.Ref.Ret), Args: args}, nil
+}
+
+func (b *builder) builtinCall(x *minic.Call, args []Expr) (Expr, error) {
+	switch x.Builtin {
+	case "sqrt":
+		return &Un{Op: OpSqrt, T: F64, X: args[0]}, nil
+	case "fabs":
+		return &Un{Op: OpAbs, T: F64, X: args[0]}, nil
+	case "floor":
+		return &Un{Op: OpFloor, T: F64, X: args[0]}, nil
+	case "ceil":
+		return &Un{Op: OpCeil, T: F64, X: args[0]}, nil
+	case "abs":
+		tmp := b.fn.NewLocal(I32)
+		read := func() Expr { return &GetLocal{T: I32, Local: tmp} }
+		return &Seq{
+			Stmts: []Stmt{&SetLocal{Local: tmp, X: args[0]}},
+			X: &Ternary{
+				T: I32,
+				C: &Bin{Op: OpLt, T: I32, X: read(), Y: ConstI32(0)},
+				X: &Un{Op: OpNeg, T: I32, X: read()},
+				Y: read(),
+			},
+		}, nil
+	case "sin", "cos", "exp", "log", "pow", "fmod":
+		return &CallHost{Name: x.Builtin, T: F64, Args: args}, nil
+	case "print_i", "print_f", "print_s":
+		return &CallHost{Name: x.Builtin, T: Void, Args: args}, nil
+	case "__builtin_memsize":
+		return &CallHost{Name: "memsize", T: I32}, nil
+	case "__builtin_memgrow":
+		return &CallHost{Name: "memgrow", T: I32, Args: args}, nil
+	case "__builtin_heapbase":
+		return &CallHost{Name: "heapbase", T: I32}, nil
+	case "__builtin_heaplimit":
+		return &CallHost{Name: "heaplimit", T: I32}, nil
+	case "__builtin_trap":
+		return &CallHost{Name: "trap", T: Void}, nil
+	case "malloc", "free", "memset", "memcpy":
+		idx, ok := b.funcIdx[x.Builtin]
+		if !ok {
+			return nil, fmt.Errorf("%s requires the minic runtime library (link it first)", x.Builtin)
+		}
+		ret := Void
+		if x.Builtin != "free" {
+			ret = I32
+		}
+		return &Call{Func: idx, T: ret, Args: args}, nil
+	}
+	return nil, fmt.Errorf("unhandled builtin %s", x.Builtin)
+}
+
+func f32raw(f float32) int64 { return int64(f32bits(f)) }
+
+func f64raw(f float64) int64 { return int64(f64bits(f)) }

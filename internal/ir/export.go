@@ -1,0 +1,39 @@
+package ir
+
+// WalkAllExprs visits every expression (including subexpressions) in a
+// statement list. Exported for the backends.
+func WalkAllExprs(body []Stmt, fn func(Expr)) { walkExprs(body, fn) }
+
+// WalkAllStmts visits every statement recursively. Exported for the
+// backends and tests.
+func WalkAllStmts(body []Stmt, fn func(Stmt)) { walkStmts(body, fn) }
+
+// ContainsContinue reports whether body has a Continue binding to the
+// enclosing loop (it does not descend into nested loops, whose continues
+// bind to themselves; it does descend into if and switch bodies).
+func ContainsContinue(body []Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Continue:
+			return true
+		case *If:
+			if ContainsContinue(st.Then) || ContainsContinue(st.Else) {
+				return true
+			}
+		case *Switch:
+			for _, cs := range st.Cases {
+				if ContainsContinue(cs.Body) {
+					return true
+				}
+			}
+			if ContainsContinue(st.Default) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ClonedStmts deep-copies a statement list (exported for the vectorizer
+// tests and the inliner's users).
+func ClonedStmts(body []Stmt) []Stmt { return cloneStmts(body) }

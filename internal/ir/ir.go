@@ -1,0 +1,610 @@
+// Package ir defines the compiler's typed mid-level intermediate
+// representation and the optimization pass pipeline modeled on the
+// LLVM-based toolchains the paper studies (§2.1.2).
+//
+// The IR is a structured tree (WebAssembly itself is structured, and the
+// study's three backends — Wasm, Cheerp-style JavaScript, and x86-like
+// register code — all lower naturally from it). Aggregates and
+// address-taken variables live in a linear address space laid out by the
+// builder; scalars live in virtual locals and register-like globals.
+package ir
+
+import "fmt"
+
+// Type is an IR value type.
+type Type uint8
+
+// IR value types.
+const (
+	Void Type = iota
+	I32
+	I64
+	F32
+	F64
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return "?"
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// MemType describes the width and extension behavior of a load or store.
+type MemType uint8
+
+// Memory access types.
+const (
+	MemI8S MemType = iota
+	MemI8U
+	MemI16S
+	MemI16U
+	MemI32
+	MemI64
+	MemF32
+	MemF64
+	// 64-bit-typed narrow accesses are not needed: the builder widens
+	// through I32.
+)
+
+// Size returns the access width in bytes.
+func (m MemType) Size() int {
+	switch m {
+	case MemI8S, MemI8U:
+		return 1
+	case MemI16S, MemI16U:
+		return 2
+	case MemI32, MemF32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ValueType returns the register type an access of this MemType produces.
+func (m MemType) ValueType() Type {
+	switch m {
+	case MemF32:
+		return F32
+	case MemF64:
+		return F64
+	case MemI64:
+		return I64
+	default:
+		return I32
+	}
+}
+
+// BinOp is a binary operator; combined with the node's Type and Unsigned
+// flag it maps to one target instruction.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpMin // fast-math only
+	OpMax
+)
+
+var binOpNames = [...]string{
+	"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+	"eq", "ne", "lt", "le", "gt", "ge", "min", "max",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "?"
+}
+
+// IsCompare reports whether op yields an i32 boolean.
+func (op BinOp) IsCompare() bool { return op >= OpEq && op <= OpGe }
+
+// UnOp is a unary operator.
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota
+	OpEqz      // logical not: x == 0
+	OpBitNot
+	OpSqrt
+	OpAbs
+	OpFloor
+	OpCeil
+	OpTrunc
+)
+
+var unOpNames = [...]string{"neg", "eqz", "bitnot", "sqrt", "abs", "floor", "ceil", "trunc"}
+
+func (op UnOp) String() string {
+	if int(op) < len(unOpNames) {
+		return unOpNames[op]
+	}
+	return "?"
+}
+
+// ---- Program structure ----
+
+// Global is a register-like scalar global (lowered to a Wasm global / JS
+// module variable / x86 global register).
+type Global struct {
+	Name    string
+	Type    Type
+	Init    int64 // raw bits
+	Mutable bool
+}
+
+// DataSeg is a byte range copied into linear memory at startup.
+type DataSeg struct {
+	Addr  uint32
+	Bytes []byte
+}
+
+// Func is one IR function.
+type Func struct {
+	Name      string
+	Params    []Type
+	Ret       Type
+	Locals    []Type // local index space: params first, then declared locals
+	FrameSize uint32 // linear-memory stack frame bytes (address-taken locals)
+	Body      []Stmt
+	// Exported functions survive global DCE.
+	Exported bool
+	// FastMath marks the function as compiled under -Ofast semantics.
+	FastMath bool
+	// NoInline prevents the inliner from consuming it (recursion guard).
+	NoInline bool
+	// VecLocals marks lane-carrier locals introduced by Vectorize; the x86
+	// backend executes accesses to them at SIMD (near-zero) cost while the
+	// stack-machine backends pay full price — the paper's "optimizations
+	// not designed for WebAssembly" effect.
+	VecLocals map[int]bool
+}
+
+// NewLocal appends a local of type t, returning its index.
+func (f *Func) NewLocal(t Type) int {
+	f.Locals = append(f.Locals, t)
+	return len(f.Locals) - 1
+}
+
+// Program is a complete compiled unit ready for a backend.
+type Program struct {
+	Funcs   []*Func
+	Globals []*Global
+	Data    []DataSeg
+	// Layout: [0, StaticEnd) static data; [StaticEnd, StackTop) the shadow
+	// stack growing down; heap grows up from StackTop.
+	StaticEnd uint32
+	StackTop  uint32
+	HeapLimit uint32 // max heap bytes; 0 = unlimited
+	// SPGlobal is the index in Globals of the shadow stack pointer.
+	SPGlobal int
+	// MainFunc is the index in Funcs of the entry point.
+	MainFunc int
+	// MemGlobals records the static-memory ranges of memory-resident
+	// globals; the dead-global-store sweep (part of -globalopt) uses it.
+	MemGlobals []MemGlobal
+}
+
+// MemGlobal is the laid-out address range of a memory-resident global.
+type MemGlobal struct {
+	Name string
+	Addr uint32
+	Size uint32
+}
+
+// FuncByName finds a function index by name.
+func (p *Program) FuncByName(name string) (int, bool) {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ---- Statements ----
+
+// Stmt is an IR statement.
+type Stmt interface{ irStmt() }
+
+// SetLocal assigns a local.
+type SetLocal struct {
+	Local int
+	X     Expr
+}
+
+// SetGlobal assigns a register-like global.
+type SetGlobal struct {
+	Global int
+	X      Expr
+}
+
+// Store writes to linear memory.
+type Store struct {
+	Mem  MemType
+	Addr Expr
+	X    Expr
+}
+
+// EvalStmt evaluates an expression for its side effects; a non-void result
+// is dropped.
+type EvalStmt struct{ X Expr }
+
+// If is structured conditional control flow.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// Loop is the unified loop form: while (Cond) { Body; Post } — or, when
+// PostTest is set, do { Body; Post } while (Cond). Cond may be nil
+// (infinite until break). Continue jumps to Post.
+type Loop struct {
+	Cond     Expr
+	Body     []Stmt
+	Post     []Stmt
+	PostTest bool
+	// Unrolled marks loops the vectorizer has already processed.
+	Unrolled bool
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{}
+
+// Continue jumps to the innermost loop's post/condition.
+type Continue struct{}
+
+// Return exits the function; X is nil for void.
+type Return struct{ X Expr }
+
+// VecSection wraps the shadow lanes of a vectorized loop body: on a SIMD
+// target (the x86 backend) the enclosed statements execute as the extra
+// lanes of the preceding lane's vector instructions (near-zero marginal
+// cost); stack-machine targets execute them at full scalar price.
+type VecSection struct{ Body []Stmt }
+
+// Switch dispatches on an i32 tag. Cases with multiple values share a body;
+// fallthrough is NOT represented (the builder materializes it).
+type Switch struct {
+	Tag     Expr
+	Cases   []SwitchCase
+	Default []Stmt
+}
+
+// SwitchCase is one switch arm.
+type SwitchCase struct {
+	Vals []int64
+	Body []Stmt
+}
+
+func (*SetLocal) irStmt()   {}
+func (*SetGlobal) irStmt()  {}
+func (*Store) irStmt()      {}
+func (*EvalStmt) irStmt()   {}
+func (*If) irStmt()         {}
+func (*Loop) irStmt()       {}
+func (*Break) irStmt()      {}
+func (*Continue) irStmt()   {}
+func (*Return) irStmt()     {}
+func (*Switch) irStmt()     {}
+func (*VecSection) irStmt() {}
+
+// ---- Expressions ----
+
+// Expr is an IR expression; every expression knows its result type.
+type Expr interface {
+	irExpr()
+	ResultType() Type
+}
+
+// Const is a literal; Raw holds the bit pattern (i32 values sign-extended).
+type Const struct {
+	T   Type
+	Raw int64
+}
+
+// GetLocal reads a local.
+type GetLocal struct {
+	T     Type
+	Local int
+}
+
+// GetGlobal reads a register-like global.
+type GetGlobal struct {
+	T      Type
+	Global int
+}
+
+// Load reads linear memory.
+type Load struct {
+	Mem  MemType
+	Addr Expr
+}
+
+// FrameAddr is the address of a stack-frame slot: SP + Off.
+type FrameAddr struct{ Off uint32 }
+
+// Bin is a binary operation. T is the operand type; compares yield I32.
+type Bin struct {
+	Op       BinOp
+	T        Type
+	Unsigned bool
+	X, Y     Expr
+}
+
+// Un is a unary operation.
+type Un struct {
+	Op UnOp
+	T  Type
+	X  Expr
+}
+
+// Conv converts between types. Signed governs int<->float and widening.
+type Conv struct {
+	From, To Type
+	Signed   bool
+	// Narrow truncates to 8/16 bits after integer ops (char/short
+	// assignment); 0 = none, 8 or 16 otherwise. NarrowSigned selects
+	// sign- vs zero-extension of the narrowed value.
+	Narrow       uint8
+	NarrowSigned bool
+	X            Expr
+}
+
+// Call invokes another IR function by index.
+type Call struct {
+	Func int
+	T    Type
+	Args []Expr
+}
+
+// CallHost invokes an environment function (libm, print channel, memory
+// intrinsics). Backends map names to imports/host functions.
+type CallHost struct {
+	Name string
+	T    Type
+	Args []Expr
+}
+
+// Ternary is a value-producing conditional; arms evaluate lazily.
+type Ternary struct {
+	T       Type
+	C, X, Y Expr
+}
+
+// Seq evaluates statements, then yields X (used for comma, post-increment,
+// and short-circuit lowering).
+type Seq struct {
+	Stmts []Stmt
+	X     Expr
+}
+
+func (*Const) irExpr()     {}
+func (*GetLocal) irExpr()  {}
+func (*GetGlobal) irExpr() {}
+func (*Load) irExpr()      {}
+func (*FrameAddr) irExpr() {}
+func (*Bin) irExpr()       {}
+func (*Un) irExpr()        {}
+func (*Conv) irExpr()      {}
+func (*Call) irExpr()      {}
+func (*CallHost) irExpr()  {}
+func (*Ternary) irExpr()   {}
+func (*Seq) irExpr()       {}
+
+// ResultType implementations.
+
+func (e *Const) ResultType() Type     { return e.T }
+func (e *GetLocal) ResultType() Type  { return e.T }
+func (e *GetGlobal) ResultType() Type { return e.T }
+func (e *Load) ResultType() Type      { return e.Mem.ValueType() }
+func (e *FrameAddr) ResultType() Type { return I32 }
+func (e *Bin) ResultType() Type {
+	if e.Op.IsCompare() {
+		return I32
+	}
+	return e.T
+}
+func (e *Un) ResultType() Type {
+	if e.Op == OpEqz {
+		return I32
+	}
+	return e.T
+}
+func (e *Conv) ResultType() Type     { return e.To }
+func (e *Call) ResultType() Type     { return e.T }
+func (e *CallHost) ResultType() Type { return e.T }
+func (e *Ternary) ResultType() Type  { return e.T }
+func (e *Seq) ResultType() Type      { return e.X.ResultType() }
+
+// ConstI32 builds an i32 constant.
+func ConstI32(v int32) *Const { return &Const{T: I32, Raw: int64(v)} }
+
+// ConstI64 builds an i64 constant.
+func ConstI64(v int64) *Const { return &Const{T: I64, Raw: v} }
+
+// Validate performs structural sanity checks used by tests.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		for i, t := range f.Params {
+			if i >= len(f.Locals) || f.Locals[i] != t {
+				return fmt.Errorf("ir: func %s: param %d not mirrored in locals", f.Name, i)
+			}
+		}
+		if err := validateStmts(p, f, f.Body, 0); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	if p.SPGlobal >= len(p.Globals) {
+		return fmt.Errorf("ir: SP global out of range")
+	}
+	return nil
+}
+
+func validateStmts(p *Program, f *Func, body []Stmt, loopDepth int) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *SetLocal:
+			if st.Local >= len(f.Locals) {
+				return fmt.Errorf("set of undefined local %d", st.Local)
+			}
+			if err := validateExpr(p, f, st.X); err != nil {
+				return err
+			}
+		case *SetGlobal:
+			if st.Global >= len(p.Globals) {
+				return fmt.Errorf("set of undefined global %d", st.Global)
+			}
+			if err := validateExpr(p, f, st.X); err != nil {
+				return err
+			}
+		case *Store:
+			if err := validateExpr(p, f, st.Addr); err != nil {
+				return err
+			}
+			if err := validateExpr(p, f, st.X); err != nil {
+				return err
+			}
+		case *EvalStmt:
+			if err := validateExpr(p, f, st.X); err != nil {
+				return err
+			}
+		case *If:
+			if err := validateExpr(p, f, st.Cond); err != nil {
+				return err
+			}
+			if err := validateStmts(p, f, st.Then, loopDepth); err != nil {
+				return err
+			}
+			if err := validateStmts(p, f, st.Else, loopDepth); err != nil {
+				return err
+			}
+		case *Loop:
+			if st.Cond != nil {
+				if err := validateExpr(p, f, st.Cond); err != nil {
+					return err
+				}
+			}
+			if err := validateStmts(p, f, st.Body, loopDepth+1); err != nil {
+				return err
+			}
+			if err := validateStmts(p, f, st.Post, loopDepth+1); err != nil {
+				return err
+			}
+		case *Break, *Continue:
+			if loopDepth == 0 {
+				return fmt.Errorf("break/continue outside loop")
+			}
+		case *Return:
+			if st.X != nil {
+				if err := validateExpr(p, f, st.X); err != nil {
+					return err
+				}
+			}
+		case *Switch:
+			if err := validateExpr(p, f, st.Tag); err != nil {
+				return err
+			}
+			for _, cs := range st.Cases {
+				if err := validateStmts(p, f, cs.Body, loopDepth+1); err != nil {
+					return err
+				}
+			}
+			if err := validateStmts(p, f, st.Default, loopDepth+1); err != nil {
+				return err
+			}
+		case *VecSection:
+			if err := validateStmts(p, f, st.Body, loopDepth); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateExpr(p *Program, f *Func, e Expr) error {
+	switch x := e.(type) {
+	case *Const, *FrameAddr:
+	case *GetLocal:
+		if x.Local >= len(f.Locals) {
+			return fmt.Errorf("get of undefined local %d", x.Local)
+		}
+	case *GetGlobal:
+		if x.Global >= len(p.Globals) {
+			return fmt.Errorf("get of undefined global %d", x.Global)
+		}
+	case *Load:
+		return validateExpr(p, f, x.Addr)
+	case *Bin:
+		if err := validateExpr(p, f, x.X); err != nil {
+			return err
+		}
+		return validateExpr(p, f, x.Y)
+	case *Un:
+		return validateExpr(p, f, x.X)
+	case *Conv:
+		return validateExpr(p, f, x.X)
+	case *Call:
+		if x.Func >= len(p.Funcs) {
+			return fmt.Errorf("call to undefined func %d", x.Func)
+		}
+		for _, a := range x.Args {
+			if err := validateExpr(p, f, a); err != nil {
+				return err
+			}
+		}
+	case *CallHost:
+		for _, a := range x.Args {
+			if err := validateExpr(p, f, a); err != nil {
+				return err
+			}
+		}
+	case *Ternary:
+		if err := validateExpr(p, f, x.C); err != nil {
+			return err
+		}
+		if err := validateExpr(p, f, x.X); err != nil {
+			return err
+		}
+		return validateExpr(p, f, x.Y)
+	case *Seq:
+		if err := validateStmts(p, f, x.Stmts, 1); err != nil {
+			return err
+		}
+		return validateExpr(p, f, x.X)
+	default:
+		return fmt.Errorf("unknown expr %T", e)
+	}
+	return nil
+}

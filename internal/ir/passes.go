@@ -1,0 +1,887 @@
+package ir
+
+import "math"
+
+// ---- constfold: constant folding and algebraic simplification ----
+
+// ConstFold folds constant subexpressions and trivial identities across the
+// whole program. It is the workhorse pass applied at every level ≥ -O1.
+func ConstFold(p *Program) {
+	for _, f := range p.Funcs {
+		mapStmtsExprs(f.Body, foldExpr)
+		foldControl(p, f)
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Bin:
+		cx, okx := x.X.(*Const)
+		cy, oky := x.Y.(*Const)
+		if okx && oky {
+			if folded, ok := foldBin(x, cx, cy); ok {
+				return folded
+			}
+		}
+		// Identities.
+		if oky && !x.Op.IsCompare() {
+			switch x.Op {
+			case OpAdd, OpSub, OpOr, OpXor, OpShl, OpShr:
+				if isZero(cy) {
+					return x.X
+				}
+			case OpMul:
+				if isOne(cy, x.T) {
+					return x.X
+				}
+			case OpDiv:
+				if isOne(cy, x.T) {
+					return x.X
+				}
+			}
+		}
+		if okx {
+			switch x.Op {
+			case OpAdd, OpOr, OpXor:
+				if isZero(cx) {
+					return x.Y
+				}
+			case OpMul:
+				if isOne(cx, x.T) {
+					return x.Y
+				}
+			}
+		}
+	case *Un:
+		if c, ok := x.X.(*Const); ok {
+			if folded, ok := foldUn(x, c); ok {
+				return folded
+			}
+		}
+	case *Conv:
+		if c, ok := x.X.(*Const); ok {
+			if folded, ok := foldConv(x, c); ok {
+				return folded
+			}
+		}
+	case *Ternary:
+		if c, ok := x.C.(*Const); ok && pureExpr(x.X) && pureExpr(x.Y) {
+			if c.Raw != 0 {
+				return x.X
+			}
+			return x.Y
+		}
+	case *Seq:
+		if len(x.Stmts) == 0 {
+			return x.X
+		}
+	}
+	return e
+}
+
+func isZero(c *Const) bool {
+	if c.T.IsFloat() {
+		return false // -0.0 vs 0.0: leave float identities alone
+	}
+	return c.Raw == 0
+}
+
+func isOne(c *Const, t Type) bool {
+	switch t {
+	case I32:
+		return int32(c.Raw) == 1
+	case I64:
+		return c.Raw == 1
+	case F32:
+		return math.Float32frombits(uint32(c.Raw)) == 1
+	case F64:
+		return math.Float64frombits(uint64(c.Raw)) == 1
+	}
+	return false
+}
+
+func foldBin(x *Bin, a, b *Const) (Expr, bool) {
+	switch x.T {
+	case I32:
+		av, bv := int32(a.Raw), int32(b.Raw)
+		au, bu := uint32(a.Raw), uint32(b.Raw)
+		var r int32
+		switch x.Op {
+		case OpAdd:
+			r = av + bv
+		case OpSub:
+			r = av - bv
+		case OpMul:
+			r = av * bv
+		case OpDiv:
+			if bv == 0 || (av == math.MinInt32 && bv == -1) {
+				return nil, false
+			}
+			if x.Unsigned {
+				r = int32(au / bu)
+			} else {
+				r = av / bv
+			}
+		case OpRem:
+			if bv == 0 {
+				return nil, false
+			}
+			if x.Unsigned {
+				r = int32(au % bu)
+			} else if av == math.MinInt32 && bv == -1 {
+				r = 0
+			} else {
+				r = av % bv
+			}
+		case OpAnd:
+			r = av & bv
+		case OpOr:
+			r = av | bv
+		case OpXor:
+			r = av ^ bv
+		case OpShl:
+			r = av << (bu & 31)
+		case OpShr:
+			if x.Unsigned {
+				r = int32(au >> (bu & 31))
+			} else {
+				r = av >> (bu & 31)
+			}
+		default:
+			var cond bool
+			if x.Unsigned {
+				switch x.Op {
+				case OpEq:
+					cond = au == bu
+				case OpNe:
+					cond = au != bu
+				case OpLt:
+					cond = au < bu
+				case OpLe:
+					cond = au <= bu
+				case OpGt:
+					cond = au > bu
+				case OpGe:
+					cond = au >= bu
+				default:
+					return nil, false
+				}
+			} else {
+				switch x.Op {
+				case OpEq:
+					cond = av == bv
+				case OpNe:
+					cond = av != bv
+				case OpLt:
+					cond = av < bv
+				case OpLe:
+					cond = av <= bv
+				case OpGt:
+					cond = av > bv
+				case OpGe:
+					cond = av >= bv
+				default:
+					return nil, false
+				}
+			}
+			return boolConst(cond), true
+		}
+		return ConstI32(r), true
+	case I64:
+		av, bv := a.Raw, b.Raw
+		au, bu := uint64(a.Raw), uint64(b.Raw)
+		var r int64
+		switch x.Op {
+		case OpAdd:
+			r = av + bv
+		case OpSub:
+			r = av - bv
+		case OpMul:
+			r = av * bv
+		case OpDiv:
+			if bv == 0 || (av == math.MinInt64 && bv == -1) {
+				return nil, false
+			}
+			if x.Unsigned {
+				r = int64(au / bu)
+			} else {
+				r = av / bv
+			}
+		case OpRem:
+			if bv == 0 {
+				return nil, false
+			}
+			if x.Unsigned {
+				r = int64(au % bu)
+			} else if av == math.MinInt64 && bv == -1 {
+				r = 0
+			} else {
+				r = av % bv
+			}
+		case OpAnd:
+			r = av & bv
+		case OpOr:
+			r = av | bv
+		case OpXor:
+			r = av ^ bv
+		case OpShl:
+			r = av << (bu & 63)
+		case OpShr:
+			if x.Unsigned {
+				r = int64(au >> (bu & 63))
+			} else {
+				r = av >> (bu & 63)
+			}
+		default:
+			var cond bool
+			if x.Unsigned {
+				switch x.Op {
+				case OpEq:
+					cond = au == bu
+				case OpNe:
+					cond = au != bu
+				case OpLt:
+					cond = au < bu
+				case OpLe:
+					cond = au <= bu
+				case OpGt:
+					cond = au > bu
+				case OpGe:
+					cond = au >= bu
+				default:
+					return nil, false
+				}
+			} else {
+				switch x.Op {
+				case OpEq:
+					cond = av == bv
+				case OpNe:
+					cond = av != bv
+				case OpLt:
+					cond = av < bv
+				case OpLe:
+					cond = av <= bv
+				case OpGt:
+					cond = av > bv
+				case OpGe:
+					cond = av >= bv
+				default:
+					return nil, false
+				}
+			}
+			return boolConst(cond), true
+		}
+		return ConstI64(r), true
+	case F32, F64:
+		var av, bv float64
+		if x.T == F32 {
+			av = float64(math.Float32frombits(uint32(a.Raw)))
+			bv = float64(math.Float32frombits(uint32(b.Raw)))
+		} else {
+			av = math.Float64frombits(uint64(a.Raw))
+			bv = math.Float64frombits(uint64(b.Raw))
+		}
+		var r float64
+		switch x.Op {
+		case OpAdd:
+			r = av + bv
+		case OpSub:
+			r = av - bv
+		case OpMul:
+			r = av * bv
+		case OpDiv:
+			r = av / bv
+		case OpEq:
+			return boolConst(av == bv), true
+		case OpNe:
+			return boolConst(av != bv), true
+		case OpLt:
+			return boolConst(av < bv), true
+		case OpLe:
+			return boolConst(av <= bv), true
+		case OpGt:
+			return boolConst(av > bv), true
+		case OpGe:
+			return boolConst(av >= bv), true
+		default:
+			return nil, false
+		}
+		if x.T == F32 {
+			return &Const{T: F32, Raw: int64(math.Float32bits(float32(r)))}, true
+		}
+		return ConstF64(r), true
+	}
+	return nil, false
+}
+
+func boolConst(b bool) *Const {
+	if b {
+		return ConstI32(1)
+	}
+	return ConstI32(0)
+}
+
+func foldUn(x *Un, c *Const) (Expr, bool) {
+	switch x.Op {
+	case OpNeg:
+		switch x.T {
+		case I32:
+			return ConstI32(-int32(c.Raw)), true
+		case I64:
+			return ConstI64(-c.Raw), true
+		case F32:
+			return &Const{T: F32, Raw: int64(math.Float32bits(-math.Float32frombits(uint32(c.Raw))))}, true
+		case F64:
+			return ConstF64(-math.Float64frombits(uint64(c.Raw))), true
+		}
+	case OpEqz:
+		if x.T == I64 {
+			return boolConst(c.Raw == 0), true
+		}
+		return boolConst(int32(c.Raw) == 0), true
+	case OpBitNot:
+		if x.T == I64 {
+			return ConstI64(^c.Raw), true
+		}
+		return ConstI32(^int32(c.Raw)), true
+	case OpAbs:
+		if x.T == F64 {
+			return ConstF64(math.Abs(math.Float64frombits(uint64(c.Raw)))), true
+		}
+	case OpSqrt:
+		if x.T == F64 {
+			return ConstF64(math.Sqrt(math.Float64frombits(uint64(c.Raw)))), true
+		}
+	case OpFloor:
+		if x.T == F64 {
+			return ConstF64(math.Floor(math.Float64frombits(uint64(c.Raw)))), true
+		}
+	case OpCeil:
+		if x.T == F64 {
+			return ConstF64(math.Ceil(math.Float64frombits(uint64(c.Raw)))), true
+		}
+	}
+	return nil, false
+}
+
+func foldConv(x *Conv, c *Const) (Expr, bool) {
+	var out *Const
+	switch {
+	case x.From == I32 && x.To == I32 && x.Narrow != 0:
+		v := int32(c.Raw)
+		if x.Narrow == 8 {
+			if x.NarrowSigned {
+				v = int32(int8(v))
+			} else {
+				v = int32(uint8(v))
+			}
+		} else {
+			if x.NarrowSigned {
+				v = int32(int16(v))
+			} else {
+				v = int32(uint16(v))
+			}
+		}
+		out = ConstI32(v)
+	case x.From == I32 && x.To == I64:
+		if x.Signed {
+			out = ConstI64(int64(int32(c.Raw)))
+		} else {
+			out = ConstI64(int64(uint32(c.Raw)))
+		}
+	case x.From == I64 && x.To == I32:
+		out = ConstI32(int32(c.Raw))
+	case x.From == I32 && x.To == F64:
+		if x.Signed {
+			out = ConstF64(float64(int32(c.Raw)))
+		} else {
+			out = ConstF64(float64(uint32(c.Raw)))
+		}
+	case x.From == I32 && x.To == F32:
+		if x.Signed {
+			out = ConstF32(float32(int32(c.Raw)))
+		} else {
+			out = ConstF32(float32(uint32(c.Raw)))
+		}
+	case x.From == I64 && x.To == F64:
+		if x.Signed {
+			out = ConstF64(float64(c.Raw))
+		} else {
+			out = ConstF64(float64(uint64(c.Raw)))
+		}
+	case x.From == I64 && x.To == F32:
+		if x.Signed {
+			out = ConstF32(float32(c.Raw))
+		} else {
+			out = ConstF32(float32(uint64(c.Raw)))
+		}
+	case x.From == F64 && x.To == F32:
+		out = ConstF32(float32(math.Float64frombits(uint64(c.Raw))))
+	case x.From == F32 && x.To == F64:
+		out = ConstF64(float64(math.Float32frombits(uint32(c.Raw))))
+	case x.From.IsFloat() && (x.To == I32 || x.To == I64):
+		var f float64
+		if x.From == F32 {
+			f = float64(math.Float32frombits(uint32(c.Raw)))
+		} else {
+			f = math.Float64frombits(uint64(c.Raw))
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, false // would trap at runtime; keep
+		}
+		if x.To == I32 {
+			if f >= 2147483648 || f < -2147483649 {
+				return nil, false
+			}
+			v := ConstI32(int32(f))
+			if x.Narrow != 0 {
+				return foldConv(&Conv{From: I32, To: I32, Narrow: x.Narrow, NarrowSigned: x.NarrowSigned}, v)
+			}
+			out = v
+		} else {
+			if f >= 9.223372036854776e18 || f <= -9.223372036854776e18 {
+				return nil, false
+			}
+			out = ConstI64(int64(f))
+		}
+	default:
+		return nil, false
+	}
+	return out, true
+}
+
+// foldControl simplifies If/Loop with constant conditions and drops
+// unreachable trailing statements.
+func foldControl(p *Program, f *Func) {
+	f.Body = foldStmts(f.Body)
+}
+
+func foldStmts(body []Stmt) []Stmt {
+	out := body[:0]
+	for _, s := range body {
+		switch st := s.(type) {
+		case *If:
+			st.Then = foldStmts(st.Then)
+			st.Else = foldStmts(st.Else)
+			if c, ok := st.Cond.(*Const); ok {
+				if c.Raw != 0 {
+					out = append(out, st.Then...)
+				} else {
+					out = append(out, st.Else...)
+				}
+				continue
+			}
+			if len(st.Then) == 0 && len(st.Else) == 0 && pureExpr(st.Cond) {
+				continue
+			}
+		case *Loop:
+			st.Body = foldStmts(st.Body)
+			st.Post = foldStmts(st.Post)
+			if c, ok := st.Cond.(*Const); ok && c.Raw == 0 && !st.PostTest {
+				continue // never runs
+			}
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = foldStmts(st.Cases[i].Body)
+			}
+			st.Default = foldStmts(st.Default)
+		case *VecSection:
+			st.Body = foldStmts(st.Body)
+			if len(st.Body) == 0 {
+				continue
+			}
+		case *EvalStmt:
+			if se, ok := st.X.(*Seq); ok {
+				// Flatten Seq side effects evaluated for effect.
+				out = append(out, foldStmts(se.Stmts)...)
+				if !pureExpr(se.X) {
+					out = append(out, &EvalStmt{X: se.X})
+				}
+				continue
+			}
+			if pureExpr(st.X) {
+				continue
+			}
+		}
+		out = append(out, s)
+		// Unreachable code after an unconditional terminator.
+		switch s.(type) {
+		case *Return, *Break, *Continue:
+			return out
+		}
+	}
+	return out
+}
+
+// ---- dce: dead code elimination (unused local stores) ----
+
+// DCE removes assignments to locals that are never read (when the
+// right-hand side is pure) across the program.
+func DCE(p *Program) {
+	for _, f := range p.Funcs {
+		reads := make([]int, len(f.Locals))
+		walkExprs(f.Body, func(e Expr) {
+			if gl, ok := e.(*GetLocal); ok {
+				reads[gl.Local]++
+			}
+		})
+		f.Body = dropDeadLocalStores(f.Body, reads)
+	}
+}
+
+func dropDeadLocalStores(body []Stmt, reads []int) []Stmt {
+	out := body[:0]
+	for _, s := range body {
+		switch st := s.(type) {
+		case *SetLocal:
+			if st.Local < len(reads) && reads[st.Local] == 0 && pureExpr(st.X) {
+				continue
+			}
+		case *If:
+			st.Then = dropDeadLocalStores(st.Then, reads)
+			st.Else = dropDeadLocalStores(st.Else, reads)
+		case *Loop:
+			st.Body = dropDeadLocalStores(st.Body, reads)
+			st.Post = dropDeadLocalStores(st.Post, reads)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = dropDeadLocalStores(st.Cases[i].Body, reads)
+			}
+			st.Default = dropDeadLocalStores(st.Default, reads)
+		case *VecSection:
+			st.Body = dropDeadLocalStores(st.Body, reads)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- globalopt: whole-program global cleanup ----
+
+// GlobalOpt removes register globals that are never read, functions that
+// are never called (reachability from exports), and — unless
+// skipDeadStoreSweep is set, modeling the -Ofast pass-ordering bug the
+// paper traces in Fig. 7 — stores to memory-resident globals whose contents
+// are never loaded.
+func GlobalOpt(p *Program, skipDeadStoreSweep bool) {
+	removeDeadGlobalSets(p)
+	if !skipDeadStoreSweep {
+		sweepDeadMemStores(p)
+	}
+	removeUnreachableFuncs(p)
+}
+
+func removeDeadGlobalSets(p *Program) {
+	read := make([]bool, len(p.Globals))
+	read[p.SPGlobal] = true
+	for _, f := range p.Funcs {
+		walkExprs(f.Body, func(e Expr) {
+			if gg, ok := e.(*GetGlobal); ok {
+				read[gg.Global] = true
+			}
+		})
+	}
+	for _, f := range p.Funcs {
+		f.Body = dropStmts(f.Body, func(s Stmt) bool {
+			sg, ok := s.(*SetGlobal)
+			return ok && !read[sg.Global] && pureExpr(sg.X)
+		})
+	}
+}
+
+// sweepDeadMemStores drops stores into memory globals that are never loaded
+// and whose address never escapes. This is the dead-store part of
+// -globalopt; the paper's ADPCM case (Fig. 7) shows -Ofast losing it.
+func sweepDeadMemStores(p *Program) {
+	if len(p.MemGlobals) == 0 {
+		return
+	}
+	loaded := make([]bool, len(p.MemGlobals))
+	escaped := make([]bool, len(p.MemGlobals))
+	rangeOf := func(addr uint32) int {
+		for i, g := range p.MemGlobals {
+			if addr >= g.Addr && addr < g.Addr+g.Size {
+				return i
+			}
+		}
+		return -1
+	}
+	// baseConst extracts the constant base address of an address expression.
+	var baseConst func(e Expr) (uint32, bool)
+	baseConst = func(e Expr) (uint32, bool) {
+		switch x := e.(type) {
+		case *Const:
+			if x.T == I32 {
+				return uint32(int32(x.Raw)), true
+			}
+		case *Bin:
+			if x.Op == OpAdd && x.T == I32 {
+				if c, ok := baseConst(x.X); ok {
+					return c, true
+				}
+				if c, ok := baseConst(x.Y); ok {
+					return c, true
+				}
+			}
+		}
+		return 0, false
+	}
+	// Mark usage: loads mark loaded; consts-in-range appearing anywhere
+	// except as a store base mark escaped.
+	var markEscapes func(e Expr)
+	markEscapes = func(e Expr) {
+		if c, ok := e.(*Const); ok && c.T == I32 {
+			if gi := rangeOf(uint32(int32(c.Raw))); gi >= 0 {
+				escaped[gi] = true
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		walkStmts(f.Body, func(s Stmt) {
+			switch st := s.(type) {
+			case *Store:
+				// The store's base const is a legitimate store target; any
+				// other range-const inside the address or value escapes.
+				base, _ := baseConst(st.Addr)
+				walkSubExprs(st.Addr, func(e Expr) {
+					if c, ok := e.(*Const); ok && c.T == I32 && uint32(int32(c.Raw)) != base {
+						markEscapes(c)
+					}
+				})
+				walkSubExprs(st.X, markEscapes)
+			case *SetLocal:
+				walkSubExprs(st.X, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+			case *SetGlobal:
+				walkSubExprs(st.X, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+			case *EvalStmt:
+				walkSubExprs(st.X, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+			case *If:
+				walkSubExprs(st.Cond, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+			case *Loop:
+				if st.Cond != nil {
+					walkSubExprs(st.Cond, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+				}
+			case *Return:
+				if st.X != nil {
+					walkSubExprs(st.X, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+				}
+			case *Switch:
+				walkSubExprs(st.Tag, func(e Expr) { markLoadsAndEscapes(e, rangeOf, loaded, escaped) })
+			}
+		})
+		// Loads inside store value/address expressions too.
+		walkExprs(f.Body, func(e Expr) {
+			if ld, ok := e.(*Load); ok {
+				if base, ok := baseConstOf(ld.Addr); ok {
+					if gi := rangeOf(base); gi >= 0 {
+						loaded[gi] = true
+					}
+				} else {
+					// Dynamic address: could alias anything that escaped;
+					// conservatively mark all escaped globals loaded.
+					for i := range loaded {
+						if escaped[i] {
+							loaded[i] = true
+						}
+					}
+				}
+			}
+		})
+	}
+	dead := func(addr Expr) bool {
+		base, ok := baseConstOf(addr)
+		if !ok {
+			return false
+		}
+		gi := rangeOf(base)
+		return gi >= 0 && !loaded[gi] && !escaped[gi]
+	}
+	for _, f := range p.Funcs {
+		f.Body = rewriteStmts(f.Body, func(s Stmt) []Stmt {
+			st, ok := s.(*Store)
+			if !ok || !dead(st.Addr) {
+				return nil
+			}
+			// Salvage side effects (e.g. lane-carrier sequences) as bare
+			// evaluations; later constfold/DCE clean them up.
+			out := []Stmt{}
+			if !pureExpr(st.Addr) {
+				out = append(out, &EvalStmt{X: st.Addr})
+			}
+			if !pureExpr(st.X) {
+				out = append(out, &EvalStmt{X: st.X})
+			}
+			return out
+		})
+	}
+}
+
+// rewriteStmts replaces statements for which fn returns a non-nil slice
+// (which may be empty to delete), recursing into control structure.
+func rewriteStmts(body []Stmt, fn func(Stmt) []Stmt) []Stmt {
+	out := body[:0:0]
+	for _, s := range body {
+		if repl := fn(s); repl != nil {
+			out = append(out, repl...)
+			continue
+		}
+		switch st := s.(type) {
+		case *If:
+			st.Then = rewriteStmts(st.Then, fn)
+			st.Else = rewriteStmts(st.Else, fn)
+		case *Loop:
+			st.Body = rewriteStmts(st.Body, fn)
+			st.Post = rewriteStmts(st.Post, fn)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = rewriteStmts(st.Cases[i].Body, fn)
+			}
+			st.Default = rewriteStmts(st.Default, fn)
+		case *VecSection:
+			st.Body = rewriteStmts(st.Body, fn)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func markLoadsAndEscapes(e Expr, rangeOf func(uint32) int, loaded, escaped []bool) {
+	switch x := e.(type) {
+	case *Load:
+		if base, ok := baseConstOf(x.Addr); ok {
+			if gi := rangeOf(base); gi >= 0 {
+				loaded[gi] = true
+			}
+		}
+	case *Const:
+		if x.T == I32 {
+			if gi := rangeOf(uint32(int32(x.Raw))); gi >= 0 {
+				// A const address flowing into arbitrary computation: it may
+				// be a load base (handled above) — treat as a (potential)
+				// load to stay conservative.
+				loaded[gi] = true
+			}
+		}
+	}
+}
+
+func baseConstOf(e Expr) (uint32, bool) {
+	switch x := e.(type) {
+	case *Const:
+		if x.T == I32 {
+			return uint32(int32(x.Raw)), true
+		}
+	case *Bin:
+		if x.Op == OpAdd && x.T == I32 {
+			if c, ok := baseConstOf(x.X); ok {
+				return c, true
+			}
+			if c, ok := baseConstOf(x.Y); ok {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// walkSubExprs visits e and all subexpressions.
+func walkSubExprs(e Expr, fn func(Expr)) {
+	fn(e)
+	switch x := e.(type) {
+	case *Load:
+		walkSubExprs(x.Addr, fn)
+	case *Bin:
+		walkSubExprs(x.X, fn)
+		walkSubExprs(x.Y, fn)
+	case *Un:
+		walkSubExprs(x.X, fn)
+	case *Conv:
+		walkSubExprs(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			walkSubExprs(a, fn)
+		}
+	case *CallHost:
+		for _, a := range x.Args {
+			walkSubExprs(a, fn)
+		}
+	case *Ternary:
+		walkSubExprs(x.C, fn)
+		walkSubExprs(x.X, fn)
+		walkSubExprs(x.Y, fn)
+	case *Seq:
+		walkExprs(x.Stmts, fn)
+		walkSubExprs(x.X, fn)
+	}
+}
+
+func removeUnreachableFuncs(p *Program) {
+	reach := make([]bool, len(p.Funcs))
+	var mark func(i int)
+	mark = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		walkExprs(p.Funcs[i].Body, func(e Expr) {
+			if c, ok := e.(*Call); ok {
+				mark(c.Func)
+			}
+		})
+	}
+	for i, f := range p.Funcs {
+		if f.Exported || i == p.MainFunc {
+			mark(i)
+		}
+	}
+	remap := make([]int, len(p.Funcs))
+	var kept []*Func
+	for i, f := range p.Funcs {
+		if reach[i] {
+			remap[i] = len(kept)
+			kept = append(kept, f)
+		} else {
+			remap[i] = -1
+		}
+	}
+	if len(kept) == len(p.Funcs) {
+		return
+	}
+	for _, f := range kept {
+		mapStmtsExprs(f.Body, func(e Expr) Expr {
+			if c, ok := e.(*Call); ok {
+				c.Func = remap[c.Func]
+			}
+			return e
+		})
+	}
+	p.MainFunc = remap[p.MainFunc]
+	p.Funcs = kept
+}
+
+// dropStmts filters statements recursively.
+func dropStmts(body []Stmt, drop func(Stmt) bool) []Stmt {
+	out := body[:0]
+	for _, s := range body {
+		if drop(s) {
+			continue
+		}
+		switch st := s.(type) {
+		case *If:
+			st.Then = dropStmts(st.Then, drop)
+			st.Else = dropStmts(st.Else, drop)
+		case *Loop:
+			st.Body = dropStmts(st.Body, drop)
+			st.Post = dropStmts(st.Post, drop)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = dropStmts(st.Cases[i].Body, drop)
+			}
+			st.Default = dropStmts(st.Default, drop)
+		case *VecSection:
+			st.Body = dropStmts(st.Body, drop)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,822 @@
+package ir
+
+import "math"
+
+// ---- inline: inline small functions into their callers ----
+
+// Inline substitutes bodies of small, non-recursive functions with a single
+// trailing return. maxSize is the body-size budget (-O2 uses a modest one,
+// -O3/-O4 progressively larger; -Oz disables inlining entirely to keep code
+// small).
+func Inline(p *Program, maxSize int) {
+	eligible := make([]bool, len(p.Funcs))
+	for i, f := range p.Funcs {
+		eligible[i] = inlinable(p, i, f, maxSize)
+	}
+	for ci, caller := range p.Funcs {
+		for _, callee := range inlineInto(p, ci, caller, eligible) {
+			_ = callee
+		}
+	}
+}
+
+func inlinable(p *Program, idx int, f *Func, maxSize int) bool {
+	if f.NoInline || f.Exported || f.FrameSize != 0 {
+		return false
+	}
+	if countStmts(f.Body) > maxSize {
+		return false
+	}
+	// No return except as the final top-level statement; no self-calls.
+	ok := true
+	for i, s := range f.Body {
+		if _, isRet := s.(*Return); isRet && i != len(f.Body)-1 {
+			ok = false
+		}
+	}
+	walkStmts(f.Body, func(s Stmt) {
+		if r, isRet := s.(*Return); isRet {
+			// Nested return (inside if/loop) disqualifies, unless it is the
+			// top-level trailing one (checked above by identity below).
+			if len(f.Body) == 0 || s != f.Body[len(f.Body)-1] {
+				ok = false
+			}
+			_ = r
+		}
+	})
+	walkExprs(f.Body, func(e Expr) {
+		if c, isCall := e.(*Call); isCall && c.Func == idx {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// inlineInto replaces eligible calls in caller. Only calls appearing as the
+// full RHS of SetLocal/EvalStmt are inlined (the common shape after
+// lowering); value results route through a fresh local.
+func inlineInto(p *Program, callerIdx int, caller *Func, eligible []bool) []int {
+	var inlined []int
+	var rewrite func(body []Stmt) []Stmt
+	rewrite = func(body []Stmt) []Stmt {
+		var out []Stmt
+		for _, s := range body {
+			switch st := s.(type) {
+			case *SetLocal:
+				if c, ok := st.X.(*Call); ok && c.Func != callerIdx && eligible[c.Func] && allPure(c.Args) {
+					stmts, result := spliceCall(p, caller, c)
+					out = append(out, stmts...)
+					out = append(out, &SetLocal{Local: st.Local, X: result})
+					inlined = append(inlined, c.Func)
+					continue
+				}
+			case *EvalStmt:
+				if c, ok := st.X.(*Call); ok && c.Func != callerIdx && eligible[c.Func] && allPure(c.Args) {
+					stmts, _ := spliceCall(p, caller, c)
+					out = append(out, stmts...)
+					inlined = append(inlined, c.Func)
+					continue
+				}
+			case *If:
+				st.Then = rewrite(st.Then)
+				st.Else = rewrite(st.Else)
+			case *Loop:
+				st.Body = rewrite(st.Body)
+				st.Post = rewrite(st.Post)
+			case *Switch:
+				for i := range st.Cases {
+					st.Cases[i].Body = rewrite(st.Cases[i].Body)
+				}
+				st.Default = rewrite(st.Default)
+			case *VecSection:
+				st.Body = rewrite(st.Body)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	caller.Body = rewrite(caller.Body)
+	return inlined
+}
+
+func allPure(args []Expr) bool {
+	for _, a := range args {
+		if !pureExpr(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// spliceCall clones the callee body into the caller's local space.
+func spliceCall(p *Program, caller *Func, c *Call) ([]Stmt, Expr) {
+	callee := p.Funcs[c.Func]
+	// Map callee locals to fresh caller locals.
+	remap := make([]int, len(callee.Locals))
+	for i, t := range callee.Locals {
+		remap[i] = caller.NewLocal(t)
+	}
+	var out []Stmt
+	for i, a := range c.Args {
+		out = append(out, &SetLocal{Local: remap[i], X: a})
+	}
+	body := cloneStmts(callee.Body)
+	mapStmtsExprs(body, func(e Expr) Expr {
+		if gl, ok := e.(*GetLocal); ok {
+			return &GetLocal{T: gl.T, Local: remap[gl.Local]}
+		}
+		return e
+	})
+	remapSetLocals(body, remap)
+	var result Expr
+	if len(body) > 0 {
+		if r, ok := body[len(body)-1].(*Return); ok {
+			body = body[:len(body)-1]
+			if r.X != nil {
+				tmp := caller.NewLocal(callee.Ret)
+				body = append(body, &SetLocal{Local: tmp, X: r.X})
+				result = &GetLocal{T: callee.Ret, Local: tmp}
+			}
+		}
+	}
+	if result == nil && callee.Ret != Void {
+		// Value function without trailing return shape: fall back to a
+		// regular call (should not happen given inlinable()).
+		return []Stmt{}, c
+	}
+	out = append(out, body...)
+	if result == nil {
+		result = ConstI32(0)
+	}
+	return out, result
+}
+
+func remapSetLocals(body []Stmt, remap []int) {
+	walkStmts(body, func(s Stmt) {
+		if sl, ok := s.(*SetLocal); ok {
+			sl.Local = remap[sl.Local]
+		}
+	})
+}
+
+// ---- licm: loop-invariant code motion ----
+
+// LICM hoists loop-invariant, non-trapping pure computations out of loops
+// into locals initialized before the loop.
+func LICM(p *Program) {
+	for _, f := range p.Funcs {
+		f.Body = licmBody(f, f.Body)
+	}
+}
+
+func licmBody(f *Func, body []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Loop:
+			st.Body = licmBody(f, st.Body)
+			st.Post = licmBody(f, st.Post)
+			hoisted := hoistInvariants(f, st)
+			out = append(out, hoisted...)
+			out = append(out, st)
+			continue
+		case *If:
+			st.Then = licmBody(f, st.Then)
+			st.Else = licmBody(f, st.Else)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = licmBody(f, st.Cases[i].Body)
+			}
+			st.Default = licmBody(f, st.Default)
+		case *VecSection:
+			st.Body = licmBody(f, st.Body)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func hoistInvariants(f *Func, loop *Loop) []Stmt {
+	assigned := map[int]bool{}
+	hasCalls := false
+	hasStores := false
+	scan := append(append([]Stmt{}, loop.Body...), loop.Post...)
+	walkStmts(scan, func(s Stmt) {
+		switch st := s.(type) {
+		case *SetLocal:
+			assigned[st.Local] = true
+		case *SetGlobal:
+			hasCalls = true // global writes: treat like calls for safety
+		case *Store:
+			hasStores = true
+		}
+	})
+	walkExprs(scan, func(e Expr) {
+		switch e.(type) {
+		case *Call, *CallHost:
+			hasCalls = true
+		}
+	})
+	_ = hasStores
+
+	invariant := func(e Expr) bool {
+		ok := true
+		walkSubExprs(e, func(x Expr) {
+			switch v := x.(type) {
+			case *GetLocal:
+				if assigned[v.Local] {
+					ok = false
+				}
+			case *GetGlobal:
+				if hasCalls {
+					ok = false
+				}
+			case *Load, *Call, *CallHost, *Seq, *FrameAddr:
+				ok = false
+			case *Bin:
+				if v.Op == OpDiv || v.Op == OpRem {
+					ok = false // may trap: cannot speculate
+				}
+			}
+		})
+		return ok
+	}
+
+	var hoistStmts []Stmt
+	hoistExpr := func(e Expr) Expr {
+		switch e.(type) {
+		case *Const, *GetLocal, *GetGlobal:
+			return e
+		}
+		if countOps(e) >= 2 && invariant(e) {
+			t := e.ResultType()
+			if t == Void {
+				return e
+			}
+			tmp := f.NewLocal(t)
+			hoistStmts = append(hoistStmts, &SetLocal{Local: tmp, X: e})
+			return &GetLocal{T: t, Local: tmp}
+		}
+		return e
+	}
+	// Rewrite bottom-up would hoist leaves first; instead hoist maximal
+	// invariant trees: apply top-down via custom traversal.
+	var rewriteExpr func(e Expr) Expr
+	rewriteExpr = func(e Expr) Expr {
+		if h := hoistExpr(e); h != e {
+			return h
+		}
+		switch x := e.(type) {
+		case *Load:
+			x.Addr = rewriteExpr(x.Addr)
+		case *Bin:
+			x.X = rewriteExpr(x.X)
+			x.Y = rewriteExpr(x.Y)
+		case *Un:
+			x.X = rewriteExpr(x.X)
+		case *Conv:
+			x.X = rewriteExpr(x.X)
+		case *Call:
+			for i := range x.Args {
+				x.Args[i] = rewriteExpr(x.Args[i])
+			}
+		case *CallHost:
+			for i := range x.Args {
+				x.Args[i] = rewriteExpr(x.Args[i])
+			}
+		case *Ternary:
+			x.C = rewriteExpr(x.C)
+			x.X = rewriteExpr(x.X)
+			x.Y = rewriteExpr(x.Y)
+		}
+		return e
+	}
+	rewriteIn := func(body []Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *SetLocal:
+				st.X = rewriteExpr(st.X)
+			case *SetGlobal:
+				st.X = rewriteExpr(st.X)
+			case *Store:
+				st.Addr = rewriteExpr(st.Addr)
+				st.X = rewriteExpr(st.X)
+			case *EvalStmt:
+				st.X = rewriteExpr(st.X)
+			case *If:
+				st.Cond = rewriteExpr(st.Cond)
+			case *Return:
+				if st.X != nil {
+					st.X = rewriteExpr(st.X)
+				}
+			}
+		}
+	}
+	rewriteIn(loop.Body)
+	rewriteIn(loop.Post)
+	if loop.Cond != nil {
+		loop.Cond = rewriteExpr(loop.Cond)
+	}
+	return hoistStmts
+}
+
+// ---- rematconst: constant rematerialization (the -O2 behavior behind the
+// paper's Fig. 8 covariance case) ----
+
+// RematConst propagates locals that are assigned exactly once with a
+// constant into their uses, deleting the local assignment. On a register
+// machine constants fold into instruction immediates (free); on the Wasm
+// stack machine each use rematerializes the constant — and the Wasm backend
+// encodes integral f64 constants as i32.const + f64.convert_i32_s for size,
+// exactly the two-instruction sequence the paper observed.
+func RematConst(p *Program) {
+	for _, f := range p.Funcs {
+		writes := make([]int, len(f.Locals))
+		constVal := make([]*Const, len(f.Locals))
+		walkStmts(f.Body, func(s Stmt) {
+			if sl, ok := s.(*SetLocal); ok {
+				writes[sl.Local]++
+				if c, isC := sl.X.(*Const); isC && writes[sl.Local] == 1 {
+					constVal[sl.Local] = c
+				} else {
+					constVal[sl.Local] = nil
+				}
+			}
+		})
+		mapStmtsExprs(f.Body, func(e Expr) Expr {
+			if gl, ok := e.(*GetLocal); ok && gl.Local < len(writes) &&
+				writes[gl.Local] == 1 && constVal[gl.Local] != nil {
+				c := *constVal[gl.Local]
+				return &c
+			}
+			return e
+		})
+	}
+	DCE(p)
+}
+
+// ---- consthoist: the -Oz counterpart (paper Fig. 8, -O1/-Oz behavior) ----
+
+// ConstHoist moves repeated non-trivial constants (floats, i64, and large
+// i32 values) into function-entry locals so each use is a single local read
+// — smaller code and, on a stack interpreter, faster.
+func ConstHoist(p *Program) {
+	for _, f := range p.Funcs {
+		type key struct {
+			t   Type
+			raw int64
+		}
+		count := map[key]int{}
+		walkExprs(f.Body, func(e Expr) {
+			if c, ok := e.(*Const); ok && hoistableConst(c) {
+				count[key{c.T, c.Raw}]++
+			}
+		})
+		hoisted := map[key]int{}
+		var entry []Stmt
+		mapStmtsExprs(f.Body, func(e Expr) Expr {
+			c, ok := e.(*Const)
+			if !ok || !hoistableConst(c) {
+				return e
+			}
+			k := key{c.T, c.Raw}
+			if count[k] < 2 {
+				return e
+			}
+			idx, seen := hoisted[k]
+			if !seen {
+				idx = f.NewLocal(c.T)
+				hoisted[k] = idx
+				entry = append(entry, &SetLocal{Local: idx, X: &Const{T: c.T, Raw: c.Raw}})
+			}
+			return &GetLocal{T: c.T, Local: idx}
+		})
+		if len(entry) > 0 {
+			f.Body = append(entry, f.Body...)
+		}
+	}
+}
+
+func hoistableConst(c *Const) bool {
+	switch c.T {
+	case F32, F64, I64:
+		return true
+	case I32:
+		v := int32(c.Raw)
+		return v > 4095 || v < -4096 // large immediates only
+	}
+	return false
+}
+
+// ---- vectorize: the -vectorize-loops model (§2.1.2) ----
+
+// Vectorize unrolls eligible innermost counted loops by 4 and routes each
+// lane's stored values through lane-carrier locals — the scalarization
+// residue of LLVM's vector IR on a target without SIMD. The x86 backend
+// recognizes the lane carriers (Func.VecLocals) and executes them at SIMD
+// cost; the Wasm and JS backends pay for them at full price. This is the
+// heart of the paper's finding that -O2 produces the *slowest* Wasm.
+func Vectorize(p *Program) {
+	for _, f := range p.Funcs {
+		f.Body = vectorizeBody(f, f.Body)
+	}
+}
+
+const vecWidth = 2
+
+func vectorizeBody(f *Func, body []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Loop:
+			st.Body = vectorizeBody(f, st.Body)
+			st.Post = vectorizeBody(f, st.Post)
+			if v := tryVectorize(f, st); v != nil {
+				out = append(out, v...)
+				continue
+			}
+		case *If:
+			st.Then = vectorizeBody(f, st.Then)
+			st.Else = vectorizeBody(f, st.Else)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = vectorizeBody(f, st.Cases[i].Body)
+			}
+			st.Default = vectorizeBody(f, st.Default)
+		case *VecSection:
+			// already vectorized
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// tryVectorize returns the replacement (main unrolled loop + epilogue) or
+// nil if the loop is not eligible.
+func tryVectorize(f *Func, loop *Loop) []Stmt {
+	if loop.PostTest || loop.Unrolled || loop.Cond == nil {
+		return nil
+	}
+	// Shape: cond = (i < bound), post = [i = i + step], step positive const.
+	cond, ok := loop.Cond.(*Bin)
+	if !ok || cond.Op != OpLt || cond.T != I32 {
+		return nil
+	}
+	iv, ok := cond.X.(*GetLocal)
+	if !ok {
+		return nil
+	}
+	if !invariantBound(cond.Y, iv.Local) {
+		return nil
+	}
+	if len(loop.Post) != 1 {
+		return nil
+	}
+	post, ok := loop.Post[0].(*SetLocal)
+	if !ok || post.Local != iv.Local {
+		return nil
+	}
+	inc, ok := post.X.(*Bin)
+	if !ok || inc.Op != OpAdd || inc.T != I32 {
+		return nil
+	}
+	incBase, ok := inc.X.(*GetLocal)
+	if !ok || incBase.Local != iv.Local {
+		return nil
+	}
+	step, ok := inc.Y.(*Const)
+	if !ok || int32(step.Raw) <= 0 {
+		return nil
+	}
+	// Body restrictions: no control transfers out, no inner loops, and the
+	// induction variable written only by the post statement.
+	eligible := true
+	walkStmts(loop.Body, func(s Stmt) {
+		switch st := s.(type) {
+		case *Break, *Continue, *Return, *Loop, *Switch:
+			eligible = false
+		case *SetLocal:
+			if st.Local == iv.Local {
+				eligible = false
+			}
+		}
+	})
+	if !eligible || countStmts(loop.Body) > 40 || countStmts(loop.Body) == 0 {
+		return nil
+	}
+
+	stepV := int32(step.Raw)
+	// Main loop condition: i + (W-1)*step < bound - all W iterations valid.
+	guard := &Bin{Op: OpLt, T: I32, Unsigned: cond.Unsigned,
+		X: &Bin{Op: OpAdd, T: I32,
+			X: &GetLocal{T: I32, Local: iv.Local},
+			Y: ConstI32(stepV * (vecWidth - 1))},
+		Y: cloneExpr(cond.Y),
+	}
+	var unrolled []Stmt
+	for lane := 0; lane < vecWidth; lane++ {
+		laneBody := cloneStmts(loop.Body)
+		addLaneCarriers(f, laneBody)
+		if lane > 0 {
+			// Shadow lanes: the same vector instructions' other lanes. SIMD
+			// targets execute them nearly for free; stack machines pay in
+			// full (there is no SIMD in the Wasm MVP the study targets).
+			laneBody = []Stmt{&VecSection{Body: laneBody}}
+		}
+		unrolled = append(unrolled, laneBody...)
+		unrolled = append(unrolled, &SetLocal{Local: iv.Local, X: &Bin{
+			Op: OpAdd, T: I32,
+			X: &GetLocal{T: I32, Local: iv.Local},
+			Y: ConstI32(stepV),
+		}})
+	}
+	main := &Loop{Cond: guard, Body: unrolled, Unrolled: true}
+	epilogue := &Loop{Cond: loop.Cond, Body: loop.Body, Post: loop.Post, Unrolled: true}
+	return []Stmt{main, epilogue}
+}
+
+func invariantBound(e Expr, iv int) bool {
+	ok := true
+	walkSubExprs(e, func(x Expr) {
+		switch v := x.(type) {
+		case *GetLocal:
+			if v.Local == iv {
+				ok = false
+			}
+		case *Const:
+		case *Bin, *Un, *Conv:
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// addLaneCarriers routes each stored value — and each memory load — through
+// a fresh lane-carrier local: the insert/extract residue left when LLVM's
+// vector IR is scalarized for a target without SIMD. The x86 backend
+// executes carrier traffic at SIMD cost; the stack machines pay full price.
+// The carriers are recorded in Func.VecLocals.
+func addLaneCarriers(f *Func, body []Stmt) {
+	carry := func(t Type, x Expr) Expr {
+		carrier := f.NewLocal(t)
+		markVecLocal(f, carrier)
+		return &Seq{
+			Stmts: []Stmt{&SetLocal{Local: carrier, X: x}},
+			X:     &GetLocal{T: t, Local: carrier},
+		}
+	}
+	// The vector data path: every lane of a vector load and of each
+	// floating-point vector operation materializes through a lane temp.
+	carryLoads := func(e Expr) Expr {
+		return mapExpr(e, func(x Expr) Expr {
+			switch v := x.(type) {
+			case *Load:
+				return carry(v.Mem.ValueType(), &Load{Mem: v.Mem, Addr: v.Addr})
+			case *Bin:
+				if v.T.IsFloat() && !v.Op.IsCompare() {
+					return carry(v.T, &Bin{Op: v.Op, T: v.T, Unsigned: v.Unsigned, X: v.X, Y: v.Y})
+				}
+			}
+			return x
+		})
+	}
+	for i, s := range body {
+		switch st := s.(type) {
+		case *Store:
+			t := st.X.ResultType()
+			if t == Void {
+				continue
+			}
+			carrier := f.NewLocal(t)
+			markVecLocal(f, carrier)
+			body[i] = &Store{Mem: st.Mem, Addr: st.Addr, X: &Seq{
+				Stmts: []Stmt{&SetLocal{Local: carrier, X: carryLoads(st.X)}},
+				X:     &GetLocal{T: t, Local: carrier},
+			}}
+		case *SetLocal:
+			t := st.X.ResultType()
+			if t == Void {
+				continue
+			}
+			carrier := f.NewLocal(t)
+			markVecLocal(f, carrier)
+			body[i] = &SetLocal{Local: st.Local, X: &Seq{
+				Stmts: []Stmt{&SetLocal{Local: carrier, X: carryLoads(st.X)}},
+				X:     &GetLocal{T: t, Local: carrier},
+			}}
+		case *If:
+			addLaneCarriers(f, st.Then)
+			addLaneCarriers(f, st.Else)
+		}
+	}
+}
+
+func markVecLocal(f *Func, idx int) {
+	if f.VecLocals == nil {
+		f.VecLocals = map[int]bool{}
+	}
+	f.VecLocals[idx] = true
+}
+
+// ---- fastmath: the -Ofast pass (§2.1.2) ----
+
+// FastMath applies value-unsafe floating-point rewrites: division by a
+// constant becomes multiplication by its reciprocal, and functions are
+// marked FastMath (backends may relax FP semantics, e.g. -fno-signed-zeros).
+func FastMath(p *Program) {
+	for _, f := range p.Funcs {
+		f.FastMath = true
+		mapStmtsExprs(f.Body, func(e Expr) Expr {
+			b, ok := e.(*Bin)
+			if !ok || b.Op != OpDiv || !b.T.IsFloat() {
+				return e
+			}
+			c, ok := b.Y.(*Const)
+			if !ok {
+				return e
+			}
+			if b.T == F64 {
+				v := math.Float64frombits(uint64(c.Raw))
+				if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return e
+				}
+				return &Bin{Op: OpMul, T: F64, X: b.X, Y: ConstF64(1 / v)}
+			}
+			v := math.Float32frombits(uint32(c.Raw))
+			if v == 0 {
+				return e
+			}
+			return &Bin{Op: OpMul, T: F32, X: b.X, Y: ConstF32(1 / v)}
+		})
+	}
+}
+
+// ---- libcalls-shrinkwrap (§2.1.2): guard unused pure libcalls ----
+
+// ShrinkwrapLibcalls wraps pure host math calls whose results are unused in
+// a condition on the (always-false) math-errno flag: the call is skipped at
+// runtime but kept in the binary, costing code size. -Os/-Oz remove this
+// pass, as the paper describes.
+func ShrinkwrapLibcalls(p *Program) {
+	pureMath := map[string]bool{
+		"sin": true, "cos": true, "exp": true, "log": true, "pow": true, "fmod": true,
+	}
+	flagIdx := -1
+	ensureFlag := func() int {
+		if flagIdx < 0 {
+			flagIdx = len(p.Globals)
+			p.Globals = append(p.Globals, &Global{Name: "__math_errno", Type: I32, Mutable: true})
+		}
+		return flagIdx
+	}
+	for _, f := range p.Funcs {
+		f.Body = shrinkwrapBody(p, f.Body, pureMath, ensureFlag)
+	}
+}
+
+func shrinkwrapBody(p *Program, body []Stmt, pureMath map[string]bool, ensureFlag func() int) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		switch st := s.(type) {
+		case *EvalStmt:
+			if ch, ok := st.X.(*CallHost); ok && pureMath[ch.Name] && allPure(ch.Args) {
+				g := ensureFlag()
+				out = append(out, &If{
+					Cond: &GetGlobal{T: I32, Global: g},
+					Then: []Stmt{st},
+				})
+				continue
+			}
+		case *If:
+			st.Then = shrinkwrapBody(p, st.Then, pureMath, ensureFlag)
+			st.Else = shrinkwrapBody(p, st.Else, pureMath, ensureFlag)
+		case *Loop:
+			st.Body = shrinkwrapBody(p, st.Body, pureMath, ensureFlag)
+			st.Post = shrinkwrapBody(p, st.Post, pureMath, ensureFlag)
+		case *Switch:
+			for i := range st.Cases {
+				st.Cases[i].Body = shrinkwrapBody(p, st.Cases[i].Body, pureMath, ensureFlag)
+			}
+			st.Default = shrinkwrapBody(p, st.Default, pureMath, ensureFlag)
+		case *VecSection:
+			st.Body = shrinkwrapBody(p, st.Body, pureMath, ensureFlag)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- argpromotion (§2.1.2, -O3): pass pointed-to values by value ----
+
+// ArgPromote rewrites internal functions whose pointer parameter is only
+// ever loaded (one access width, never stored through, callee performs no
+// stores or calls) to take the value directly; call sites load once.
+func ArgPromote(p *Program) {
+	callers := map[int][]*Call{}
+	for _, f := range p.Funcs {
+		walkExprs(f.Body, func(e Expr) {
+			if c, ok := e.(*Call); ok {
+				callers[c.Func] = append(callers[c.Func], c)
+			}
+		})
+	}
+	for fi, f := range p.Funcs {
+		if f.Exported || fi == p.MainFunc {
+			continue
+		}
+		// Callee must be side-effect-free w.r.t. memory.
+		clean := true
+		walkStmts(f.Body, func(s Stmt) {
+			if _, ok := s.(*Store); ok {
+				clean = false
+			}
+		})
+		walkExprs(f.Body, func(e Expr) {
+			switch e.(type) {
+			case *Call, *CallHost:
+				clean = false
+			}
+		})
+		if !clean {
+			continue
+		}
+		for pi, pt := range f.Params {
+			if pt != I32 {
+				continue
+			}
+			mt, ok := promotableParam(f, pi)
+			if !ok {
+				continue
+			}
+			// Rewrite callee: loads of the param become direct reads.
+			newT := mt.ValueType()
+			f.Params[pi] = newT
+			f.Locals[pi] = newT
+			mapStmtsExprs(f.Body, func(e Expr) Expr {
+				if ld, isLoad := e.(*Load); isLoad {
+					if gl, isGl := ld.Addr.(*GetLocal); isGl && gl.Local == pi {
+						return &GetLocal{T: newT, Local: pi}
+					}
+				}
+				return e
+			})
+			// Rewrite call sites: load at the caller.
+			for _, c := range callers[fi] {
+				c.Args[pi] = &Load{Mem: mt, Addr: c.Args[pi]}
+			}
+		}
+	}
+}
+
+// promotableParam checks that local pi is used only as Load{mt, GetLocal pi}
+// with a single consistent MemType.
+func promotableParam(f *Func, pi int) (MemType, bool) {
+	var mt MemType
+	found := false
+	ok := true
+	walkExprs(f.Body, func(e Expr) {
+		switch x := e.(type) {
+		case *GetLocal:
+			if x.Local == pi {
+				// Every occurrence must be wrapped by a Load; detected via
+				// the Load case marking below. GetLocal seen here could be a
+				// bare use: track and verify counts.
+			}
+		case *Load:
+			if gl, isGl := x.Addr.(*GetLocal); isGl && gl.Local == pi {
+				if found && x.Mem != mt {
+					ok = false
+				}
+				mt = x.Mem
+				found = true
+			}
+		}
+	})
+	if !found || !ok {
+		return 0, false
+	}
+	// Count bare uses vs load uses: they must match exactly.
+	bare, loads := 0, 0
+	walkExprs(f.Body, func(e Expr) {
+		if gl, isGl := e.(*GetLocal); isGl && gl.Local == pi {
+			bare++
+		}
+		if ld, isLd := e.(*Load); isLd {
+			if gl, isGl := ld.Addr.(*GetLocal); isGl && gl.Local == pi {
+				loads++
+			}
+		}
+	})
+	// Written params disqualify.
+	written := false
+	walkStmts(f.Body, func(s Stmt) {
+		if sl, isSl := s.(*SetLocal); isSl && sl.Local == pi {
+			written = true
+		}
+	})
+	if written || bare != loads {
+		return 0, false
+	}
+	return mt, true
+}

@@ -1,0 +1,181 @@
+package ir
+
+import "fmt"
+
+// OptLevel is a compiler optimization level (§2.1.2, Fig. 1).
+type OptLevel int
+
+// Optimization levels.
+const (
+	O0 OptLevel = iota
+	O1
+	O2
+	O3
+	O4
+	Os
+	Oz
+	Ofast
+)
+
+// ParseOptLevel parses a -O flag value ("0", "1", "2", "3", "4", "s", "z",
+// "fast").
+func ParseOptLevel(s string) (OptLevel, error) {
+	switch s {
+	case "0", "O0", "-O0":
+		return O0, nil
+	case "1", "O1", "-O1":
+		return O1, nil
+	case "2", "O2", "-O2":
+		return O2, nil
+	case "3", "O3", "-O3":
+		return O3, nil
+	case "4", "O4", "-O4":
+		return O4, nil
+	case "s", "Os", "-Os":
+		return Os, nil
+	case "z", "Oz", "-Oz":
+		return Oz, nil
+	case "fast", "Ofast", "-Ofast":
+		return Ofast, nil
+	}
+	return O0, fmt.Errorf("ir: unknown optimization level %q", s)
+}
+
+func (l OptLevel) String() string {
+	switch l {
+	case O0:
+		return "-O0"
+	case O1:
+		return "-O1"
+	case O2:
+		return "-O2"
+	case O3:
+		return "-O3"
+	case O4:
+		return "-O4"
+	case Os:
+		return "-Os"
+	case Oz:
+		return "-Oz"
+	case Ofast:
+		return "-Ofast"
+	}
+	return "-O?"
+}
+
+// PassList returns the pass names the level runs, in order (for reporting
+// and tests).
+func (l OptLevel) PassList() []string {
+	switch l {
+	case O0:
+		return nil
+	case O1:
+		return []string{"constfold", "licm", "constfold", "dce", "globalopt"}
+	case O2:
+		return []string{"constfold", "rematconst", "inline", "licm",
+			"vectorize-loops", "libcalls-shrinkwrap", "constfold", "dce", "globalopt"}
+	case O3:
+		return []string{"constfold", "rematconst", "inline", "argpromotion",
+			"licm", "vectorize-loops", "libcalls-shrinkwrap", "constfold", "dce", "globalopt"}
+	case O4:
+		return []string{"constfold", "rematconst", "inline", "inline",
+			"argpromotion", "licm", "vectorize-loops", "libcalls-shrinkwrap",
+			"constfold", "dce", "globalopt"}
+	case Os:
+		return []string{"constfold", "rematconst", "inline", "licm",
+			"constfold", "dce", "globalopt"}
+	case Oz:
+		return []string{"constfold", "licm", "consthoist", "constfold", "dce", "globalopt"}
+	case Ofast:
+		return []string{"constfold", "rematconst", "inline", "argpromotion",
+			"licm", "vectorize-loops", "fastmath", "libcalls-shrinkwrap",
+			"constfold", "dce", "globalopt(no-deadstore-sweep)"}
+	}
+	return nil
+}
+
+// inlineBudget is the per-level inlining body-size budget.
+func (l OptLevel) inlineBudget() int {
+	switch l {
+	case O2, Os:
+		return 40
+	case O3, Ofast:
+		return 80
+	case O4:
+		return 120
+	}
+	return 0
+}
+
+// Optimize runs the pass pipeline for the level, in place.
+//
+// The -Ofast pipeline intentionally skips the dead-global-store sweep:
+// the paper's Fig. 7 traces ADPCM's slowdown at -Ofast to exactly this
+// class of pass-ordering regression (cf. LLVM PR37449), where fast-math
+// function attributes suppress a late cleanup that -O2 still performs.
+func Optimize(p *Program, level OptLevel) {
+	switch level {
+	case O0:
+		return
+	case O1:
+		ConstFold(p)
+		LICM(p)
+		ConstFold(p)
+		DCE(p)
+		GlobalOpt(p, false)
+	case O2, Os:
+		ConstFold(p)
+		RematConst(p)
+		ConstFold(p)
+		Inline(p, level.inlineBudget())
+		LICM(p)
+		if level == O2 {
+			Vectorize(p)
+			ShrinkwrapLibcalls(p)
+		}
+		ConstFold(p)
+		DCE(p)
+		GlobalOpt(p, false)
+		ConstFold(p)
+		DCE(p)
+	case O3, O4:
+		ConstFold(p)
+		RematConst(p)
+		ConstFold(p)
+		Inline(p, level.inlineBudget())
+		if level == O4 {
+			Inline(p, level.inlineBudget())
+		}
+		ArgPromote(p)
+		LICM(p)
+		Vectorize(p)
+		ShrinkwrapLibcalls(p)
+		ConstFold(p)
+		DCE(p)
+		GlobalOpt(p, false)
+		ConstFold(p)
+		DCE(p)
+	case Oz:
+		ConstFold(p)
+		LICM(p)
+		ConstHoist(p)
+		ConstFold(p)
+		DCE(p)
+		GlobalOpt(p, false)
+	case Ofast:
+		ConstFold(p)
+		RematConst(p)
+		ConstFold(p)
+		Inline(p, level.inlineBudget())
+		ArgPromote(p)
+		LICM(p)
+		Vectorize(p)
+		FastMath(p)
+		ShrinkwrapLibcalls(p)
+		ConstFold(p)
+		DCE(p)
+		GlobalOpt(p, true) // the modeled pass-ordering bug
+		ConstFold(p)
+		DCE(p)
+	}
+}

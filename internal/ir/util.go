@@ -1,0 +1,12 @@
+package ir
+
+import "math"
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// ConstF32 builds an f32 constant.
+func ConstF32(f float32) *Const { return &Const{T: F32, Raw: int64(math.Float32bits(f))} }
+
+// ConstF64 builds an f64 constant.
+func ConstF64(f float64) *Const { return &Const{T: F64, Raw: int64(math.Float64bits(f))} }

@@ -1,0 +1,760 @@
+package jsvm
+
+import (
+	"fmt"
+	"math"
+)
+
+func (c *jsCompiler) exprList(list []jsExpr) ([]exprFn, error) {
+	out := make([]exprFn, len(list))
+	for i, e := range list {
+		f, err := c.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func (c *jsCompiler) expr(e jsExpr) (exprFn, error) {
+	c.node()
+	switch x := e.(type) {
+	case *eNum:
+		v := Num(x.v)
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			return v, nil
+		}, nil
+	case *eStr:
+		v := Str(x.v)
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			return v, nil
+		}, nil
+	case *eBool:
+		v := Bool(x.v)
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			return v, nil
+		}, nil
+	case *eNull:
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			return Null, nil
+		}, nil
+	case *eUndefined:
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			return Undefined, nil
+		}, nil
+	case *eThis:
+		slot := c.scope.cf.thisSlot
+		if slot < 0 {
+			return func(vm *VM, e *env) (Value, error) { return Undefined, nil }, nil
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JVarRead); err != nil {
+				return Undefined, err
+			}
+			return e.slots[slot], nil
+		}, nil
+	case *eIdent:
+		d, slot := c.scope.resolve(x.name)
+		if d == 0 {
+			return func(vm *VM, e *env) (Value, error) {
+				if err := vm.step(e, JVarRead); err != nil {
+					return Undefined, err
+				}
+				return e.slots[slot], nil
+			}, nil
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JVarRead); err != nil {
+				return Undefined, err
+			}
+			return envAt(e, d).slots[slot], nil
+		}, nil
+	case *eArray:
+		elems, err := c.exprList(x.elems)
+		if err != nil {
+			return nil, err
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JAlloc); err != nil {
+				return Undefined, err
+			}
+			vals := make([]Value, len(elems))
+			for i, ef := range elems {
+				v, err := ef(vm, e)
+				if err != nil {
+					return Undefined, err
+				}
+				vals[i] = v
+			}
+			return ObjVal(vm.NewArray(vals)), nil
+		}, nil
+	case *eObject:
+		vals, err := c.exprList(x.vals)
+		if err != nil {
+			return nil, err
+		}
+		keys := x.keys
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JAlloc); err != nil {
+				return Undefined, err
+			}
+			o := vm.NewPlainObject()
+			for i, vf := range vals {
+				v, err := vf(vm, e)
+				if err != nil {
+					return Undefined, err
+				}
+				o.Props[keys[i]] = v
+			}
+			return ObjVal(o), nil
+		}, nil
+	case *eFunc:
+		cf, err := c.function(x.name, x.params, x.body)
+		if err != nil {
+			return nil, err
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JAlloc); err != nil {
+				return Undefined, err
+			}
+			obj := vm.alloc(&Object{Kind: ObjFunction, Fn: &FuncObj{Name: cf.name, Code: cf, Env: e}})
+			return ObjVal(obj), nil
+		}, nil
+	case *eUnary:
+		return c.unary(x)
+	case *eBinary:
+		return c.binary(x)
+	case *eLogical:
+		l, err := c.expr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(x.y)
+		if err != nil {
+			return nil, err
+		}
+		and := x.op == "&&"
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JBranch); err != nil {
+				return Undefined, err
+			}
+			lv, err := l(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			if and {
+				if !lv.IsTruthy() {
+					return lv, nil
+				}
+				return r(vm, e)
+			}
+			if lv.IsTruthy() {
+				return lv, nil
+			}
+			return r(vm, e)
+		}, nil
+	case *eAssign:
+		return c.assign(x)
+	case *eCond:
+		cc, err := c.expr(x.c)
+		if err != nil {
+			return nil, err
+		}
+		tt, err := c.expr(x.t)
+		if err != nil {
+			return nil, err
+		}
+		ff, err := c.expr(x.f)
+		if err != nil {
+			return nil, err
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JBranch); err != nil {
+				return Undefined, err
+			}
+			cv, err := cc(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			if cv.IsTruthy() {
+				return tt(vm, e)
+			}
+			return ff(vm, e)
+		}, nil
+	case *eCall:
+		return c.call(x)
+	case *eNew:
+		return c.newExpr(x)
+	case *eMember:
+		return c.member(x)
+	case *eSeq:
+		l, err := c.expr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(x.y)
+		if err != nil {
+			return nil, err
+		}
+		return func(vm *VM, e *env) (Value, error) {
+			if _, err := l(vm, e); err != nil {
+				return Undefined, err
+			}
+			return r(vm, e)
+		}, nil
+	}
+	return nil, fmt.Errorf("jsvm: unhandled expression %T", e)
+}
+
+func (c *jsCompiler) unary(x *eUnary) (exprFn, error) {
+	if x.op == "++" || x.op == "--" {
+		return c.incDec(x)
+	}
+	xf, err := c.expr(x.x)
+	if err != nil {
+		return nil, err
+	}
+	op := x.op
+	return func(vm *VM, e *env) (Value, error) {
+		v, err := xf(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		switch op {
+		case "-":
+			if err := vm.step(e, JArith); err != nil {
+				return Undefined, err
+			}
+			return Num(-v.ToNumber()), nil
+		case "+":
+			if err := vm.step(e, JArith); err != nil {
+				return Undefined, err
+			}
+			return Num(v.ToNumber()), nil
+		case "!":
+			if err := vm.step(e, JCmp); err != nil {
+				return Undefined, err
+			}
+			return Bool(!v.IsTruthy()), nil
+		case "~":
+			if err := vm.step(e, JBitop); err != nil {
+				return Undefined, err
+			}
+			return Num(float64(^v.ToInt32())), nil
+		case "typeof":
+			if err := vm.step(e, JCmp); err != nil {
+				return Undefined, err
+			}
+			return Str(typeOf(v)), nil
+		}
+		return Undefined, fmt.Errorf("jsvm: unhandled unary %s", op)
+	}, nil
+}
+
+func typeOf(v Value) string {
+	switch v.Kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		if v.Obj.Kind == ObjFunction {
+			return "function"
+		}
+		return "object"
+	}
+}
+
+// incDec compiles ++/-- via read-modify-write of a reference.
+func (c *jsCompiler) incDec(x *eUnary) (exprFn, error) {
+	read, write, err := c.reference(x.x)
+	if err != nil {
+		return nil, err
+	}
+	delta := 1.0
+	if x.op == "--" {
+		delta = -1
+	}
+	postfix := x.postfix
+	return func(vm *VM, e *env) (Value, error) {
+		if err := vm.step(e, JArith); err != nil {
+			return Undefined, err
+		}
+		old, err := read(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		n := old.ToNumber()
+		if err := write(vm, e, Num(n+delta)); err != nil {
+			return Undefined, err
+		}
+		if postfix {
+			return Num(n), nil
+		}
+		return Num(n + delta), nil
+	}, nil
+}
+
+// reference compiles an assignable expression into read and write closures.
+func (c *jsCompiler) reference(e jsExpr) (exprFn, refFn, error) {
+	switch x := e.(type) {
+	case *eIdent:
+		d, slot := c.scope.resolve(x.name)
+		read := func(vm *VM, e *env) (Value, error) {
+			if err := vm.step(e, JVarRead); err != nil {
+				return Undefined, err
+			}
+			return envAt(e, d).slots[slot], nil
+		}
+		write := func(vm *VM, e *env, v Value) error {
+			if err := vm.step(e, JVarWrite); err != nil {
+				return err
+			}
+			envAt(e, d).slots[slot] = v
+			return nil
+		}
+		return read, write, nil
+	case *eMember:
+		objF, err := c.expr(x.obj)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.computed == nil {
+			name := x.name
+			read := func(vm *VM, e *env) (Value, error) {
+				ov, err := objF(vm, e)
+				if err != nil {
+					return Undefined, err
+				}
+				return vm.getMember(e, ov, name)
+			}
+			write := func(vm *VM, e *env, v Value) error {
+				ov, err := objF(vm, e)
+				if err != nil {
+					return err
+				}
+				return vm.setMember(e, ov, name, v)
+			}
+			return read, write, nil
+		}
+		idxF, err := c.expr(x.computed)
+		if err != nil {
+			return nil, nil, err
+		}
+		read := func(vm *VM, e *env) (Value, error) {
+			ov, err := objF(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			iv, err := idxF(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			return vm.getElement(e, ov, iv)
+		}
+		write := func(vm *VM, e *env, v Value) error {
+			ov, err := objF(vm, e)
+			if err != nil {
+				return err
+			}
+			iv, err := idxF(vm, e)
+			if err != nil {
+				return err
+			}
+			return vm.setElement(e, ov, iv, v)
+		}
+		return read, write, nil
+	}
+	return nil, nil, fmt.Errorf("jsvm: invalid assignment target %T", e)
+}
+
+func (c *jsCompiler) assign(x *eAssign) (exprFn, error) {
+	read, write, err := c.reference(x.lhs)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := c.expr(x.rhs)
+	if err != nil {
+		return nil, err
+	}
+	if x.op == "=" {
+		return func(vm *VM, e *env) (Value, error) {
+			v, err := rhs(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			if err := write(vm, e, v); err != nil {
+				return Undefined, err
+			}
+			return v, nil
+		}, nil
+	}
+	op := x.op[:len(x.op)-1] // strip '='
+	return func(vm *VM, e *env) (Value, error) {
+		old, err := read(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		rv, err := rhs(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		nv, err := vm.binOp(e, op, old, rv)
+		if err != nil {
+			return Undefined, err
+		}
+		if err := write(vm, e, nv); err != nil {
+			return Undefined, err
+		}
+		return nv, nil
+	}, nil
+}
+
+func (c *jsCompiler) binary(x *eBinary) (exprFn, error) {
+	// asm.js-style coercion idioms (`expr|0`, `expr>>>0`) are type
+	// annotations, not arithmetic: optimizing engines erase them entirely
+	// and even the interpreter treats them as cheap tag checks.
+	if z, ok := x.y.(*eNum); ok && z.v == 0 && (x.op == "|" || x.op == ">>>") {
+		inner, err := c.expr(x.x)
+		if err != nil {
+			return nil, err
+		}
+		unsigned := x.op == ">>>"
+		return func(vm *VM, e *env) (Value, error) {
+			v, err := inner(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			if err := vm.step(e, JConst); err != nil {
+				return Undefined, err
+			}
+			if unsigned {
+				return Num(float64(toUint32(v.ToNumber()))), nil
+			}
+			return Num(float64(v.ToInt32())), nil
+		}, nil
+	}
+	l, err := c.expr(x.x)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.expr(x.y)
+	if err != nil {
+		return nil, err
+	}
+	op := x.op
+	return func(vm *VM, e *env) (Value, error) {
+		lv, err := l(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		rv, err := r(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		return vm.binOp(e, op, lv, rv)
+	}, nil
+}
+
+// binOp evaluates a binary operator with coercions and cost accounting.
+func (vm *VM) binOp(e *env, op string, a, b Value) (Value, error) {
+	switch op {
+	case "+":
+		if err := vm.step(e, JAdd); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opADD]++
+		if a.Kind == KindString || b.Kind == KindString {
+			if err := vm.step(e, JStrOp); err != nil {
+				return Undefined, err
+			}
+			return Str(a.ToString() + b.ToString()), nil
+		}
+		return Num(a.ToNumber() + b.ToNumber()), nil
+	case "-":
+		if err := vm.step(e, JArith); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opADD]++
+		return Num(a.ToNumber() - b.ToNumber()), nil
+	case "*":
+		if err := vm.step(e, JArith); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opMUL]++
+		return Num(a.ToNumber() * b.ToNumber()), nil
+	case "/":
+		if err := vm.step(e, JArith); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opDIV]++
+		return Num(a.ToNumber() / b.ToNumber()), nil
+	case "%":
+		if err := vm.step(e, JArith); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opREM]++
+		return Num(math.Mod(a.ToNumber(), b.ToNumber())), nil
+	case "&":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opAND]++
+		return Num(float64(a.ToInt32() & b.ToInt32())), nil
+	case "|":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opOR]++
+		return Num(float64(a.ToInt32() | b.ToInt32())), nil
+	case "^":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opOR]++
+		return Num(float64(a.ToInt32() ^ b.ToInt32())), nil
+	case "<<":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opSHIFT]++
+		return Num(float64(a.ToInt32() << (uint32(b.ToInt32()) & 31))), nil
+	case ">>":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opSHIFT]++
+		return Num(float64(a.ToInt32() >> (uint32(b.ToInt32()) & 31))), nil
+	case ">>>":
+		if err := vm.step(e, JBitop); err != nil {
+			return Undefined, err
+		}
+		vm.arith[opSHIFT]++
+		return Num(float64(toUint32(a.ToNumber()) >> (uint32(b.ToInt32()) & 31))), nil
+	case "==":
+		if err := vm.step(e, JCmp); err != nil {
+			return Undefined, err
+		}
+		return Bool(LooseEquals(a, b)), nil
+	case "!=":
+		if err := vm.step(e, JCmp); err != nil {
+			return Undefined, err
+		}
+		return Bool(!LooseEquals(a, b)), nil
+	case "===":
+		if err := vm.step(e, JCmp); err != nil {
+			return Undefined, err
+		}
+		return Bool(StrictEquals(a, b)), nil
+	case "!==":
+		if err := vm.step(e, JCmp); err != nil {
+			return Undefined, err
+		}
+		return Bool(!StrictEquals(a, b)), nil
+	case "<", ">", "<=", ">=":
+		if err := vm.step(e, JCmp); err != nil {
+			return Undefined, err
+		}
+		if a.Kind == KindString && b.Kind == KindString {
+			switch op {
+			case "<":
+				return Bool(a.Str < b.Str), nil
+			case ">":
+				return Bool(a.Str > b.Str), nil
+			case "<=":
+				return Bool(a.Str <= b.Str), nil
+			default:
+				return Bool(a.Str >= b.Str), nil
+			}
+		}
+		an, bn := a.ToNumber(), b.ToNumber()
+		switch op {
+		case "<":
+			return Bool(an < bn), nil
+		case ">":
+			return Bool(an > bn), nil
+		case "<=":
+			return Bool(an <= bn), nil
+		default:
+			return Bool(an >= bn), nil
+		}
+	}
+	return Undefined, fmt.Errorf("jsvm: unhandled operator %q", op)
+}
+
+func (c *jsCompiler) member(x *eMember) (exprFn, error) {
+	objF, err := c.expr(x.obj)
+	if err != nil {
+		return nil, err
+	}
+	if x.computed == nil {
+		name := x.name
+		return func(vm *VM, e *env) (Value, error) {
+			ov, err := objF(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			return vm.getMember(e, ov, name)
+		}, nil
+	}
+	idxF, err := c.expr(x.computed)
+	if err != nil {
+		return nil, err
+	}
+	return func(vm *VM, e *env) (Value, error) {
+		ov, err := objF(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		iv, err := idxF(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		return vm.getElement(e, ov, iv)
+	}, nil
+}
+
+func (c *jsCompiler) call(x *eCall) (exprFn, error) {
+	args, err := c.exprList(x.args)
+	if err != nil {
+		return nil, err
+	}
+	evalArgs := func(vm *VM, e *env) ([]Value, error) {
+		vals := make([]Value, len(args))
+		for i, af := range args {
+			v, err := af(vm, e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return vals, nil
+	}
+	// Method call: callee is a member expression — `this` is the object.
+	if m, ok := x.callee.(*eMember); ok {
+		objF, err := c.expr(m.obj)
+		if err != nil {
+			return nil, err
+		}
+		var idxF exprFn
+		if m.computed != nil {
+			idxF, err = c.expr(m.computed)
+			if err != nil {
+				return nil, err
+			}
+		}
+		name := m.name
+		return func(vm *VM, e *env) (Value, error) {
+			ov, err := objF(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			n := name
+			if idxF != nil {
+				iv, err := idxF(vm, e)
+				if err != nil {
+					return Undefined, err
+				}
+				n = iv.ToString()
+			}
+			argv, err := evalArgs(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			return vm.invokeMethod(e, ov, n, argv)
+		}, nil
+	}
+	calleeF, err := c.expr(x.callee)
+	if err != nil {
+		return nil, err
+	}
+	return func(vm *VM, e *env) (Value, error) {
+		cv, err := calleeF(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		argv, err := evalArgs(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		if cv.Kind != KindObject || cv.Obj.Kind != ObjFunction {
+			return Undefined, &jsThrow{v: Str("TypeError: not a function")}
+		}
+		cls := JCall
+		if cv.Obj.Fn.Native != nil {
+			cls = JCallNative
+		}
+		if err := vm.step(e, cls); err != nil {
+			return Undefined, err
+		}
+		return vm.callFuncObj(cv.Obj, Undefined, argv)
+	}, nil
+}
+
+func (c *jsCompiler) newExpr(x *eNew) (exprFn, error) {
+	calleeF, err := c.expr(x.callee)
+	if err != nil {
+		return nil, err
+	}
+	args, err := c.exprList(x.args)
+	if err != nil {
+		return nil, err
+	}
+	return func(vm *VM, e *env) (Value, error) {
+		cv, err := calleeF(vm, e)
+		if err != nil {
+			return Undefined, err
+		}
+		argv := make([]Value, len(args))
+		for i, af := range args {
+			v, err := af(vm, e)
+			if err != nil {
+				return Undefined, err
+			}
+			argv[i] = v
+		}
+		if cv.Kind != KindObject || cv.Obj.Kind != ObjFunction {
+			return Undefined, &jsThrow{v: Str("TypeError: not a constructor")}
+		}
+		if err := vm.step(e, JAlloc); err != nil {
+			return Undefined, err
+		}
+		fn := cv.Obj.Fn
+		if fn.Native != nil {
+			// Native constructors (typed arrays, ArrayBuffer) return the
+			// instance directly.
+			return fn.Native(vm, Undefined, argv)
+		}
+		this := vm.NewPlainObject()
+		ret, err := vm.callFuncObj(cv.Obj, ObjVal(this), argv)
+		if err != nil {
+			return Undefined, err
+		}
+		if ret.Kind == KindObject {
+			return ret, nil
+		}
+		return ObjVal(this), nil
+	}, nil
+}

@@ -1,0 +1,100 @@
+package jsvm
+
+// The mark-sweep collector. Collections run at statement-boundary
+// safepoints (maybeGC); in-flight expression temporaries are protected by
+// the vm.temps shadow stack, which every allocation joins until its
+// enclosing statement completes.
+//
+// Collection updates the live JS-heap accounting that backs the study's
+// memory metric: JavaScript memory stays flat because dead objects are
+// reclaimed, while Wasm linear memory only ever grows (§4.3).
+
+func (vm *VM) gc() {
+	vm.gcCount++
+	vm.epoch++
+
+	// Mark roots: the global scope, all active activation records, closure
+	// environments (reached through function objects), and in-flight
+	// temporaries.
+	if vm.global != nil {
+		vm.markEnv(vm.global)
+	}
+	for _, e := range vm.envStack {
+		vm.markEnv(e)
+	}
+	for _, o := range vm.temps {
+		vm.markObject(o)
+	}
+	for _, o := range vm.hostFuncs {
+		vm.markObject(o)
+	}
+	for _, hb := range vm.pendingGlobals {
+		vm.markValue(hb.v)
+	}
+
+	// Sweep.
+	live := vm.objects[:0]
+	var freedHeap, freedExt uint64
+	for _, o := range vm.objects {
+		if o.marked {
+			o.marked = false
+			live = append(live, o)
+			continue
+		}
+		freedHeap += o.heapSize()
+		if o.Kind == ObjArrayBuffer {
+			freedExt += uint64(len(o.Buf))
+			o.Buf = nil
+		}
+	}
+	// Charge collection work.
+	vm.cycles += vm.cfg.GCMarkPerObject*float64(len(live)) +
+		vm.cfg.GCSweepPerObject*float64(len(vm.objects)-len(live))
+	vm.objects = live
+	if freedHeap > vm.heapLive {
+		freedHeap = vm.heapLive
+	}
+	vm.heapLive -= freedHeap
+	if freedExt > vm.external {
+		freedExt = vm.external
+	}
+	vm.external -= freedExt
+	vm.allocSince = 0
+}
+
+func (vm *VM) markEnv(e *env) {
+	for ; e != nil; e = e.parent {
+		if e.epoch == vm.epoch {
+			return
+		}
+		e.epoch = vm.epoch
+		for i := range e.slots {
+			vm.markValue(e.slots[i])
+		}
+	}
+}
+
+func (vm *VM) markValue(v Value) {
+	if v.Kind == KindObject && v.Obj != nil {
+		vm.markObject(v.Obj)
+	}
+}
+
+func (vm *VM) markObject(o *Object) {
+	if o == nil || o.marked {
+		return
+	}
+	o.marked = true
+	for _, v := range o.Props {
+		vm.markValue(v)
+	}
+	for _, v := range o.Elems {
+		vm.markValue(v)
+	}
+	if o.TA.Buf != nil {
+		vm.markObject(o.TA.Buf)
+	}
+	if o.Fn != nil && o.Fn.Env != nil {
+		vm.markEnv(o.Fn.Env)
+	}
+}

@@ -1,0 +1,188 @@
+package jsvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type jsTokKind int
+
+const (
+	jtEOF jsTokKind = iota
+	jtIdent
+	jtKeyword
+	jtNumber
+	jtString
+	jtPunct
+)
+
+type jsTok struct {
+	kind jsTokKind
+	text string
+	num  float64
+	line int
+}
+
+var jsKeywords = map[string]bool{
+	"var": true, "let": true, "const": true, "function": true, "return": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"break": true, "continue": true, "switch": true, "case": true,
+	"default": true, "new": true, "typeof": true, "true": true, "false": true,
+	"null": true, "undefined": true, "this": true, "in": true, "of": true,
+	"instanceof": true, "delete": true, "void": true, "throw": true, "try": true, "catch": true, "finally": true,
+}
+
+var jsPuncts = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=", "**",
+	"=>", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?",
+	":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+}
+
+func jsLex(src string) ([]jsTok, error) {
+	var toks []jsTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("jsvm: line %d: unterminated comment", line)
+			}
+			i += 2
+		case isJSIdentStart(c):
+			start := i
+			for i < len(src) && isJSIdentPart(src[i]) {
+				i++
+			}
+			text := src[start:i]
+			k := jtIdent
+			if jsKeywords[text] {
+				k = jtKeyword
+			}
+			toks = append(toks, jsTok{kind: k, text: text, line: line})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				i += 2
+				for i < len(src) && isHex(src[i]) {
+					i++
+				}
+				v, err := strconv.ParseUint(src[start+2:i], 16, 64)
+				if err != nil {
+					return nil, fmt.Errorf("jsvm: line %d: bad hex literal", line)
+				}
+				toks = append(toks, jsTok{kind: jtNumber, num: float64(v), text: src[start:i], line: line})
+				continue
+			}
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				i++
+				if i < len(src) && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			f, err := strconv.ParseFloat(src[start:i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("jsvm: line %d: bad number %q", line, src[start:i])
+			}
+			toks = append(toks, jsTok{kind: jtNumber, num: f, text: src[start:i], line: line})
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("jsvm: line %d: unterminated string", line)
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case 'r':
+						sb.WriteByte('\r')
+					case '0':
+						sb.WriteByte(0)
+					case 'u':
+						// \uXXXX
+						if i+4 < len(src) {
+							v, err := strconv.ParseUint(src[i+1:i+5], 16, 32)
+							if err == nil {
+								sb.WriteRune(rune(v))
+								i += 4
+							}
+						}
+					default:
+						sb.WriteByte(src[i])
+					}
+					i++
+					continue
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, jsTok{kind: jtString, text: sb.String(), line: line})
+		default:
+			matched := false
+			for _, p := range jsPuncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, jsTok{kind: jtPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("jsvm: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, jsTok{kind: jtEOF, line: line})
+	return toks, nil
+}
+
+func isJSIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isJSIdentPart(c byte) bool {
+	return isJSIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

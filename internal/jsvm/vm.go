@@ -1,0 +1,511 @@
+package jsvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// JSClass buckets evaluation steps for virtual-cycle accounting.
+type JSClass uint8
+
+// Cost classes.
+const (
+	JConst JSClass = iota
+	JVarRead
+	JVarWrite
+	JArith
+	JAdd
+	JBitop
+	JCmp
+	JCall
+	JCallNative
+	JPropRead
+	JPropWrite
+	JElemRead
+	JElemWrite
+	JTARead
+	JTAWrite
+	JBranch
+	JLoopBack
+	JAlloc
+	JStrOp
+	JReturn
+	NumJSClasses
+)
+
+// JSCostTable holds per-class costs for one tier.
+type JSCostTable [NumJSClasses]float64
+
+// Scale returns a copy of the table with every cost multiplied by k.
+func (t JSCostTable) Scale(k float64) JSCostTable {
+	for i := range t {
+		t[i] *= k
+	}
+	return t
+}
+
+// InterpCostTable is the reference interpreter-tier table: every operation
+// pays boxed dynamic dispatch.
+func InterpCostTable() JSCostTable {
+	var t JSCostTable
+	t[JConst] = 5
+	t[JVarRead] = 6
+	t[JVarWrite] = 7
+	t[JArith] = 40
+	t[JAdd] = 44
+	t[JBitop] = 40
+	t[JCmp] = 35
+	t[JCall] = 180
+	t[JCallNative] = 110
+	t[JPropRead] = 95
+	t[JPropWrite] = 105
+	t[JElemRead] = 70
+	t[JElemWrite] = 78
+	t[JTARead] = 48
+	t[JTAWrite] = 48
+	t[JBranch] = 15
+	t[JLoopBack] = 19
+	t[JAlloc] = 190
+	t[JStrOp] = 110
+	t[JReturn] = 26
+	return t
+}
+
+// JITCostTable is the reference optimizing-tier table: type-specialized
+// code with inline caches.
+func JITCostTable() JSCostTable {
+	var t JSCostTable
+	t[JConst] = 0.1
+	t[JVarRead] = 0.12
+	t[JVarWrite] = 0.15
+	t[JArith] = 0.42
+	t[JAdd] = 0.45
+	t[JBitop] = 0.42
+	t[JCmp] = 0.4
+	t[JCall] = 3.5
+	t[JCallNative] = 7
+	t[JPropRead] = 2.2
+	t[JPropWrite] = 2.6
+	t[JElemRead] = 2.8
+	t[JElemWrite] = 3.2
+	t[JTARead] = 0.42
+	t[JTAWrite] = 0.48
+	t[JBranch] = 0.35
+	t[JLoopBack] = 0.4
+	t[JAlloc] = 13
+	t[JStrOp] = 7
+	t[JReturn] = 1
+	return t
+}
+
+// Config parameterizes one engine instance.
+type Config struct {
+	InterpCost JSCostTable
+	JITCost    JSCostTable
+	// JITEnabled mirrors the paper's --no-opt experiments when false.
+	JITEnabled bool
+	// TierUpThreshold is the hotness (calls + loop iterations) before a
+	// function is optimized.
+	TierUpThreshold uint64
+	// CompilePerNode is the one-time optimizing-compile charge per AST node.
+	CompilePerNode float64
+	// ParsePerByte is the source parse/bytecode charge at load (JS must be
+	// parsed, unlike Wasm — §2.2.1).
+	ParsePerByte float64
+	// GCThreshold triggers collection after this many allocated bytes.
+	GCThreshold uint64
+	// GCMarkPerObject / GCSweepPerObject are collection charges.
+	GCMarkPerObject  float64
+	GCSweepPerObject float64
+	StepLimit        uint64
+	DepthLimit       int
+	// EngineBaseline is the resident engine overhead added to the memory
+	// metric (Chrome ≈ 880 KB, Firefox ≈ 510 KB in the paper's Tables 4/6).
+	EngineBaseline uint64
+}
+
+// DefaultConfig returns a neutral engine configuration.
+func DefaultConfig() Config {
+	return Config{
+		InterpCost:       InterpCostTable(),
+		JITCost:          JITCostTable(),
+		JITEnabled:       true,
+		TierUpThreshold:  500,
+		CompilePerNode:   220,
+		ParsePerByte:     1.1,
+		GCThreshold:      2 << 20,
+		GCMarkPerObject:  8,
+		GCSweepPerObject: 3,
+		DepthLimit:       2000,
+		EngineBaseline:   880 << 10,
+	}
+}
+
+// OutputEvent is one print_* capture (same channel as the other VMs).
+type OutputEvent struct {
+	Kind string
+	I    int64
+	F    float64
+	S    string
+}
+
+func (o OutputEvent) String() string {
+	switch o.Kind {
+	case "i":
+		return fmt.Sprintf("i:%d", o.I)
+	case "f":
+		return fmt.Sprintf("f:%g", o.F)
+	default:
+		return "s:" + o.S
+	}
+}
+
+// env is a function activation record with statically resolved slots.
+type env struct {
+	slots  []Value
+	parent *env
+	cost   *JSCostTable
+	fn     *compiledFunc
+	epoch  uint32
+}
+
+// VM is a JavaScript engine instance.
+type VM struct {
+	cfg    Config
+	global *env
+	gprog  *compiledFunc
+
+	cycles float64
+	steps  uint64
+	depth  int
+
+	objects      []*Object
+	heapLive     uint64
+	heapPeak     uint64
+	external     uint64
+	externalPeak uint64
+	allocSince   uint64
+	gcCount      int
+	epoch        uint32
+
+	envStack []*env
+	temps    []*Object
+
+	Output []OutputEvent
+
+	pendingGlobals []hostBinding
+	rngState       uint64
+	// arith counts executed arithmetic operators by Table 12 group:
+	// ADD, MUL, DIV, REM, SHIFT, AND, OR.
+	arith [7]uint64
+	// ctrlLabel carries the label of an in-flight labeled break/continue.
+	ctrlLabel string
+
+	// NowFn backs performance.now(); the browser layer installs the page
+	// clock. Defaults to virtual cycles / 1e6.
+	NowFn func() float64
+
+	hostFuncs map[string]*Object
+}
+
+// Execution errors.
+var (
+	ErrJSStepLimit = errors.New("jsvm: step limit exceeded")
+	ErrJSDepth     = errors.New("jsvm: maximum call stack size exceeded")
+)
+
+// jsThrow carries a thrown JavaScript value through Go error returns.
+type jsThrow struct{ v Value }
+
+func (t *jsThrow) Error() string { return "jsvm: uncaught " + t.v.ToString() }
+
+// ThrownValue extracts the thrown value from an error, if it was a JS throw.
+func ThrownValue(err error) (Value, bool) {
+	var t *jsThrow
+	if errors.As(err, &t) {
+		return t.v, true
+	}
+	return Undefined, false
+}
+
+// New creates an engine with the host environment installed.
+func New(cfg Config) *VM {
+	if cfg.DepthLimit == 0 {
+		cfg.DepthLimit = 2000
+	}
+	if cfg.GCThreshold == 0 {
+		cfg.GCThreshold = 2 << 20
+	}
+	vm := &VM{cfg: cfg}
+	vm.NowFn = func() float64 { return vm.cycles / 1e6 }
+	vm.installHost()
+	return vm
+}
+
+// Cycles returns accumulated virtual cycles.
+func (vm *VM) Cycles() float64 { return vm.cycles }
+
+// AddCycles charges extra cycles (context-switch modeling).
+func (vm *VM) AddCycles(c float64) { vm.cycles += c }
+
+// Steps returns the dynamic evaluation-step count.
+func (vm *VM) Steps() uint64 { return vm.steps }
+
+// Arithmetic-operator groups for ArithOps (the paper's Appendix D counts).
+const (
+	opADD = iota
+	opMUL
+	opDIV
+	opREM
+	opSHIFT
+	opAND
+	opOR
+)
+
+// ArithOps returns executed arithmetic-operation counts grouped as in the
+// paper's Table 12 (ADD includes subtraction; OR includes XOR).
+func (vm *VM) ArithOps() map[string]uint64 {
+	return map[string]uint64{
+		"ADD": vm.arith[opADD], "MUL": vm.arith[opMUL], "DIV": vm.arith[opDIV],
+		"REM": vm.arith[opREM], "SHIFT": vm.arith[opSHIFT],
+		"AND": vm.arith[opAND], "OR": vm.arith[opOR],
+	}
+}
+
+// GCCount returns how many collections ran.
+func (vm *VM) GCCount() int { return vm.gcCount }
+
+// HeapBytes returns the current JS-heap bytes (excluding ArrayBuffer
+// backing stores) plus the engine baseline.
+func (vm *VM) HeapBytes() uint64 { return vm.cfg.EngineBaseline + vm.heapLive }
+
+// PeakHeapBytes returns the peak JS-heap metric.
+func (vm *VM) PeakHeapBytes() uint64 { return vm.cfg.EngineBaseline + vm.heapPeak }
+
+// ExternalBytes returns current ArrayBuffer backing-store bytes.
+func (vm *VM) ExternalBytes() uint64 { return vm.external }
+
+// PeakExternalBytes returns the backing-store high-water mark.
+func (vm *VM) PeakExternalBytes() uint64 { return vm.externalPeak }
+
+// alloc registers a new object with the GC.
+func (vm *VM) alloc(o *Object) *Object {
+	vm.objects = append(vm.objects, o)
+	sz := o.heapSize()
+	vm.heapLive += sz
+	if vm.heapLive > vm.heapPeak {
+		vm.heapPeak = vm.heapLive
+	}
+	vm.allocSince += sz
+	vm.temps = append(vm.temps, o)
+	return o
+}
+
+// allocBuffer attaches external backing-store bytes to an ArrayBuffer.
+func (vm *VM) allocBuffer(o *Object, n int) {
+	o.Buf = make([]byte, n)
+	vm.external += uint64(n)
+	if vm.external > vm.externalPeak {
+		vm.externalPeak = vm.external
+	}
+}
+
+// NewPlainObject allocates an empty object.
+func (vm *VM) NewPlainObject() *Object {
+	return vm.alloc(&Object{Kind: ObjPlain, Props: map[string]Value{}})
+}
+
+// NewArray allocates a dense array.
+func (vm *VM) NewArray(elems []Value) *Object {
+	return vm.alloc(&Object{Kind: ObjArray, Elems: elems})
+}
+
+// NewNative wraps a Go function as a callable object.
+func (vm *VM) NewNative(name string, fn func(vm *VM, this Value, args []Value) (Value, error)) *Object {
+	return vm.alloc(&Object{Kind: ObjFunction, Fn: &FuncObj{Name: name, Native: fn}})
+}
+
+// NewTypedArray allocates a typed array over a fresh buffer.
+func (vm *VM) NewTypedArray(kind TAKind, length int) *Object {
+	buf := vm.alloc(&Object{Kind: ObjArrayBuffer})
+	vm.allocBuffer(buf, length*kind.ElemSize())
+	ta := vm.alloc(&Object{Kind: ObjTypedArray})
+	ta.TA.Buf = buf
+	ta.TA.Kind = kind
+	ta.TA.Len = length
+	return ta
+}
+
+// Global returns a global binding (for tests and the harness).
+func (vm *VM) Global(name string) (Value, bool) {
+	if vm.gprog == nil {
+		if o, ok := vm.hostFuncs[name]; ok {
+			return ObjVal(o), true
+		}
+		return Undefined, false
+	}
+	idx, ok := vm.gprog.slotOf[name]
+	if !ok {
+		return Undefined, false
+	}
+	return vm.global.slots[idx], true
+}
+
+// SetGlobal installs a host binding visible to scripts.
+func (vm *VM) SetGlobal(name string, v Value) {
+	vm.pendingGlobals = append(vm.pendingGlobals, hostBinding{name, v})
+}
+
+type hostBinding struct {
+	name string
+	v    Value
+}
+
+// Run parses and executes a program. It may be called multiple times; each
+// call compiles a fresh top-level scope that shares the host bindings.
+func (vm *VM) Run(src string) (Value, error) {
+	vm.cycles += vm.cfg.ParsePerByte * float64(len(src))
+	body, err := jsParse(src)
+	if err != nil {
+		return Undefined, err
+	}
+	cf, err := compileProgram(vm, body)
+	if err != nil {
+		return Undefined, err
+	}
+	genv := &env{
+		slots: make([]Value, cf.nSlots),
+		cost:  &vm.cfg.InterpCost,
+		fn:    cf,
+	}
+	// Install host bindings into their slots.
+	for name, idx := range cf.slotOf {
+		if o, ok := vm.hostFuncs[name]; ok {
+			genv.slots[idx] = ObjVal(o)
+		}
+		for _, hb := range vm.pendingGlobals {
+			if hb.name == name {
+				genv.slots[idx] = hb.v
+			}
+		}
+	}
+	vm.gprog = cf
+	vm.global = genv
+	vm.envStack = append(vm.envStack, genv)
+	defer func() { vm.envStack = vm.envStack[:len(vm.envStack)-1] }()
+	var result Value
+	for _, s := range cf.code {
+		ctrl, v, err := s(vm, genv)
+		if err != nil {
+			return Undefined, err
+		}
+		vm.temps = vm.temps[:0]
+		if ctrl == ctrlReturn {
+			return v, nil
+		}
+		result = v
+	}
+	return result, nil
+}
+
+// CallFunction invokes a JS function value with arguments.
+func (vm *VM) CallFunction(fn Value, args []Value) (Value, error) {
+	if fn.Kind != KindObject || fn.Obj.Kind != ObjFunction {
+		return Undefined, fmt.Errorf("jsvm: not a function: %s", fn.ToString())
+	}
+	return vm.callFuncObj(fn.Obj, Undefined, args)
+}
+
+func (vm *VM) callFuncObj(o *Object, this Value, args []Value) (Value, error) {
+	f := o.Fn
+	if f.Native != nil {
+		return f.Native(vm, this, args)
+	}
+	cf := f.Code
+	vm.depth++
+	if vm.depth > vm.cfg.DepthLimit {
+		vm.depth--
+		return Undefined, ErrJSDepth
+	}
+	defer func() { vm.depth-- }()
+
+	// Tiering: hotness per function code object.
+	cf.hot++
+	costs := vm.tierCosts(cf)
+
+	fenv := &env{
+		slots:  make([]Value, cf.nSlots),
+		parent: f.Env,
+		cost:   costs,
+		fn:     cf,
+	}
+	for i := 0; i < cf.nParams && i < len(args); i++ {
+		fenv.slots[i] = args[i]
+	}
+	if cf.thisSlot >= 0 {
+		fenv.slots[cf.thisSlot] = this
+	}
+	if cf.argsSlot >= 0 {
+		fenv.slots[cf.argsSlot] = ObjVal(vm.NewArray(append([]Value(nil), args...)))
+	}
+	vm.envStack = append(vm.envStack, fenv)
+	defer func() { vm.envStack = vm.envStack[:len(vm.envStack)-1] }()
+
+	tempBase := len(vm.temps)
+	defer func() { vm.temps = vm.temps[:tempBase] }()
+
+	for _, s := range cf.code {
+		ctrl, v, err := s(vm, fenv)
+		if err != nil {
+			return Undefined, err
+		}
+		if ctrl == ctrlReturn {
+			return v, nil
+		}
+	}
+	return Undefined, nil
+}
+
+// tierCosts resolves the active tier table, applying tier-up policy.
+func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
+	if cf.tieredUp {
+		return &vm.cfg.JITCost
+	}
+	if vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
+		cf.tieredUp = true
+		vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
+		return &vm.cfg.JITCost
+	}
+	return &vm.cfg.InterpCost
+}
+
+// bumpLoop is called on loop back-edges: contributes hotness and performs
+// on-stack replacement of the cost table.
+func (vm *VM) bumpLoop(e *env) {
+	cf := e.fn
+	cf.hot++
+	if !cf.tieredUp && vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
+		cf.tieredUp = true
+		vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
+	}
+	if cf.tieredUp {
+		e.cost = &vm.cfg.JITCost
+	}
+}
+
+// step charges one evaluation step and enforces the step limit.
+func (vm *VM) step(e *env, class JSClass) error {
+	vm.cycles += e.cost[class]
+	vm.steps++
+	if vm.cfg.StepLimit != 0 && vm.steps > vm.cfg.StepLimit {
+		return ErrJSStepLimit
+	}
+	return nil
+}
+
+// maybeGC runs a collection at a statement-boundary safepoint.
+func (vm *VM) maybeGC() {
+	if vm.allocSince >= vm.cfg.GCThreshold {
+		vm.gc()
+	}
+}

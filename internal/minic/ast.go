@@ -1,0 +1,467 @@
+package minic
+
+// Type kinds. Signedness is folded into the kind.
+type Kind uint8
+
+// Kinds.
+const (
+	KVoid Kind = iota
+	KChar
+	KUChar
+	KShort
+	KUShort
+	KInt
+	KUInt
+	KLong
+	KULong
+	KFloat
+	KDouble
+	KPtr
+	KArray
+	KStruct
+)
+
+// Type describes a minic type. Types are interned only loosely; compare
+// with Equal.
+type Type struct {
+	Kind Kind
+	Elem *Type       // Ptr, Array
+	Len  int         // Array
+	S    *StructInfo // Struct
+}
+
+// StructInfo holds the layout of a struct (or a not-yet-transformed union).
+type StructInfo struct {
+	Name    string
+	Fields  []Field
+	IsUnion bool
+	size    int
+	align   int
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Basic type singletons.
+var (
+	TVoid   = &Type{Kind: KVoid}
+	TChar   = &Type{Kind: KChar}
+	TUChar  = &Type{Kind: KUChar}
+	TShort  = &Type{Kind: KShort}
+	TUShort = &Type{Kind: KUShort}
+	TInt    = &Type{Kind: KInt}
+	TUInt   = &Type{Kind: KUInt}
+	TLong   = &Type{Kind: KLong}
+	TULong  = &Type{Kind: KULong}
+	TFloat  = &Type{Kind: KFloat}
+	TDouble = &Type{Kind: KDouble}
+)
+
+// PtrTo returns a pointer type to elem.
+func PtrTo(elem *Type) *Type { return &Type{Kind: KPtr, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: KArray, Elem: elem, Len: n} }
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case KChar, KUChar, KShort, KUShort, KInt, KUInt, KLong, KULong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.Kind == KFloat || t.Kind == KDouble }
+
+// IsArith reports whether t is numeric.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case KUChar, KUShort, KUInt, KULong, KPtr:
+		return true
+	}
+	return false
+}
+
+// Is64 reports whether t occupies 64 bits.
+func (t *Type) Is64() bool {
+	return t.Kind == KLong || t.Kind == KULong || t.Kind == KDouble
+}
+
+// Size returns sizeof(t) under the wasm32 layout (pointers are 4 bytes).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KVoid:
+		return 0
+	case KChar, KUChar:
+		return 1
+	case KShort, KUShort:
+		return 2
+	case KInt, KUInt, KFloat, KPtr:
+		return 4
+	case KLong, KULong, KDouble:
+		return 8
+	case KArray:
+		return t.Len * t.Elem.Size()
+	case KStruct:
+		return t.S.SizeAlign()
+	}
+	return 0
+}
+
+// Align returns the alignment of t.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case KArray:
+		return t.Elem.Align()
+	case KStruct:
+		t.S.SizeAlign()
+		return t.S.align
+	default:
+		s := t.Size()
+		if s == 0 {
+			return 1
+		}
+		return s
+	}
+}
+
+// SizeAlign lays out the struct (idempotent) and returns its size.
+func (s *StructInfo) SizeAlign() int {
+	if s.size > 0 {
+		return s.size
+	}
+	off, maxAlign := 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		if s.IsUnion {
+			f.Offset = 0
+			if sz := f.Type.Size(); sz > off {
+				off = sz
+			}
+			continue
+		}
+		off = (off + a - 1) / a * a
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	off = (off + maxAlign - 1) / maxAlign * maxAlign
+	if off == 0 {
+		off = 1
+	}
+	s.size = off
+	s.align = maxAlign
+	return off
+}
+
+// FieldByName looks up a member.
+func (s *StructInfo) FieldByName(name string) (*Field, bool) {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KPtr:
+		return t.Elem.Equal(o.Elem)
+	case KArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case KStruct:
+		return t.S == o.S
+	}
+	return true
+}
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KChar:
+		return "char"
+	case KUChar:
+		return "unsigned char"
+	case KShort:
+		return "short"
+	case KUShort:
+		return "unsigned short"
+	case KInt:
+		return "int"
+	case KUInt:
+		return "unsigned int"
+	case KLong:
+		return "long"
+	case KULong:
+		return "unsigned long"
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return t.Elem.String() + "[]"
+	case KStruct:
+		if t.S.IsUnion {
+			return "union " + t.S.Name
+		}
+		return "struct " + t.S.Name
+	}
+	return "?"
+}
+
+// ---- Declarations ----
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructInfo
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+	// Inline hints used by the optimizer.
+	Static bool
+}
+
+// VarDecl declares a global, parameter, or local variable.
+type VarDecl struct {
+	Name     string
+	Type     *Type
+	Init     Expr // scalar initializer or *InitList; nil if none
+	IsGlobal bool
+	IsConst  bool
+	Line     int
+	// AddrTaken is set by Check when the variable's address escapes (&x, or
+	// the variable is an aggregate); such variables live in linear memory.
+	AddrTaken bool
+	// IsParam marks function parameters.
+	IsParam bool
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a `{ ... }` sequence.
+type BlockStmt struct{ Stmts []Stmt }
+
+// DeclStmt declares local variables.
+type DeclStmt struct{ Vars []*VarDecl }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a C for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// WhileStmt is while or do-while.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// SwitchStmt is a switch with constant cases.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*SwitchCase
+}
+
+// SwitchCase is one case (or default) arm; fallthrough is preserved.
+type SwitchCase struct {
+	Vals      []int64 // constant values; empty for default
+	IsDefault bool
+	Body      []Stmt
+}
+
+// BreakStmt breaks the nearest loop or switch.
+type BreakStmt struct{}
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct{ X Expr } // X may be nil
+
+// TryStmt is the C++-style construct accepted only as transformation input
+// (§3.1 of the paper). The checker rejects it; Transform rewrites it.
+type TryStmt struct {
+	Body  *BlockStmt
+	Catch *BlockStmt
+}
+
+// ThrowStmt is likewise transformation input only.
+type ThrowStmt struct{ X Expr }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*TryStmt) stmtNode()      {}
+func (*ThrowStmt) stmtNode()    {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes. After Check, every
+// expression carries its type.
+type Expr interface {
+	exprNode()
+	Type() *Type
+	setType(*Type)
+}
+
+type exprBase struct{ typ *Type }
+
+func (b *exprBase) exprNode()       {}
+func (b *exprBase) Type() *Type     { return b.typ }
+func (b *exprBase) setType(t *Type) { b.typ = t }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	V float64
+}
+
+// StrLit is a string literal (decays to char*).
+type StrLit struct {
+	exprBase
+	S string
+}
+
+// Ident references a variable; Ref is resolved by Check.
+type Ident struct {
+	exprBase
+	Name string
+	Ref  *VarDecl
+	Line int
+}
+
+// Unary is a prefix or postfix unary operation: one of
+// "-", "+", "!", "~", "*", "&", "++", "--".
+type Unary struct {
+	exprBase
+	Op      string
+	X       Expr
+	Postfix bool
+}
+
+// Binary is a binary operation (arith, relational, logical, bitwise).
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is "=" or a compound assignment.
+type Assign struct {
+	exprBase
+	Op       string // "=", "+=", ...
+	LHS, RHS Expr
+}
+
+// Cond is the ternary operator.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Call is a direct call to a named function or builtin.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Line int
+	// Builtin is set by Check for recognized library functions.
+	Builtin string
+	Ref     *FuncDecl
+}
+
+// Index is array/pointer subscripting.
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is struct member access (value or pointer form).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	F     *Field // resolved by Check
+}
+
+// CastExpr is an explicit cast.
+type CastExpr struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(type) or sizeof(expr).
+type SizeofExpr struct {
+	exprBase
+	OfType *Type // one of OfType/X set
+	X      Expr
+}
+
+// InitList is a braced initializer.
+type InitList struct {
+	exprBase
+	Items []Expr
+}

@@ -1,0 +1,759 @@
+package minic
+
+import "fmt"
+
+// Builtin signatures. Builtins model the library surface the study's
+// benchmarks need: the output channel (print_*), libm functions (provided
+// by the host environment, as Math.* is in browsers), and the allocator
+// entry points which the compiler links against its minic runtime.
+type builtinSig struct {
+	params []*Type
+	ret    *Type
+}
+
+var builtins = map[string]builtinSig{
+	"print_i": {[]*Type{TLong}, TVoid},
+	"print_f": {[]*Type{TDouble}, TVoid},
+	"print_s": {[]*Type{PtrTo(TChar)}, TVoid},
+	"sqrt":    {[]*Type{TDouble}, TDouble},
+	"fabs":    {[]*Type{TDouble}, TDouble},
+	"sin":     {[]*Type{TDouble}, TDouble},
+	"cos":     {[]*Type{TDouble}, TDouble},
+	"exp":     {[]*Type{TDouble}, TDouble},
+	"log":     {[]*Type{TDouble}, TDouble},
+	"pow":     {[]*Type{TDouble, TDouble}, TDouble},
+	"floor":   {[]*Type{TDouble}, TDouble},
+	"ceil":    {[]*Type{TDouble}, TDouble},
+	"fmod":    {[]*Type{TDouble, TDouble}, TDouble},
+	"abs":     {[]*Type{TInt}, TInt},
+	"malloc":  {[]*Type{TUInt}, PtrTo(TVoid)},
+	// Compiler intrinsics exposed to the minic runtime library (the
+	// allocator is written in minic and linked by the driver, like
+	// Cheerp's own runtime).
+	"__builtin_memsize":   {nil, TUInt},
+	"__builtin_memgrow":   {[]*Type{TInt}, TInt},
+	"__builtin_heapbase":  {nil, TUInt},
+	"__builtin_heaplimit": {nil, TUInt},
+	"__builtin_trap":      {nil, TVoid},
+	"free":                {[]*Type{PtrTo(TVoid)}, TVoid},
+	"memset":              {[]*Type{PtrTo(TVoid), TInt, TUInt}, PtrTo(TVoid)},
+	"memcpy":              {[]*Type{PtrTo(TVoid), PtrTo(TVoid), TUInt}, PtrTo(TVoid)},
+}
+
+// CheckOptions controls frontend strictness.
+type CheckOptions struct {
+	// AllowExtensions permits try/catch/throw and union to survive checking
+	// (used by tests that inspect pre-transformation ASTs). The default
+	// mirrors Cheerp: these constructs are compile errors until the §3.1
+	// source transformation has removed them.
+	AllowExtensions bool
+}
+
+// Check resolves names, computes types, applies implicit conversions, and
+// enforces the subset rules. It mutates the AST in place.
+func Check(f *File, opts CheckOptions) error {
+	c := &checker{
+		opts:    opts,
+		funcs:   map[string]*FuncDecl{},
+		globals: map[string]*VarDecl{},
+	}
+	for _, fn := range f.Funcs {
+		if prev, ok := c.funcs[fn.Name]; ok && prev.Body != nil && fn.Body != nil {
+			return fmt.Errorf("minic: function %s redefined", fn.Name)
+		}
+		if prev, ok := c.funcs[fn.Name]; !ok || prev.Body == nil {
+			c.funcs[fn.Name] = fn
+		}
+	}
+	for _, g := range f.Globals {
+		if _, ok := c.globals[g.Name]; ok {
+			return fmt.Errorf("minic: global %s redefined", g.Name)
+		}
+		c.globals[g.Name] = g
+		if g.Type.Kind == KArray || g.Type.Kind == KStruct {
+			g.AddrTaken = true
+		}
+		if g.Type.Kind == KStruct && g.Type.S.IsUnion && !opts.AllowExtensions {
+			return fmt.Errorf("minic: global %s: union is not supported by the Cheerp-style target; apply Transform first (§3.1)", g.Name)
+		}
+		if g.Init != nil {
+			if err := c.checkInit(g.Type, g.Init); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	opts     CheckOptions
+	funcs    map[string]*FuncDecl
+	globals  map[string]*VarDecl
+	scopes   []map[string]*VarDecl
+	curFn    *FuncDecl
+	loops    int
+	switches int
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*VarDecl{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(v *VarDecl) error {
+	s := c.scopes[len(c.scopes)-1]
+	if _, ok := s[v.Name]; ok {
+		return fmt.Errorf("minic: %s redeclared in scope", v.Name)
+	}
+	s[v.Name] = v
+	if v.Type.Kind == KArray || v.Type.Kind == KStruct {
+		v.AddrTaken = true
+	}
+	if v.Type.Kind == KStruct && v.Type.S.IsUnion && !c.opts.AllowExtensions {
+		return fmt.Errorf("minic: %s: union is not supported by the Cheerp-style target; apply Transform first (§3.1)", v.Name)
+	}
+	return nil
+}
+
+func (c *checker) lookup(name string) (*VarDecl, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	v, ok := c.globals[name]
+	return v, ok
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.curFn = fn
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		p.IsParam = true
+		if err := c.declare(p); err != nil {
+			return err
+		}
+	}
+	return c.checkStmt(fn.Body)
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, sub := range st.Stmts {
+			if err := c.checkStmt(sub); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		for _, v := range st.Vars {
+			if err := c.declare(v); err != nil {
+				return err
+			}
+			if v.Init != nil {
+				if err := c.checkInit(v.Type, v.Init); err != nil {
+					return err
+				}
+			}
+		}
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *SwitchStmt:
+		t, err := c.checkExpr(st.Tag)
+		if err != nil {
+			return err
+		}
+		if !t.IsInteger() {
+			return fmt.Errorf("minic: switch tag must be integer, got %s", t)
+		}
+		c.switches++
+		defer func() { c.switches-- }()
+		for _, cs := range st.Cases {
+			for _, sub := range cs.Body {
+				if err := c.checkStmt(sub); err != nil {
+					return err
+				}
+			}
+		}
+	case *BreakStmt:
+		if c.loops == 0 && c.switches == 0 {
+			return fmt.Errorf("minic: break outside loop or switch")
+		}
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return fmt.Errorf("minic: continue outside loop")
+		}
+	case *ReturnStmt:
+		if st.X == nil {
+			if c.curFn.Ret.Kind != KVoid {
+				return fmt.Errorf("minic: %s: return without value", c.curFn.Name)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if c.curFn.Ret.Kind == KVoid {
+			return fmt.Errorf("minic: %s: return with value in void function", c.curFn.Name)
+		}
+		st.X = c.convert(st.X, t, c.curFn.Ret)
+	case *TryStmt:
+		if !c.opts.AllowExtensions {
+			return fmt.Errorf("minic: try/catch is not supported by the Cheerp-style target; apply Transform first (§3.1)")
+		}
+		if err := c.checkStmt(st.Body); err != nil {
+			return err
+		}
+		return c.checkStmt(st.Catch)
+	case *ThrowStmt:
+		if !c.opts.AllowExtensions {
+			return fmt.Errorf("minic: throw is not supported by the Cheerp-style target; apply Transform first (§3.1)")
+		}
+		if st.X != nil {
+			_, err := c.checkExpr(st.X)
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if !t.IsArith() && t.Kind != KPtr {
+		return fmt.Errorf("minic: condition must be scalar, got %s", t)
+	}
+	return nil
+}
+
+func (c *checker) checkInit(t *Type, init Expr) error {
+	if il, ok := init.(*InitList); ok {
+		switch t.Kind {
+		case KArray:
+			if len(il.Items) > t.Len {
+				return fmt.Errorf("minic: too many initializers (%d for array of %d)", len(il.Items), t.Len)
+			}
+			for _, item := range il.Items {
+				if err := c.checkInit(t.Elem, item); err != nil {
+					return err
+				}
+			}
+			il.setType(t)
+			return nil
+		case KStruct:
+			if len(il.Items) > len(t.S.Fields) {
+				return fmt.Errorf("minic: too many initializers for struct %s", t.S.Name)
+			}
+			for i, item := range il.Items {
+				if err := c.checkInit(t.S.Fields[i].Type, item); err != nil {
+					return err
+				}
+			}
+			il.setType(t)
+			return nil
+		default:
+			return fmt.Errorf("minic: braced initializer for scalar %s", t)
+		}
+	}
+	it, err := c.checkExpr(init)
+	if err != nil {
+		return err
+	}
+	if !assignable(t, it) {
+		return fmt.Errorf("minic: cannot initialize %s with %s", t, it)
+	}
+	return nil
+}
+
+func assignable(dst, src *Type) bool {
+	if dst.IsArith() && src.IsArith() {
+		return true
+	}
+	if dst.Kind == KPtr && src.Kind == KPtr {
+		return true // C-permissive with a warning; the subset allows it
+	}
+	if dst.Kind == KPtr && src.Kind == KArray {
+		return true
+	}
+	if dst.Kind == KPtr && src.IsInteger() {
+		return true // NULL-style literals
+	}
+	if dst.Kind == KStruct && src.Kind == KStruct && dst.S == src.S {
+		return true
+	}
+	return false
+}
+
+// UsualArith applies C's usual arithmetic conversions, returning the common
+// type. It is exported for the IR builder, which re-derives operand types
+// for compound assignments.
+func UsualArith(a, b *Type) *Type { return usualArith(a, b) }
+
+// usualArith applies C's usual arithmetic conversions, returning the common
+// type.
+func usualArith(a, b *Type) *Type {
+	if a.Kind == KDouble || b.Kind == KDouble {
+		return TDouble
+	}
+	if a.Kind == KFloat || b.Kind == KFloat {
+		return TFloat
+	}
+	// Integer promotion: everything below int promotes to int.
+	pa, pb := promote(a), promote(b)
+	if pa.Kind == KULong || pb.Kind == KULong {
+		return TULong
+	}
+	if pa.Kind == KLong || pb.Kind == KLong {
+		if pa.Kind == KUInt || pb.Kind == KUInt {
+			return TLong // long can represent uint under our 64-bit long
+		}
+		return TLong
+	}
+	if pa.Kind == KUInt || pb.Kind == KUInt {
+		return TUInt
+	}
+	return TInt
+}
+
+func promote(t *Type) *Type {
+	switch t.Kind {
+	case KChar, KUChar, KShort, KUShort:
+		return TInt
+	}
+	return t
+}
+
+// decay converts array-typed expressions to pointers.
+func decay(t *Type) *Type {
+	if t.Kind == KArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// convert wraps e in a cast to target type when needed.
+func (c *checker) convert(e Expr, from, to *Type) Expr {
+	if from.Equal(to) {
+		return e
+	}
+	if from.Kind == KArray && to.Kind == KPtr {
+		// Decay is representation-free.
+		e.setType(to)
+		return e
+	}
+	ce := &CastExpr{To: to, X: e}
+	ce.setType(to)
+	return ce
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return true
+	case *Member:
+		return true
+	case *Unary:
+		return x.Op == "*" && !x.Postfix
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Type() != nil {
+			return x.Type(), nil
+		}
+		if x.V > 0x7FFFFFFF || x.V < -0x80000000 {
+			x.setType(TLong)
+		} else {
+			x.setType(TInt)
+		}
+		return x.Type(), nil
+	case *FloatLit:
+		x.setType(TDouble)
+		return TDouble, nil
+	case *StrLit:
+		t := PtrTo(TChar)
+		x.setType(t)
+		return t, nil
+	case *Ident:
+		v, ok := c.lookup(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("minic: line %d: undefined identifier %q", x.Line, x.Name)
+		}
+		x.Ref = v
+		x.setType(v.Type)
+		return v.Type, nil
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *Assign:
+		return c.checkAssign(x)
+	case *Cond:
+		if err := c.checkCond(x.C); err != nil {
+			return nil, err
+		}
+		tt, err := c.checkExpr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := c.checkExpr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		var t *Type
+		switch {
+		case tt.IsArith() && ft.IsArith():
+			t = usualArith(tt, ft)
+			x.T = c.convert(x.T, tt, t)
+			x.F = c.convert(x.F, ft, t)
+		case decay(tt).Kind == KPtr && (decay(ft).Kind == KPtr || ft.IsInteger()):
+			t = decay(tt)
+		case decay(ft).Kind == KPtr && tt.IsInteger():
+			t = decay(ft)
+		default:
+			return nil, fmt.Errorf("minic: incompatible ternary arms %s and %s", tt, ft)
+		}
+		x.setType(t)
+		return t, nil
+	case *Call:
+		return c.checkCall(x)
+	case *Index:
+		bt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.checkExpr(x.I)
+		if err != nil {
+			return nil, err
+		}
+		if !it.IsInteger() {
+			return nil, fmt.Errorf("minic: array index must be integer, got %s", it)
+		}
+		switch bt.Kind {
+		case KArray, KPtr:
+			x.setType(bt.Elem)
+			return bt.Elem, nil
+		}
+		return nil, fmt.Errorf("minic: cannot index %s", bt)
+	case *Member:
+		bt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		st := bt
+		if x.Arrow {
+			if bt.Kind != KPtr {
+				return nil, fmt.Errorf("minic: -> on non-pointer %s", bt)
+			}
+			st = bt.Elem
+		}
+		if st.Kind != KStruct {
+			return nil, fmt.Errorf("minic: member access on non-struct %s", st)
+		}
+		fld, ok := st.S.FieldByName(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("minic: no member %q in %s", x.Name, st)
+		}
+		x.F = fld
+		x.setType(fld.Type)
+		return fld.Type, nil
+	case *CastExpr:
+		st, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if st.Kind == KStruct && x.To.Kind != KStruct {
+			return nil, fmt.Errorf("minic: cannot cast struct %s to %s", st, x.To)
+		}
+		x.setType(x.To)
+		return x.To, nil
+	case *SizeofExpr:
+		if x.X != nil {
+			t, err := c.checkExpr(x.X)
+			if err != nil {
+				return nil, err
+			}
+			x.OfType = t
+		}
+		x.setType(TUInt)
+		return TUInt, nil
+	case *InitList:
+		return nil, fmt.Errorf("minic: initializer list outside declaration")
+	}
+	return nil, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+func (c *checker) checkUnary(x *Unary) (*Type, error) {
+	t, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-", "+":
+		if !t.IsArith() {
+			return nil, fmt.Errorf("minic: unary %s on %s", x.Op, t)
+		}
+		pt := t
+		if t.IsInteger() {
+			pt = promote(t)
+			x.X = c.convert(x.X, t, pt)
+		}
+		x.setType(pt)
+		return pt, nil
+	case "!":
+		if !t.IsArith() && decay(t).Kind != KPtr {
+			return nil, fmt.Errorf("minic: ! on %s", t)
+		}
+		x.setType(TInt)
+		return TInt, nil
+	case "~":
+		if !t.IsInteger() {
+			return nil, fmt.Errorf("minic: ~ on %s", t)
+		}
+		pt := promote(t)
+		x.X = c.convert(x.X, t, pt)
+		x.setType(pt)
+		return pt, nil
+	case "*":
+		dt := decay(t)
+		if dt.Kind != KPtr {
+			return nil, fmt.Errorf("minic: dereference of non-pointer %s", t)
+		}
+		x.setType(dt.Elem)
+		return dt.Elem, nil
+	case "&":
+		if !isLvalue(x.X) {
+			return nil, fmt.Errorf("minic: & of non-lvalue")
+		}
+		if id, ok := x.X.(*Ident); ok {
+			id.Ref.AddrTaken = true
+		}
+		pt := PtrTo(t)
+		x.setType(pt)
+		return pt, nil
+	case "++", "--":
+		if !isLvalue(x.X) {
+			return nil, fmt.Errorf("minic: %s on non-lvalue", x.Op)
+		}
+		if !t.IsArith() && t.Kind != KPtr {
+			return nil, fmt.Errorf("minic: %s on %s", x.Op, t)
+		}
+		x.setType(t)
+		return t, nil
+	}
+	return nil, fmt.Errorf("minic: unknown unary op %s", x.Op)
+}
+
+func (c *checker) checkBinary(x *Binary) (*Type, error) {
+	lt, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case ",":
+		x.setType(rt)
+		return rt, nil
+	case "&&", "||":
+		x.setType(TInt)
+		return TInt, nil
+	case "==", "!=", "<", ">", "<=", ">=":
+		dl, dr := decay(lt), decay(rt)
+		if dl.Kind == KPtr || dr.Kind == KPtr {
+			x.setType(TInt)
+			return TInt, nil
+		}
+		if !lt.IsArith() || !rt.IsArith() {
+			return nil, fmt.Errorf("minic: comparison of %s and %s", lt, rt)
+		}
+		ct := usualArith(lt, rt)
+		x.X = c.convert(x.X, lt, ct)
+		x.Y = c.convert(x.Y, rt, ct)
+		x.setType(TInt)
+		return TInt, nil
+	case "+", "-":
+		dl, dr := decay(lt), decay(rt)
+		if dl.Kind == KPtr && rt.IsInteger() {
+			x.setType(dl)
+			return dl, nil
+		}
+		if x.Op == "+" && lt.IsInteger() && dr.Kind == KPtr {
+			x.setType(dr)
+			return dr, nil
+		}
+		if x.Op == "-" && dl.Kind == KPtr && dr.Kind == KPtr {
+			x.setType(TInt)
+			return TInt, nil
+		}
+	case "<<", ">>":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return nil, fmt.Errorf("minic: shift of %s by %s", lt, rt)
+		}
+		pt := promote(lt)
+		x.X = c.convert(x.X, lt, pt)
+		x.Y = c.convert(x.Y, rt, promote(rt))
+		x.setType(pt)
+		return pt, nil
+	}
+	// Plain arithmetic / bitwise.
+	if !lt.IsArith() || !rt.IsArith() {
+		return nil, fmt.Errorf("minic: %s of %s and %s", x.Op, lt, rt)
+	}
+	switch x.Op {
+	case "%", "&", "|", "^":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return nil, fmt.Errorf("minic: %s needs integers, got %s and %s", x.Op, lt, rt)
+		}
+	}
+	ct := usualArith(lt, rt)
+	x.X = c.convert(x.X, lt, ct)
+	x.Y = c.convert(x.Y, rt, ct)
+	x.setType(ct)
+	return ct, nil
+}
+
+func (c *checker) checkAssign(x *Assign) (*Type, error) {
+	if !isLvalue(x.LHS) {
+		return nil, fmt.Errorf("minic: assignment to non-lvalue")
+	}
+	lt, err := c.checkExpr(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.checkExpr(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op == "=" {
+		if !assignable(lt, rt) {
+			return nil, fmt.Errorf("minic: cannot assign %s to %s", rt, lt)
+		}
+		if lt.IsArith() && rt.IsArith() {
+			x.RHS = c.convert(x.RHS, rt, lt)
+		}
+		x.setType(lt)
+		return lt, nil
+	}
+	// Compound assignment: lhs op= rhs.
+	if decay(lt).Kind == KPtr && (x.Op == "+=" || x.Op == "-=") && rt.IsInteger() {
+		x.setType(lt)
+		return lt, nil
+	}
+	if !lt.IsArith() || !rt.IsArith() {
+		return nil, fmt.Errorf("minic: %s of %s and %s", x.Op, lt, rt)
+	}
+	x.setType(lt)
+	return lt, nil
+}
+
+func (c *checker) checkCall(x *Call) (*Type, error) {
+	if sig, ok := builtins[x.Name]; ok {
+		if _, shadowed := c.funcs[x.Name]; !shadowed || c.funcs[x.Name].Body == nil {
+			if len(x.Args) != len(sig.params) {
+				return nil, fmt.Errorf("minic: line %d: %s expects %d args, got %d", x.Line, x.Name, len(sig.params), len(x.Args))
+			}
+			for i, a := range x.Args {
+				at, err := c.checkExpr(a)
+				if err != nil {
+					return nil, err
+				}
+				want := sig.params[i]
+				if want.Kind == KPtr {
+					if decay(at).Kind != KPtr {
+						return nil, fmt.Errorf("minic: line %d: %s arg %d: want pointer, got %s", x.Line, x.Name, i+1, at)
+					}
+					continue
+				}
+				if !at.IsArith() {
+					return nil, fmt.Errorf("minic: line %d: %s arg %d: want %s, got %s", x.Line, x.Name, i+1, want, at)
+				}
+				x.Args[i] = c.convert(a, at, want)
+			}
+			x.Builtin = x.Name
+			x.setType(sig.ret)
+			return sig.ret, nil
+		}
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("minic: line %d: call to undefined function %q", x.Line, x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("minic: line %d: %s expects %d args, got %d", x.Line, x.Name, len(fn.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		pt := fn.Params[i].Type
+		if !assignable(pt, at) {
+			return nil, fmt.Errorf("minic: line %d: %s arg %d: cannot pass %s as %s", x.Line, x.Name, i+1, at, pt)
+		}
+		if pt.IsArith() && at.IsArith() {
+			x.Args[i] = c.convert(a, at, pt)
+		}
+	}
+	x.Ref = fn
+	x.setType(fn.Ret)
+	return fn.Ret, nil
+}

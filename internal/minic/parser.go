@@ -1,0 +1,1122 @@
+package minic
+
+import "fmt"
+
+// Parse builds the AST for a preprocessed token stream.
+func Parse(toks []Token) (*File, error) {
+	p := &parser{toks: toks, structs: map[string]*StructInfo{}}
+	f := &File{}
+	for !p.at(TokEOF) {
+		if err := p.parseTopLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ParseSource preprocesses, lexes, and parses in one step.
+func ParseSource(src string, defines map[string]string) (*File, error) {
+	toks, err := Preprocess(src, defines)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(toks)
+}
+
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*StructInfo
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *parser) atKw(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(s string) bool {
+	if p.atKw(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		t := p.cur()
+		return errf(t.Line, t.Col, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, got %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"unsigned", "signed", "struct", "union", "const", "static",
+		"extern", "volatile", "register":
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses qualifiers + a base type (no declarator).
+func (p *parser) parseBaseType() (*Type, bool, error) {
+	isStatic := false
+	for {
+		switch {
+		case p.acceptKw("const"), p.acceptKw("volatile"), p.acceptKw("extern"), p.acceptKw("register"):
+		case p.acceptKw("static"):
+			isStatic = true
+		default:
+			goto qualsDone
+		}
+	}
+qualsDone:
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, isStatic, errf(t.Line, t.Col, "expected type, got %s", t)
+	}
+	switch t.Text {
+	case "struct", "union":
+		isUnion := t.Text == "union"
+		p.pos++
+		st, err := p.parseStructRef(isUnion)
+		if err != nil {
+			return nil, isStatic, err
+		}
+		typ := &Type{Kind: KStruct, S: st}
+		return p.finishQuals(typ), isStatic, nil
+	case "void":
+		p.pos++
+		return p.finishQuals(TVoid), isStatic, nil
+	}
+
+	unsigned, signed := false, false
+	var base string
+	for p.cur().Kind == TokKeyword {
+		switch p.cur().Text {
+		case "unsigned":
+			unsigned = true
+			p.pos++
+		case "signed":
+			signed = true
+			p.pos++
+		case "char", "short", "int", "float", "double":
+			if base != "" && !(base == "long" && p.cur().Text == "int") {
+				goto done
+			}
+			if base != "long" {
+				base = p.cur().Text
+			}
+			p.pos++
+		case "long":
+			if base == "" || base == "long" {
+				base = "long" // long long collapses to long (i64)
+				p.pos++
+			} else if base == "int" {
+				base = "long"
+				p.pos++
+			} else {
+				goto done
+			}
+		case "const", "volatile":
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	_ = signed
+	if base == "" {
+		base = "int" // "unsigned" alone
+	}
+	var typ *Type
+	switch base {
+	case "char":
+		if unsigned {
+			typ = TUChar
+		} else {
+			typ = TChar
+		}
+	case "short":
+		if unsigned {
+			typ = TUShort
+		} else {
+			typ = TShort
+		}
+	case "int":
+		if unsigned {
+			typ = TUInt
+		} else {
+			typ = TInt
+		}
+	case "long":
+		if unsigned {
+			typ = TULong
+		} else {
+			typ = TLong
+		}
+	case "float":
+		typ = TFloat
+	case "double":
+		typ = TDouble
+	}
+	return p.finishQuals(typ), isStatic, nil
+}
+
+// finishQuals consumes trailing const/volatile.
+func (p *parser) finishQuals(t *Type) *Type {
+	for p.acceptKw("const") || p.acceptKw("volatile") {
+	}
+	return t
+}
+
+// parseStructRef parses `Name`, `Name { ... }`, or `{ ... }` after
+// struct/union.
+func (p *parser) parseStructRef(isUnion bool) (*StructInfo, error) {
+	name := ""
+	if p.at(TokIdent) {
+		name = p.next().Text
+	}
+	if !p.atPunct("{") {
+		st, ok := p.structs[name]
+		if !ok {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unknown struct %q", name)
+		}
+		return st, nil
+	}
+	p.pos++ // {
+	st := &StructInfo{Name: name, IsUnion: isUnion}
+	for !p.atPunct("}") {
+		base, _, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			ft, fname, err := p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			st.Fields = append(st.Fields, Field{Name: fname, Type: ft})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	p.pos++ // }
+	if name != "" {
+		p.structs[name] = st
+	}
+	return st, nil
+}
+
+// parseDeclarator parses pointer stars, a name, and array suffixes.
+func (p *parser) parseDeclarator(base *Type) (*Type, string, error) {
+	t := base
+	for p.acceptPunct("*") {
+		t = PtrTo(t)
+		p.finishQuals(t)
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, "", err
+	}
+	// Array suffixes: read dimensions then wrap outside-in.
+	var dims []int
+	for p.acceptPunct("[") {
+		if p.atPunct("]") {
+			// Unsized: treat as pointer (parameter decay).
+			p.pos++
+			t = PtrTo(t)
+			continue
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, "", err
+		}
+		n, ok := constIntFold(e)
+		if !ok || n <= 0 {
+			return nil, "", errf(nameTok.Line, nameTok.Col, "array dimension must be a positive constant")
+		}
+		dims = append(dims, int(n))
+		if err := p.expectPunct("]"); err != nil {
+			return nil, "", err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = ArrayOf(t, dims[i])
+	}
+	return t, nameTok.Text, nil
+}
+
+// constIntFold folds simple constant integer expressions at parse time
+// (array dimensions built from #define arithmetic).
+func constIntFold(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.V, true
+	case *Unary:
+		v, ok := constIntFold(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			return -v, true
+		case "+":
+			return v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Binary:
+		a, ok1 := constIntFold(x.X)
+		b, ok2 := constIntFold(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case "%":
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case "<<":
+			return a << uint(b&63), true
+		case ">>":
+			return a >> uint(b&63), true
+		case "&":
+			return a & b, true
+		case "|":
+			return a | b, true
+		case "^":
+			return a ^ b, true
+		}
+	case *CastExpr:
+		return constIntFold(x.X)
+	}
+	return 0, false
+}
+
+func (p *parser) parseTopLevel(f *File) error {
+	// Bare struct/union definition?
+	if (p.atKw("struct") || p.atKw("union")) && p.toks[p.pos+1].Kind == TokIdent &&
+		p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Text == "{" {
+		isUnion := p.cur().Text == "union"
+		p.pos++
+		st, err := p.parseStructRef(isUnion)
+		if err != nil {
+			return err
+		}
+		f.Structs = append(f.Structs, st)
+		// Optional declarators after the body: `struct S {...} g;`
+		if !p.atPunct(";") {
+			base := &Type{Kind: KStruct, S: st}
+			for {
+				vt, name, err := p.parseDeclarator(base)
+				if err != nil {
+					return err
+				}
+				f.Globals = append(f.Globals, &VarDecl{Name: name, Type: vt, IsGlobal: true})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		return p.expectPunct(";")
+	}
+
+	base, isStatic, err := p.parseBaseType()
+	if err != nil {
+		return err
+	}
+	line := p.cur().Line
+	typ, name, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+
+	if p.atPunct("(") {
+		return p.parseFuncRest(f, typ, name, isStatic, line)
+	}
+
+	// Global variable(s).
+	for {
+		vd := &VarDecl{Name: name, Type: typ, IsGlobal: true, Line: line}
+		if p.acceptPunct("=") {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return err
+			}
+			vd.Init = init
+		}
+		f.Globals = append(f.Globals, vd)
+		if !p.acceptPunct(",") {
+			break
+		}
+		typ, name, err = p.parseDeclarator(base)
+		if err != nil {
+			return err
+		}
+	}
+	return p.expectPunct(";")
+}
+
+func (p *parser) parseFuncRest(f *File, ret *Type, name string, isStatic bool, line int) error {
+	p.pos++ // (
+	fd := &FuncDecl{Name: name, Ret: ret, Line: line, Static: isStatic}
+	if !p.atPunct(")") {
+		if p.atKw("void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ")" {
+			p.pos++ // bare void parameter list
+		} else {
+			for {
+				base, _, err := p.parseBaseType()
+				if err != nil {
+					return err
+				}
+				pt, pname, err := p.parseDeclarator(base)
+				if err != nil {
+					return err
+				}
+				// Array parameters decay to pointers.
+				if pt.Kind == KArray {
+					pt = PtrTo(pt.Elem)
+				}
+				fd.Params = append(fd.Params, &VarDecl{Name: pname, Type: pt, Line: line})
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if p.acceptPunct(";") {
+		// Prototype only: record for checking but without a body.
+		fd.Body = nil
+		f.Funcs = append(f.Funcs, fd)
+		return nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	f.Funcs = append(f.Funcs, fd)
+	return nil
+}
+
+func (p *parser) parseInitializer() (Expr, error) {
+	if p.atPunct("{") {
+		p.pos++
+		il := &InitList{}
+		for !p.atPunct("}") {
+			item, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			il.Items = append(il.Items, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return il, nil
+	}
+	return p.parseAssignExpr()
+}
+
+// ---- Statements ----
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.atPunct("}") {
+		if p.at(TokEOF) {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atPunct(";"):
+		p.pos++
+		return &BlockStmt{}, nil
+	case p.atKw("if"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.acceptKw("else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.atKw("while"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.atKw("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("while") {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "expected while after do body")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true}, nil
+	case p.atKw("for"):
+		return p.parseFor()
+	case p.atKw("switch"):
+		return p.parseSwitch()
+	case p.atKw("break"):
+		p.pos++
+		return &BreakStmt{}, p.expectPunct(";")
+	case p.atKw("continue"):
+		p.pos++
+		return &ContinueStmt{}, p.expectPunct(";")
+	case p.atKw("return"):
+		p.pos++
+		if p.acceptPunct(";") {
+			return &ReturnStmt{}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x}, p.expectPunct(";")
+	case p.atKw("try"):
+		p.pos++
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("catch") {
+			return nil, errf(t.Line, t.Col, "try without catch")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		// Skip the exception declarator: anything up to the closing paren.
+		depth := 1
+		for depth > 0 {
+			if p.at(TokEOF) {
+				return nil, errf(t.Line, t.Col, "unterminated catch clause")
+			}
+			if p.atPunct("(") {
+				depth++
+			}
+			if p.atPunct(")") {
+				depth--
+			}
+			p.pos++
+		}
+		catch, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &TryStmt{Body: body, Catch: catch}, nil
+	case p.atKw("throw"):
+		p.pos++
+		var x Expr
+		if !p.atPunct(";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ThrowStmt{X: x}, p.expectPunct(";")
+	case p.atTypeStart():
+		return p.parseDeclStmt()
+	}
+	// Expression statement.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, p.expectPunct(";")
+}
+
+func (p *parser) parseDeclStmt() (Stmt, error) {
+	base, _, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{}
+	for {
+		line := p.cur().Line
+		typ, name, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.acceptPunct("=") {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		ds.Vars = append(ds.Vars, vd)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return ds, p.expectPunct(";")
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	p.pos++ // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{}
+	if !p.atPunct(";") {
+		if p.atTypeStart() {
+			s, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = s
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = &ExprStmt{X: x}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++
+	}
+	if !p.atPunct(";") {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = c
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	p.pos++ // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	sw := &SwitchStmt{Tag: tag}
+	var cur *SwitchCase
+	for !p.atPunct("}") {
+		switch {
+		case p.atKw("case"):
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			v, ok := constIntFold(e)
+			if !ok {
+				t := p.cur()
+				return nil, errf(t.Line, t.Col, "case value must be constant")
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			// Adjacent labels share a body.
+			if cur != nil && len(cur.Body) == 0 && !cur.IsDefault {
+				cur.Vals = append(cur.Vals, v)
+			} else {
+				cur = &SwitchCase{Vals: []int64{v}}
+				sw.Cases = append(sw.Cases, cur)
+			}
+		case p.atKw("default"):
+			p.pos++
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			cur = &SwitchCase{IsDefault: true}
+			sw.Cases = append(sw.Cases, cur)
+		default:
+			if cur == nil {
+				t := p.cur()
+				return nil, errf(t.Line, t.Col, "statement before first case label")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, s)
+		}
+	}
+	p.pos++ // }
+	return sw, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) {
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Comma operator: evaluate left, yield right. Represent as a Binary ",".
+	for p.atPunct(",") {
+		// Only inside parens/for-posts; caller grammar contexts that use
+		// comma as a separator call parseAssignExpr directly.
+		p.pos++
+		r, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &Binary{Op: ",", X: e, Y: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct {
+		op := p.cur().Text
+		switch op {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.pos++
+			rhs, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: op, LHS: lhs, RHS: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("?") {
+		t, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, T: t, F: f}, nil
+	}
+	return c, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "+", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.isCastAhead() {
+				p.pos++ // (
+				base, _, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				to := base
+				for p.acceptPunct("*") {
+					to = PtrTo(to)
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &CastExpr{To: to, X: x}, nil
+			}
+		}
+	}
+	if t.Kind == TokKeyword && t.Text == "sizeof" {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if p.atTypeStart() {
+			base, _, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			to := base
+			for p.acceptPunct("*") {
+				to = PtrTo(to)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{OfType: to}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+// isCastAhead looks past "(" for a type keyword followed eventually by ")".
+func (p *parser) isCastAhead() bool {
+	if p.toks[p.pos+1].Kind != TokKeyword {
+		return false
+	}
+	switch p.toks[p.pos+1].Text {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"unsigned", "signed", "struct", "union", "const":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return e, nil
+		}
+		switch t.Text {
+		case "[":
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, I: idx}
+		case ".":
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Member{X: e, Name: name.Text}
+		case "->":
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Member{X: e, Name: name.Text, Arrow: true}
+		case "++", "--":
+			p.pos++
+			e = &Unary{Op: t.Text, X: e, Postfix: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit, TokCharLit:
+		p.pos++
+		return &IntLit{V: t.IntVal}, nil
+	case TokFloatLit:
+		p.pos++
+		return &FloatLit{V: t.FloatVal}, nil
+	case TokStrLit:
+		p.pos++
+		return &StrLit{S: t.Text}, nil
+	case TokIdent:
+		p.pos++
+		if p.atPunct("(") {
+			p.pos++
+			c := &Call{Name: t.Text, Line: t.Line}
+			for !p.atPunct(")") {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectPunct(")")
+		}
+	}
+	return nil, errf(t.Line, t.Col, "unexpected token %s in expression", t)
+}
+
+// Dump renders an expression for tests and debugging.
+func Dump(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", x.V)
+	case *FloatLit:
+		return fmt.Sprintf("%g", x.V)
+	case *StrLit:
+		return fmt.Sprintf("%q", x.S)
+	case *Ident:
+		return x.Name
+	case *Unary:
+		if x.Postfix {
+			return "(" + Dump(x.X) + x.Op + ")"
+		}
+		return "(" + x.Op + Dump(x.X) + ")"
+	case *Binary:
+		return "(" + Dump(x.X) + x.Op + Dump(x.Y) + ")"
+	case *Assign:
+		return "(" + Dump(x.LHS) + x.Op + Dump(x.RHS) + ")"
+	case *Cond:
+		return "(" + Dump(x.C) + "?" + Dump(x.T) + ":" + Dump(x.F) + ")"
+	case *Call:
+		s := x.Name + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += Dump(a)
+		}
+		return s + ")"
+	case *Index:
+		return Dump(x.X) + "[" + Dump(x.I) + "]"
+	case *Member:
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return Dump(x.X) + sep + x.Name
+	case *CastExpr:
+		return "((" + x.To.String() + ")" + Dump(x.X) + ")"
+	case *SizeofExpr:
+		if x.OfType != nil {
+			return "sizeof(" + x.OfType.String() + ")"
+		}
+		return "sizeof(" + Dump(x.X) + ")"
+	case *InitList:
+		s := "{"
+		for i, it := range x.Items {
+			if i > 0 {
+				s += ","
+			}
+			s += Dump(it)
+		}
+		return s + "}"
+	}
+	return "?"
+}

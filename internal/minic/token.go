@@ -1,0 +1,82 @@
+// Package minic implements the C-subset frontend used to author the study's
+// benchmark programs: a tiny preprocessor (#define / -D), a lexer, a
+// recursive-descent parser, a type checker, and the source transformations
+// from §3.1 of the paper (exception handlers → error flags, union → struct
+// with casts).
+//
+// The subset covers what PolyBenchC- and CHStone-style kernels need:
+// char/int/unsigned/long/float/double scalars, multi-dimensional arrays,
+// pointers, structs, enums as constants (via #define), full expression and
+// statement grammars, and global initializers. As extensions that exist only
+// to be *transformed away* (mirroring the paper's §3.1 methodology), the
+// grammar also accepts try/catch/throw and union.
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokPunct // operators and punctuation
+	TokKeyword
+)
+
+// Token is a lexical token with source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// IntVal/FloatVal are set for literals.
+	IntVal   int64
+	FloatVal float64
+	IsFloat  bool
+	Line     int
+	Col      int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokIntLit, TokFloatLit, TokCharLit:
+		return t.Text
+	case TokStrLit:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"struct": true, "union": true, "enum": true, "typedef": true,
+	"const": true, "static": true, "extern": true, "volatile": true, "register": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"switch": true, "case": true, "default": true, "break": true,
+	"continue": true, "return": true, "goto": true, "sizeof": true,
+	// C++-isms accepted only so the §3.1 transformation can remove them.
+	"try": true, "catch": true, "throw": true,
+}
+
+// Error is a frontend diagnostic with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minic:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

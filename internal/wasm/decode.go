@@ -1,0 +1,570 @@
+package wasm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Decode parses a WebAssembly binary back into a Module. It is the inverse
+// of Encode for the subset this package models and rejects malformed input
+// with descriptive errors.
+func Decode(buf []byte) (*Module, error) {
+	if len(buf) < len(magicAndVersion) || !bytes.Equal(buf[:len(magicAndVersion)], magicAndVersion) {
+		return nil, fmt.Errorf("wasm: bad magic/version header")
+	}
+	m := &Module{}
+	off := len(magicAndVersion)
+	lastID := -1
+	for off < len(buf) {
+		id := buf[off]
+		off++
+		size, noff, err := readUleb(buf, off, 32)
+		if err != nil {
+			return nil, fmt.Errorf("wasm: section %d size: %w", id, err)
+		}
+		off = noff
+		if off+int(size) > len(buf) {
+			return nil, fmt.Errorf("wasm: section %d: %w", id, ErrTruncated)
+		}
+		sec := buf[off : off+int(size)]
+		off += int(size)
+		if id != secCustom {
+			if int(id) <= lastID {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastID = int(id)
+		}
+		switch id {
+		case secCustom:
+			if err := decodeCustom(m, sec); err != nil {
+				return nil, err
+			}
+		case secType:
+			if err := decodeTypes(m, sec); err != nil {
+				return nil, err
+			}
+		case secImport:
+			if err := decodeImports(m, sec); err != nil {
+				return nil, err
+			}
+		case secFunction:
+			if err := decodeFuncDecls(m, sec); err != nil {
+				return nil, err
+			}
+		case secMemory:
+			if err := decodeMemory(m, sec); err != nil {
+				return nil, err
+			}
+		case secGlobal:
+			if err := decodeGlobals(m, sec); err != nil {
+				return nil, err
+			}
+		case secExport:
+			if err := decodeExports(m, sec); err != nil {
+				return nil, err
+			}
+		case secCode:
+			if err := decodeCode(m, sec); err != nil {
+				return nil, err
+			}
+		case secData:
+			if err := decodeData(m, sec); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wasm: unsupported section id %d", id)
+		}
+	}
+	return m, nil
+}
+
+func readName(sec []byte, off int) (string, int, error) {
+	n, off, err := readUleb(sec, off, 32)
+	if err != nil {
+		return "", off, err
+	}
+	if off+int(n) > len(sec) {
+		return "", off, ErrTruncated
+	}
+	return string(sec[off : off+int(n)]), off + int(n), nil
+}
+
+func decodeTypes(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if off >= len(sec) || sec[off] != 0x60 {
+			return fmt.Errorf("wasm: type %d: expected functype tag", i)
+		}
+		off++
+		var ft FuncType
+		var np uint64
+		np, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < np; j++ {
+			if off >= len(sec) {
+				return ErrTruncated
+			}
+			t := ValType(sec[off])
+			off++
+			if !t.Valid() {
+				return fmt.Errorf("wasm: type %d: bad param type", i)
+			}
+			ft.Params = append(ft.Params, t)
+		}
+		var nr uint64
+		nr, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		if nr > 1 {
+			return fmt.Errorf("wasm: type %d: multi-value results unsupported", i)
+		}
+		for j := uint64(0); j < nr; j++ {
+			if off >= len(sec) {
+				return ErrTruncated
+			}
+			t := ValType(sec[off])
+			off++
+			if !t.Valid() {
+				return fmt.Errorf("wasm: type %d: bad result type", i)
+			}
+			ft.Results = append(ft.Results, t)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeImports(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var mod, field string
+		mod, off, err = readName(sec, off)
+		if err != nil {
+			return err
+		}
+		field, off, err = readName(sec, off)
+		if err != nil {
+			return err
+		}
+		if off >= len(sec) {
+			return ErrTruncated
+		}
+		kind := sec[off]
+		off++
+		if kind != 0x00 {
+			return fmt.Errorf("wasm: import %s.%s: only function imports supported", mod, field)
+		}
+		var ti uint64
+		ti, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		m.Imports = append(m.Imports, Import{Module: mod, Field: field, Type: uint32(ti)})
+	}
+	return nil
+}
+
+func decodeFuncDecls(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var ti uint64
+		ti, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		m.Funcs = append(m.Funcs, Function{Type: uint32(ti)})
+	}
+	return nil
+}
+
+func decodeMemory(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	if n != 1 {
+		return fmt.Errorf("wasm: expected exactly one memory, got %d", n)
+	}
+	if off >= len(sec) {
+		return ErrTruncated
+	}
+	flags := sec[off]
+	off++
+	mt := &MemType{}
+	var v uint64
+	v, off, err = readUleb(sec, off, 32)
+	if err != nil {
+		return err
+	}
+	mt.Min = uint32(v)
+	if flags == 0x01 {
+		v, _, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		mt.Max = uint32(v)
+		mt.HasMax = true
+	}
+	m.Mem = mt
+	return nil
+}
+
+func decodeGlobals(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if off >= len(sec) {
+			return ErrTruncated
+		}
+		g := Global{Type: ValType(sec[off])}
+		off++
+		if !g.Type.Valid() {
+			return fmt.Errorf("wasm: global %d: bad type", i)
+		}
+		if off >= len(sec) {
+			return ErrTruncated
+		}
+		g.Mutable = sec[off] == 0x01
+		off++
+		g.Init, off, err = decodeConstExpr(sec, off, g.Type)
+		if err != nil {
+			return fmt.Errorf("wasm: global %d: %w", i, err)
+		}
+		m.Globals = append(m.Globals, g)
+	}
+	return nil
+}
+
+func decodeConstExpr(sec []byte, off int, t ValType) (int64, int, error) {
+	if off >= len(sec) {
+		return 0, off, ErrTruncated
+	}
+	op := Opcode(sec[off])
+	off++
+	var raw int64
+	var err error
+	switch {
+	case op == OpI32Const && t == I32:
+		raw, off, err = readSleb(sec, off, 32)
+	case op == OpI64Const && t == I64:
+		raw, off, err = readSleb(sec, off, 64)
+	case op == OpF32Const && t == F32:
+		if off+4 > len(sec) {
+			return 0, off, ErrTruncated
+		}
+		raw = int64(binary.LittleEndian.Uint32(sec[off:]))
+		off += 4
+	case op == OpF64Const && t == F64:
+		if off+8 > len(sec) {
+			return 0, off, ErrTruncated
+		}
+		raw = int64(binary.LittleEndian.Uint64(sec[off:]))
+		off += 8
+	default:
+		return 0, off, fmt.Errorf("const expr opcode %v does not match type %v", op, t)
+	}
+	if err != nil {
+		return 0, off, err
+	}
+	if off >= len(sec) || Opcode(sec[off]) != OpEnd {
+		return 0, off, fmt.Errorf("const expr missing end")
+	}
+	return raw, off + 1, nil
+}
+
+func decodeExports(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		name, off, err = readName(sec, off)
+		if err != nil {
+			return err
+		}
+		if off >= len(sec) {
+			return ErrTruncated
+		}
+		kind := ExportKind(sec[off])
+		off++
+		var idx uint64
+		idx, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, Export{Name: name, Kind: kind, Idx: uint32(idx)})
+	}
+	return nil
+}
+
+func decodeCode(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(m.Funcs) {
+		return fmt.Errorf("wasm: code count %d != function count %d", n, len(m.Funcs))
+	}
+	for i := uint64(0); i < n; i++ {
+		var size uint64
+		size, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		if off+int(size) > len(sec) {
+			return ErrTruncated
+		}
+		body := sec[off : off+int(size)]
+		off += int(size)
+		if err := decodeBody(&m.Funcs[i], body); err != nil {
+			return fmt.Errorf("wasm: func %d body: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func decodeBody(f *Function, body []byte) error {
+	nRuns, off, err := readUleb(body, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nRuns; i++ {
+		var cnt uint64
+		cnt, off, err = readUleb(body, off, 32)
+		if err != nil {
+			return err
+		}
+		if off >= len(body) {
+			return ErrTruncated
+		}
+		t := ValType(body[off])
+		off++
+		if !t.Valid() {
+			return fmt.Errorf("bad local type")
+		}
+		if cnt > 1<<20 {
+			return fmt.Errorf("unreasonable local count %d", cnt)
+		}
+		for j := uint64(0); j < cnt; j++ {
+			f.Locals = append(f.Locals, t)
+		}
+	}
+	for off < len(body) {
+		var in Instr
+		in, off, err = decodeInstr(body, off)
+		if err != nil {
+			return err
+		}
+		f.Body = append(f.Body, in)
+	}
+	if len(f.Body) == 0 || f.Body[len(f.Body)-1].Op != OpEnd {
+		return fmt.Errorf("body does not end with end opcode")
+	}
+	return nil
+}
+
+func decodeInstr(body []byte, off int) (Instr, int, error) {
+	var in Instr
+	if off >= len(body) {
+		return in, off, ErrTruncated
+	}
+	in.Op = Opcode(body[off])
+	off++
+	if !in.Op.Valid() {
+		return in, off, fmt.Errorf("invalid opcode 0x%02x at %d", byte(in.Op), off-1)
+	}
+	var err error
+	switch in.Op {
+	case OpBlock, OpLoop, OpIf:
+		var bt int64
+		bt, off, err = readSleb(body, off, 33)
+		if err != nil {
+			return in, off, err
+		}
+		in.BlockType = int32(bt)
+		if in.BlockType != BlockNone && !ValType(byte(in.BlockType)).Valid() {
+			return in, off, fmt.Errorf("bad block type %d", in.BlockType)
+		}
+	case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
+		var v uint64
+		v, off, err = readUleb(body, off, 32)
+		if err != nil {
+			return in, off, err
+		}
+		in.A = uint32(v)
+	case OpBrTable:
+		var n uint64
+		n, off, err = readUleb(body, off, 32)
+		if err != nil {
+			return in, off, err
+		}
+		if n > 1<<16 {
+			return in, off, fmt.Errorf("unreasonable br_table size %d", n)
+		}
+		in.Targets = make([]uint32, n)
+		for i := range in.Targets {
+			var t uint64
+			t, off, err = readUleb(body, off, 32)
+			if err != nil {
+				return in, off, err
+			}
+			in.Targets[i] = uint32(t)
+		}
+		var d uint64
+		d, off, err = readUleb(body, off, 32)
+		if err != nil {
+			return in, off, err
+		}
+		in.A = uint32(d)
+	case OpMemorySize, OpMemoryGrow:
+		if off >= len(body) {
+			return in, off, ErrTruncated
+		}
+		if body[off] != 0x00 {
+			return in, off, fmt.Errorf("nonzero memory index")
+		}
+		off++
+	case OpI32Const:
+		var v int64
+		v, off, err = readSleb(body, off, 32)
+		if err != nil {
+			return in, off, err
+		}
+		in.Val = int64(int32(v))
+	case OpI64Const:
+		in.Val, off, err = readSleb(body, off, 64)
+		if err != nil {
+			return in, off, err
+		}
+	case OpF32Const:
+		if off+4 > len(body) {
+			return in, off, ErrTruncated
+		}
+		in.Val = int64(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	case OpF64Const:
+		if off+8 > len(body) {
+			return in, off, ErrTruncated
+		}
+		in.Val = int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	default:
+		if isMemAccess(in.Op) {
+			var a, b uint64
+			a, off, err = readUleb(body, off, 32)
+			if err != nil {
+				return in, off, err
+			}
+			b, off, err = readUleb(body, off, 32)
+			if err != nil {
+				return in, off, err
+			}
+			in.A, in.B = uint32(a), uint32(b)
+		}
+	}
+	return in, off, nil
+}
+
+func decodeData(m *Module, sec []byte) error {
+	n, off, err := readUleb(sec, 0, 32)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if off >= len(sec) {
+			return ErrTruncated
+		}
+		if sec[off] != 0x00 {
+			return fmt.Errorf("wasm: data %d: only active segments in memory 0 supported", i)
+		}
+		off++
+		var offset int64
+		offset, off, err = decodeConstExpr(sec, off, I32)
+		if err != nil {
+			return fmt.Errorf("wasm: data %d: %w", i, err)
+		}
+		var size uint64
+		size, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		if off+int(size) > len(sec) {
+			return ErrTruncated
+		}
+		m.Data = append(m.Data, DataSegment{
+			Offset: uint32(int32(offset)),
+			Bytes:  append([]byte(nil), sec[off:off+int(size)]...),
+		})
+		off += int(size)
+	}
+	return nil
+}
+
+func decodeCustom(m *Module, sec []byte) error {
+	name, off, err := readName(sec, 0)
+	if err != nil {
+		return err
+	}
+	if name != "name" {
+		return nil // unknown custom sections are skipped
+	}
+	for off < len(sec) {
+		id := sec[off]
+		off++
+		var size uint64
+		size, off, err = readUleb(sec, off, 32)
+		if err != nil {
+			return err
+		}
+		if off+int(size) > len(sec) {
+			return ErrTruncated
+		}
+		sub := sec[off : off+int(size)]
+		off += int(size)
+		switch id {
+		case 0x00:
+			m.Name, _, err = readName(sub, 0)
+			if err != nil {
+				return err
+			}
+		case 0x01:
+			cnt, soff, err := readUleb(sub, 0, 32)
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < cnt; i++ {
+				var idx uint64
+				idx, soff, err = readUleb(sub, soff, 32)
+				if err != nil {
+					return err
+				}
+				var fn string
+				fn, soff, err = readName(sub, soff)
+				if err != nil {
+					return err
+				}
+				di := int(idx) - len(m.Imports)
+				if di >= 0 && di < len(m.Funcs) {
+					m.Funcs[di].Name = fn
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary-format section ids.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secCode     = 10
+	secData     = 11
+)
+
+var magicAndVersion = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// Encode serializes the module into the WebAssembly binary format.
+func Encode(m *Module) ([]byte, error) {
+	out := append([]byte(nil), magicAndVersion...)
+
+	// Type section.
+	if len(m.Types) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Types)))
+		for _, t := range m.Types {
+			sec = append(sec, 0x60)
+			sec = appendUleb(sec, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				sec = append(sec, byte(p))
+			}
+			sec = appendUleb(sec, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				sec = append(sec, byte(r))
+			}
+		}
+		out = appendSection(out, secType, sec)
+	}
+
+	// Import section.
+	if len(m.Imports) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Imports)))
+		for _, imp := range m.Imports {
+			sec = appendName(sec, imp.Module)
+			sec = appendName(sec, imp.Field)
+			sec = append(sec, 0x00) // func import
+			sec = appendUleb(sec, uint64(imp.Type))
+		}
+		out = appendSection(out, secImport, sec)
+	}
+
+	// Function section.
+	if len(m.Funcs) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Funcs)))
+		for i := range m.Funcs {
+			sec = appendUleb(sec, uint64(m.Funcs[i].Type))
+		}
+		out = appendSection(out, secFunction, sec)
+	}
+
+	// Memory section.
+	if m.Mem != nil {
+		var sec []byte
+		sec = appendUleb(sec, 1)
+		if m.Mem.HasMax {
+			sec = append(sec, 0x01)
+			sec = appendUleb(sec, uint64(m.Mem.Min))
+			sec = appendUleb(sec, uint64(m.Mem.Max))
+		} else {
+			sec = append(sec, 0x00)
+			sec = appendUleb(sec, uint64(m.Mem.Min))
+		}
+		out = appendSection(out, secMemory, sec)
+	}
+
+	// Global section.
+	if len(m.Globals) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Globals)))
+		for _, g := range m.Globals {
+			sec = append(sec, byte(g.Type))
+			if g.Mutable {
+				sec = append(sec, 0x01)
+			} else {
+				sec = append(sec, 0x00)
+			}
+			var err error
+			sec, err = appendConstExpr(sec, g.Type, g.Init)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = appendSection(out, secGlobal, sec)
+	}
+
+	// Export section.
+	if len(m.Exports) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Exports)))
+		for _, e := range m.Exports {
+			sec = appendName(sec, e.Name)
+			sec = append(sec, byte(e.Kind))
+			sec = appendUleb(sec, uint64(e.Idx))
+		}
+		out = appendSection(out, secExport, sec)
+	}
+
+	// Code section.
+	if len(m.Funcs) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Funcs)))
+		for i := range m.Funcs {
+			body, err := encodeBody(&m.Funcs[i])
+			if err != nil {
+				return nil, fmt.Errorf("func %d (%s): %w", i, m.Funcs[i].Name, err)
+			}
+			sec = appendUleb(sec, uint64(len(body)))
+			sec = append(sec, body...)
+		}
+		out = appendSection(out, secCode, sec)
+	}
+
+	// Data section.
+	if len(m.Data) > 0 {
+		var sec []byte
+		sec = appendUleb(sec, uint64(len(m.Data)))
+		for _, d := range m.Data {
+			sec = append(sec, 0x00) // active, memory 0
+			sec = append(sec, byte(OpI32Const))
+			sec = appendSleb(sec, int64(int32(d.Offset)))
+			sec = append(sec, byte(OpEnd))
+			sec = appendUleb(sec, uint64(len(d.Bytes)))
+			sec = append(sec, d.Bytes...)
+		}
+		out = appendSection(out, secData, sec)
+	}
+
+	// Custom name section (module + function names) for WAT round-trips.
+	if nameSec := encodeNameSection(m); nameSec != nil {
+		out = appendSection(out, secCustom, nameSec)
+	}
+	return out, nil
+}
+
+func appendSection(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = appendUleb(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+func appendName(dst []byte, s string) []byte {
+	dst = appendUleb(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendConstExpr(dst []byte, t ValType, raw int64) ([]byte, error) {
+	switch t {
+	case I32:
+		dst = append(dst, byte(OpI32Const))
+		dst = appendSleb(dst, int64(int32(raw)))
+	case I64:
+		dst = append(dst, byte(OpI64Const))
+		dst = appendSleb(dst, raw)
+	case F32:
+		dst = append(dst, byte(OpF32Const))
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(raw))
+		dst = append(dst, b[:]...)
+	case F64:
+		dst = append(dst, byte(OpF64Const))
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(raw))
+		dst = append(dst, b[:]...)
+	default:
+		return nil, fmt.Errorf("bad global type %v", t)
+	}
+	return append(dst, byte(OpEnd)), nil
+}
+
+// encodeBody serializes locals plus the instruction sequence. The body's
+// final instruction must be the implicit End; the builder guarantees it.
+func encodeBody(f *Function) ([]byte, error) {
+	var body []byte
+	// Run-length encode locals.
+	type run struct {
+		t ValType
+		n uint32
+	}
+	var runs []run
+	for _, l := range f.Locals {
+		if len(runs) > 0 && runs[len(runs)-1].t == l {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{l, 1})
+		}
+	}
+	body = appendUleb(body, uint64(len(runs)))
+	for _, r := range runs {
+		body = appendUleb(body, uint64(r.n))
+		body = append(body, byte(r.t))
+	}
+	for i := range f.Body {
+		var err error
+		body, err = appendInstr(body, &f.Body[i])
+		if err != nil {
+			return nil, fmt.Errorf("instr %d: %w", i, err)
+		}
+	}
+	return body, nil
+}
+
+func appendInstr(dst []byte, in *Instr) ([]byte, error) {
+	if !in.Op.Valid() {
+		return nil, fmt.Errorf("invalid opcode 0x%02x", byte(in.Op))
+	}
+	dst = append(dst, byte(in.Op))
+	switch in.Op {
+	case OpBlock, OpLoop, OpIf:
+		dst = appendSleb(dst, int64(in.BlockType))
+	case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
+		dst = appendUleb(dst, uint64(in.A))
+	case OpBrTable:
+		dst = appendUleb(dst, uint64(len(in.Targets)))
+		for _, t := range in.Targets {
+			dst = appendUleb(dst, uint64(t))
+		}
+		dst = appendUleb(dst, uint64(in.A)) // default label
+	case OpMemorySize, OpMemoryGrow:
+		dst = append(dst, 0x00)
+	case OpI32Const:
+		dst = appendSleb(dst, int64(int32(in.Val)))
+	case OpI64Const:
+		dst = appendSleb(dst, in.Val)
+	case OpF32Const:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(in.Val))
+		dst = append(dst, b[:]...)
+	case OpF64Const:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(in.Val))
+		dst = append(dst, b[:]...)
+	default:
+		if isMemAccess(in.Op) {
+			dst = appendUleb(dst, uint64(in.A)) // align
+			dst = appendUleb(dst, uint64(in.B)) // offset
+		}
+	}
+	return dst, nil
+}
+
+func isMemAccess(op Opcode) bool {
+	return op >= OpI32Load && op <= OpI64Store32
+}
+
+func encodeNameSection(m *Module) []byte {
+	var funcNames []byte
+	count := 0
+	for i := range m.Funcs {
+		if m.Funcs[i].Name == "" {
+			continue
+		}
+		idx := uint32(len(m.Imports)) + uint32(i)
+		funcNames = appendUleb(funcNames, uint64(idx))
+		funcNames = appendName(funcNames, m.Funcs[i].Name)
+		count++
+	}
+	if count == 0 && m.Name == "" {
+		return nil
+	}
+	var sec []byte
+	sec = appendName(sec, "name")
+	if m.Name != "" {
+		var sub []byte
+		sub = appendName(sub, m.Name)
+		sec = append(sec, 0x00)
+		sec = appendUleb(sec, uint64(len(sub)))
+		sec = append(sec, sub...)
+	}
+	if count > 0 {
+		var sub []byte
+		sub = appendUleb(sub, uint64(count))
+		sub = append(sub, funcNames...)
+		sec = append(sec, 0x01)
+		sec = appendUleb(sec, uint64(len(sub)))
+		sec = append(sec, sub...)
+	}
+	return sec
+}
+
+// F32Bits packs a float32 into the raw Instr.Val representation.
+func F32Bits(f float32) int64 { return int64(math.Float32bits(f)) }
+
+// F64Bits packs a float64 into the raw Instr.Val representation.
+func F64Bits(f float64) int64 { return int64(math.Float64bits(f)) }

@@ -1,0 +1,89 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when the input ends inside an LEB128 value or a
+// declared region.
+var ErrTruncated = errors.New("wasm: truncated input")
+
+// appendUleb appends the unsigned LEB128 encoding of v to dst.
+func appendUleb(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// appendSleb appends the signed LEB128 encoding of v to dst.
+func appendSleb(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// readUleb decodes an unsigned LEB128 value of at most maxBits bits from
+// buf[off:], returning the value and the new offset.
+func readUleb(buf []byte, off int, maxBits uint) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for {
+		if off >= len(buf) {
+			return 0, off, ErrTruncated
+		}
+		b := buf[off]
+		off++
+		v |= uint64(b&0x7F) << shift
+		if b&0x80 == 0 {
+			break
+		}
+		shift += 7
+		if shift >= maxBits+7 {
+			return 0, off, fmt.Errorf("wasm: uleb128 overflows %d bits", maxBits)
+		}
+	}
+	if maxBits < 64 && v >= 1<<maxBits {
+		return 0, off, fmt.Errorf("wasm: uleb128 value %d overflows %d bits", v, maxBits)
+	}
+	return v, off, nil
+}
+
+// readSleb decodes a signed LEB128 value of at most maxBits bits from
+// buf[off:], returning the value and the new offset.
+func readSleb(buf []byte, off int, maxBits uint) (int64, int, error) {
+	var v int64
+	var shift uint
+	for {
+		if off >= len(buf) {
+			return 0, off, ErrTruncated
+		}
+		b := buf[off]
+		off++
+		v |= int64(b&0x7F) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				v |= -1 << shift
+			}
+			break
+		}
+		if shift >= maxBits+7 {
+			return 0, off, fmt.Errorf("wasm: sleb128 overflows %d bits", maxBits)
+		}
+	}
+	return v, off, nil
+}

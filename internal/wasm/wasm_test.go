@@ -1,0 +1,364 @@
+package wasm
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testModule builds a small valid module: an add function, a loop-based
+// accumulator, a global, memory with a data segment, and exports.
+func testModule() *Module {
+	m := &Module{Name: "fixture"}
+	tAdd := m.AddType(FuncType{Params: []ValType{I32, I32}, Results: []ValType{I32}})
+	tLoop := m.AddType(FuncType{Params: []ValType{I32}, Results: []ValType{I64}})
+	tHost := m.AddType(FuncType{Params: []ValType{F64}, Results: nil})
+	m.Imports = append(m.Imports, Import{Module: "env", Field: "report", Type: tHost})
+	m.Mem = &MemType{Min: 2, Max: 64, HasMax: true}
+	m.Globals = append(m.Globals, Global{Type: I32, Mutable: true, Init: 1024, Name: "heap"})
+	m.Globals = append(m.Globals, Global{Type: F64, Mutable: false, Init: F64Bits(3.5)})
+
+	m.Funcs = append(m.Funcs, Function{
+		Type: tAdd,
+		Name: "add",
+		Body: []Instr{
+			{Op: OpLocalGet, A: 0},
+			{Op: OpLocalGet, A: 1},
+			{Op: OpI32Add},
+			{Op: OpEnd},
+		},
+	})
+	// sum(n): for (i=0; i<n; i++) acc += i; return acc (as i64)
+	m.Funcs = append(m.Funcs, Function{
+		Type:   tLoop,
+		Name:   "sum",
+		Locals: []ValType{I32, I64}, // i, acc
+		Body: []Instr{
+			{Op: OpBlock, BlockType: BlockNone},
+			{Op: OpLoop, BlockType: BlockNone},
+			{Op: OpLocalGet, A: 1},
+			{Op: OpLocalGet, A: 0},
+			{Op: OpI32GeS},
+			{Op: OpBrIf, A: 1},
+			{Op: OpLocalGet, A: 2},
+			{Op: OpLocalGet, A: 1},
+			{Op: OpI64ExtendI32S},
+			{Op: OpI64Add},
+			{Op: OpLocalSet, A: 2},
+			{Op: OpLocalGet, A: 1},
+			{Op: OpI32Const, Val: 1},
+			{Op: OpI32Add},
+			{Op: OpLocalSet, A: 1},
+			{Op: OpBr, A: 0},
+			{Op: OpEnd},
+			{Op: OpEnd},
+			{Op: OpLocalGet, A: 2},
+			{Op: OpEnd},
+		},
+	})
+	fAdd := uint32(len(m.Imports)) // index of "add"
+	m.Exports = append(m.Exports,
+		Export{Name: "add", Kind: ExportFunc, Idx: fAdd},
+		Export{Name: "sum", Kind: ExportFunc, Idx: fAdd + 1},
+		Export{Name: "memory", Kind: ExportMemory, Idx: 0},
+	)
+	m.Data = append(m.Data, DataSegment{Offset: 16, Bytes: []byte("hello wasm")})
+	return m
+}
+
+func TestValidateFixture(t *testing.T) {
+	if err := Validate(testModule()); err != nil {
+		t.Fatalf("fixture should validate: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testModule()
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(bin[:8], magicAndVersion) {
+		t.Fatalf("missing magic header")
+	}
+	m2, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(m.Types, m2.Types) {
+		t.Errorf("types differ: %v vs %v", m.Types, m2.Types)
+	}
+	if !reflect.DeepEqual(m.Imports, m2.Imports) {
+		t.Errorf("imports differ")
+	}
+	if len(m2.Funcs) != len(m.Funcs) {
+		t.Fatalf("func count differs: %d vs %d", len(m2.Funcs), len(m.Funcs))
+	}
+	for i := range m.Funcs {
+		if m.Funcs[i].Name != m2.Funcs[i].Name {
+			t.Errorf("func %d name: %q vs %q", i, m.Funcs[i].Name, m2.Funcs[i].Name)
+		}
+		if !reflect.DeepEqual(m.Funcs[i].Locals, m2.Funcs[i].Locals) {
+			t.Errorf("func %d locals differ", i)
+		}
+		if !reflect.DeepEqual(m.Funcs[i].Body, m2.Funcs[i].Body) {
+			t.Errorf("func %d body differs:\n%v\nvs\n%v", i, m.Funcs[i].Body, m2.Funcs[i].Body)
+		}
+	}
+	if !reflect.DeepEqual(m.Exports, m2.Exports) {
+		t.Errorf("exports differ")
+	}
+	if !reflect.DeepEqual(m.Data, m2.Data) {
+		t.Errorf("data differs")
+	}
+	if m2.Mem == nil || *m2.Mem != *m.Mem {
+		t.Errorf("memory type differs")
+	}
+	// Global names are not in the name section; compare values only.
+	for i := range m.Globals {
+		g, g2 := m.Globals[i], m2.Globals[i]
+		if g.Type != g2.Type || g.Mutable != g2.Mutable || g.Init != g2.Init {
+			t.Errorf("global %d differs: %+v vs %+v", i, g, g2)
+		}
+	}
+	if m2.Name != m.Name {
+		t.Errorf("module name: %q vs %q", m2.Name, m.Name)
+	}
+	// The decoded module must validate too.
+	if err := Validate(m2); err != nil {
+		t.Errorf("decoded module fails validation: %v", err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := testModule()
+	a, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   {1, 2, 3, 4, 5, 6, 7, 8},
+		"truncated":   magicAndVersion[:4],
+		"bad section": append(append([]byte{}, magicAndVersion...), 99, 0),
+		"trunc body":  append(append([]byte{}, magicAndVersion...), 1, 200),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+}
+
+func TestDecodeRejectsOutOfOrderSections(t *testing.T) {
+	bin := append([]byte{}, magicAndVersion...)
+	// Export section (7) then type section (1): out of order.
+	bin = appendSection(bin, secExport, []byte{0})
+	bin = appendSection(bin, secType, []byte{0})
+	if _, err := Decode(bin); err == nil {
+		t.Fatal("expected out-of-order section error")
+	}
+}
+
+func TestValidatorRejections(t *testing.T) {
+	mk := func(body []Instr, results []ValType) *Module {
+		m := &Module{}
+		ti := m.AddType(FuncType{Results: results})
+		m.Funcs = append(m.Funcs, Function{Type: ti, Body: body})
+		return m
+	}
+	cases := map[string]*Module{
+		"stack underflow": mk([]Instr{{Op: OpI32Add}, {Op: OpDrop}, {Op: OpEnd}}, nil),
+		"type mismatch": mk([]Instr{
+			{Op: OpI32Const, Val: 1}, {Op: OpF64Const, Val: F64Bits(1)},
+			{Op: OpI32Add}, {Op: OpDrop}, {Op: OpEnd}}, nil),
+		"value left on stack": mk([]Instr{{Op: OpI32Const, Val: 1}, {Op: OpEnd}}, nil),
+		"missing result":      mk([]Instr{{Op: OpEnd}}, []ValType{I32}),
+		"bad local":           mk([]Instr{{Op: OpLocalGet, A: 9}, {Op: OpDrop}, {Op: OpEnd}}, nil),
+		"bad branch depth":    mk([]Instr{{Op: OpBr, A: 5}, {Op: OpEnd}}, nil),
+		"bad call index":      mk([]Instr{{Op: OpCall, A: 42}, {Op: OpEnd}}, nil),
+		"else without if":     mk([]Instr{{Op: OpElse}, {Op: OpEnd}, {Op: OpEnd}}, nil),
+		"memory without decl": mk([]Instr{
+			{Op: OpI32Const, Val: 0}, {Op: OpI32Load, A: 2}, {Op: OpDrop}, {Op: OpEnd}}, nil),
+	}
+	for name, m := range cases {
+		if err := Validate(m); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestValidatorAcceptsUnreachableCode(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{I32}})
+	// return; then dead code with arbitrary stack behavior.
+	m.Funcs = append(m.Funcs, Function{Type: ti, Body: []Instr{
+		{Op: OpI32Const, Val: 7},
+		{Op: OpReturn},
+		{Op: OpI32Add}, // polymorphic: ok in unreachable code
+		{Op: OpEnd},
+	}})
+	if err := Validate(m); err != nil {
+		t.Fatalf("unreachable code should validate: %v", err)
+	}
+}
+
+func TestValidatorImmutableGlobal(t *testing.T) {
+	m := &Module{Globals: []Global{{Type: I32, Mutable: false}}}
+	ti := m.AddType(FuncType{})
+	m.Funcs = append(m.Funcs, Function{Type: ti, Body: []Instr{
+		{Op: OpI32Const, Val: 1}, {Op: OpGlobalSet, A: 0}, {Op: OpEnd},
+	}})
+	if err := Validate(m); err == nil {
+		t.Fatal("expected immutable-global error")
+	}
+}
+
+func TestValidatorBlockResults(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{F64}})
+	m.Funcs = append(m.Funcs, Function{Type: ti, Body: []Instr{
+		{Op: OpI32Const, Val: 1},
+		{Op: OpIf, BlockType: int32(F64)},
+		{Op: OpF64Const, Val: F64Bits(1.5)},
+		{Op: OpElse},
+		{Op: OpF64Const, Val: F64Bits(2.5)},
+		{Op: OpEnd},
+		{Op: OpEnd},
+	}})
+	if err := Validate(m); err != nil {
+		t.Fatalf("if-else with result should validate: %v", err)
+	}
+	// An if with a result type and no else must be rejected.
+	m2 := &Module{}
+	ti2 := m2.AddType(FuncType{Results: []ValType{I32}})
+	m2.Funcs = append(m2.Funcs, Function{Type: ti2, Body: []Instr{
+		{Op: OpI32Const, Val: 1},
+		{Op: OpIf, BlockType: int32(I32)},
+		{Op: OpI32Const, Val: 2},
+		{Op: OpEnd},
+		{Op: OpEnd},
+	}})
+	if err := Validate(m2); err == nil {
+		t.Fatal("if-with-result without else should fail validation")
+	}
+}
+
+func TestULEBRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := appendUleb(nil, v)
+		got, off, err := readUleb(buf, 0, 64)
+		return err == nil && got == v && off == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLEBRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		buf := appendSleb(nil, v)
+		got, off, err := readSleb(buf, 0, 64)
+		return err == nil && got == v && off == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// 32-bit boundary values.
+	for _, v := range []int64{0, 1, -1, 63, 64, -64, -65, math.MaxInt32, math.MinInt32} {
+		buf := appendSleb(nil, v)
+		got, _, err := readSleb(buf, 0, 64)
+		if err != nil || got != v {
+			t.Errorf("sleb(%d): got %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestInstrEncodeRoundTripQuick(t *testing.T) {
+	// Property: any const/local instruction round-trips through the body codec.
+	f := func(val int64, idx uint16, pick uint8) bool {
+		var in Instr
+		switch pick % 5 {
+		case 0:
+			in = Instr{Op: OpI32Const, Val: int64(int32(val))}
+		case 1:
+			in = Instr{Op: OpI64Const, Val: val}
+		case 2:
+			in = Instr{Op: OpF64Const, Val: val}
+		case 3:
+			in = Instr{Op: OpLocalGet, A: uint32(idx)}
+		case 4:
+			in = Instr{Op: OpI64Store, A: 3, B: uint32(idx)}
+		}
+		buf, err := appendInstr(nil, &in)
+		if err != nil {
+			return false
+		}
+		got, off, err := decodeInstr(buf, 0)
+		return err == nil && off == len(buf) && reflect.DeepEqual(got, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWATRendering(t *testing.T) {
+	m := testModule()
+	wat := WAT(m)
+	for _, want := range []string{
+		"(module $fixture", "(func $add", "(func $sum", "loop",
+		"i64.extend_i32_s", "local.get", "(memory 2 64)",
+		`(export "add" (func 1))`, "(data (i32.const 16)",
+	} {
+		if !bytes.Contains([]byte(wat), []byte(want)) {
+			t.Errorf("WAT missing %q:\n%s", want, wat)
+		}
+	}
+}
+
+func TestFuncTypeOf(t *testing.T) {
+	m := testModule()
+	ft, err := m.FuncTypeOf(0) // import
+	if err != nil || len(ft.Params) != 1 || ft.Params[0] != F64 {
+		t.Errorf("import type: %v %v", ft, err)
+	}
+	ft, err = m.FuncTypeOf(1) // add
+	if err != nil || len(ft.Params) != 2 {
+		t.Errorf("add type: %v %v", ft, err)
+	}
+	if _, err := m.FuncTypeOf(99); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestExportedFunc(t *testing.T) {
+	m := testModule()
+	if idx, ok := m.ExportedFunc("sum"); !ok || idx != 2 {
+		t.Errorf("sum: got %d %v", idx, ok)
+	}
+	if _, ok := m.ExportedFunc("nope"); ok {
+		t.Error("unexpected export")
+	}
+}
+
+func TestAddTypeInterns(t *testing.T) {
+	m := &Module{}
+	a := m.AddType(FuncType{Params: []ValType{I32}})
+	b := m.AddType(FuncType{Params: []ValType{I32}})
+	c := m.AddType(FuncType{Params: []ValType{I64}})
+	if a != b || a == c || len(m.Types) != 2 {
+		t.Errorf("interning broken: %d %d %d (%d types)", a, b, c, len(m.Types))
+	}
+}

@@ -1,0 +1,155 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// WAT renders the module in the linear WebAssembly text format, matching the
+// style of the paper's listings (Figs. 4, 7, 8).
+func WAT(m *Module) string {
+	var b strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&b, "(module $%s\n", m.Name)
+	} else {
+		b.WriteString("(module\n")
+	}
+	for i, t := range m.Types {
+		fmt.Fprintf(&b, "  (type $t%d %s)\n", i, t.String())
+	}
+	for i, imp := range m.Imports {
+		fmt.Fprintf(&b, "  (import %q %q (func $i%d (type $t%d)))\n", imp.Module, imp.Field, i, imp.Type)
+	}
+	if m.Mem != nil {
+		if m.Mem.HasMax {
+			fmt.Fprintf(&b, "  (memory %d %d)\n", m.Mem.Min, m.Mem.Max)
+		} else {
+			fmt.Fprintf(&b, "  (memory %d)\n", m.Mem.Min)
+		}
+	}
+	for i, g := range m.Globals {
+		mut := g.Type.String()
+		if g.Mutable {
+			mut = "(mut " + g.Type.String() + ")"
+		}
+		fmt.Fprintf(&b, "  (global $g%d %s (%s))\n", i, mut, constString(g.Type, g.Init))
+	}
+	for i := range m.Funcs {
+		writeFuncWAT(&b, m, i)
+	}
+	for _, e := range m.Exports {
+		kind := "func"
+		switch e.Kind {
+		case ExportMemory:
+			kind = "memory"
+		case ExportGlobal:
+			kind = "global"
+		}
+		fmt.Fprintf(&b, "  (export %q (%s %d))\n", e.Name, kind, e.Idx)
+	}
+	for _, d := range m.Data {
+		fmt.Fprintf(&b, "  (data (i32.const %d) ;; %d bytes\n  )\n", d.Offset, len(d.Bytes))
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+func constString(t ValType, raw int64) string {
+	switch t {
+	case I32:
+		return fmt.Sprintf("i32.const %d", int32(raw))
+	case I64:
+		return fmt.Sprintf("i64.const %d", raw)
+	case F32:
+		return fmt.Sprintf("f32.const %v", math.Float32frombits(uint32(raw)))
+	default:
+		return fmt.Sprintf("f64.const %v", math.Float64frombits(uint64(raw)))
+	}
+}
+
+func writeFuncWAT(b *strings.Builder, m *Module, i int) {
+	f := &m.Funcs[i]
+	ft := FuncType{}
+	if int(f.Type) < len(m.Types) {
+		ft = m.Types[f.Type]
+	}
+	name := f.Name
+	if name == "" {
+		name = fmt.Sprintf("f%d", len(m.Imports)+i)
+	}
+	fmt.Fprintf(b, "  (func $%s (type $t%d)", name, f.Type)
+	for pi, p := range ft.Params {
+		fmt.Fprintf(b, " (param $p%d %s)", pi, p)
+	}
+	for _, r := range ft.Results {
+		fmt.Fprintf(b, " (result %s)", r)
+	}
+	b.WriteString("\n")
+	if len(f.Locals) > 0 {
+		b.WriteString("   ")
+		for li, l := range f.Locals {
+			fmt.Fprintf(b, " (local $l%d %s)", len(ft.Params)+li, l)
+		}
+		b.WriteString("\n")
+	}
+	depth := 2
+	for pc := range f.Body {
+		in := &f.Body[pc]
+		if pc == len(f.Body)-1 && in.Op == OpEnd {
+			break // implicit function end
+		}
+		switch in.Op {
+		case OpEnd, OpElse:
+			if depth > 2 {
+				depth--
+			}
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(instrWAT(in))
+		b.WriteString("\n")
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf, OpElse:
+			depth++
+		}
+	}
+	b.WriteString("  )\n")
+}
+
+func instrWAT(in *Instr) string {
+	switch in.Op {
+	case OpBlock, OpLoop, OpIf:
+		if in.BlockType != BlockNone {
+			return fmt.Sprintf("%v (result %s)", in.Op, ValType(byte(in.BlockType)))
+		}
+		return in.Op.String()
+	case OpBr, OpBrIf:
+		return fmt.Sprintf("%v %d", in.Op, in.A)
+	case OpBrTable:
+		parts := make([]string, 0, len(in.Targets)+1)
+		for _, t := range in.Targets {
+			parts = append(parts, fmt.Sprintf("%d", t))
+		}
+		parts = append(parts, fmt.Sprintf("%d", in.A))
+		return "br_table " + strings.Join(parts, " ")
+	case OpCall:
+		return fmt.Sprintf("call %d", in.A)
+	case OpLocalGet, OpLocalSet, OpLocalTee:
+		return fmt.Sprintf("%v $l%d", in.Op, in.A)
+	case OpGlobalGet, OpGlobalSet:
+		return fmt.Sprintf("%v $g%d", in.Op, in.A)
+	case OpI32Const:
+		return fmt.Sprintf("i32.const %d", int32(in.Val))
+	case OpI64Const:
+		return fmt.Sprintf("i64.const %d", in.Val)
+	case OpF32Const:
+		return fmt.Sprintf("f32.const %v", math.Float32frombits(uint32(in.Val)))
+	case OpF64Const:
+		return fmt.Sprintf("f64.const %v", math.Float64frombits(uint64(in.Val)))
+	default:
+		if isMemAccess(in.Op) && in.B != 0 {
+			return fmt.Sprintf("%v offset=%d", in.Op, in.B)
+		}
+		return in.Op.String()
+	}
+}

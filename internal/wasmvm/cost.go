@@ -1,0 +1,200 @@
+package wasmvm
+
+import "wasmbench/internal/wasm"
+
+// CostClass buckets opcodes for virtual-cycle accounting and dynamic
+// instruction instrumentation (the paper's Appendix D operation counts).
+type CostClass uint8
+
+// Cost classes. CStructural covers block/loop/end/else markers that compile
+// to labels (zero machine code) in both tiers.
+const (
+	CStructural CostClass = iota
+	CConst
+	CLocal
+	CGlobal
+	CLoad
+	CStore
+	CAddSub
+	CMul
+	CDiv
+	CRem
+	CShift
+	CAnd
+	COr
+	CXor
+	CCmp
+	CBitCount
+	CFAddSub
+	CFMul
+	CFDiv
+	CFSqrt
+	CFMisc
+	CConv
+	CBranch
+	CBrTable
+	CCall
+	CDropSelect
+	CMemGrow
+	CMemSize
+	CUnreachable
+	NumCostClasses
+)
+
+var costClassNames = [NumCostClasses]string{
+	"structural", "const", "local", "global", "load", "store",
+	"addsub", "mul", "div", "rem", "shift", "and", "or", "xor",
+	"cmp", "bitcount", "faddsub", "fmul", "fdiv", "fsqrt", "fmisc",
+	"conv", "branch", "brtable", "call", "dropselect", "memgrow",
+	"memsize", "unreachable",
+}
+
+// String returns a short name for the class.
+func (c CostClass) String() string {
+	if int(c) < len(costClassNames) {
+		return costClassNames[c]
+	}
+	return "unknown"
+}
+
+// Classify maps an opcode to its cost class.
+func Classify(op wasm.Opcode) CostClass {
+	switch {
+	case op == wasm.OpBlock || op == wasm.OpLoop || op == wasm.OpEnd ||
+		op == wasm.OpElse || op == wasm.OpNop:
+		return CStructural
+	case op == wasm.OpUnreachable:
+		return CUnreachable
+	case op >= wasm.OpI32Const && op <= wasm.OpF64Const:
+		return CConst
+	case op >= wasm.OpLocalGet && op <= wasm.OpLocalTee:
+		return CLocal
+	case op == wasm.OpGlobalGet || op == wasm.OpGlobalSet:
+		return CGlobal
+	case op >= wasm.OpI32Load && op <= wasm.OpI64Load32U:
+		return CLoad
+	case op >= wasm.OpI32Store && op <= wasm.OpI64Store32:
+		return CStore
+	case op == wasm.OpMemorySize:
+		return CMemSize
+	case op == wasm.OpMemoryGrow:
+		return CMemGrow
+	case op == wasm.OpI32Add, op == wasm.OpI32Sub, op == wasm.OpI64Add, op == wasm.OpI64Sub:
+		return CAddSub
+	case op == wasm.OpI32Mul, op == wasm.OpI64Mul:
+		return CMul
+	case op == wasm.OpI32DivS, op == wasm.OpI32DivU, op == wasm.OpI64DivS, op == wasm.OpI64DivU:
+		return CDiv
+	case op == wasm.OpI32RemS, op == wasm.OpI32RemU, op == wasm.OpI64RemS, op == wasm.OpI64RemU:
+		return CRem
+	case op == wasm.OpI32Shl, op == wasm.OpI32ShrS, op == wasm.OpI32ShrU,
+		op == wasm.OpI32Rotl, op == wasm.OpI32Rotr,
+		op == wasm.OpI64Shl, op == wasm.OpI64ShrS, op == wasm.OpI64ShrU,
+		op == wasm.OpI64Rotl, op == wasm.OpI64Rotr:
+		return CShift
+	case op == wasm.OpI32And, op == wasm.OpI64And:
+		return CAnd
+	case op == wasm.OpI32Or, op == wasm.OpI64Or:
+		return COr
+	case op == wasm.OpI32Xor, op == wasm.OpI64Xor:
+		return CXor
+	case op == wasm.OpI32Eqz, op == wasm.OpI64Eqz:
+		return CCmp
+	case op >= wasm.OpI32Eq && op <= wasm.OpF64Ge:
+		return CCmp
+	case op == wasm.OpI32Clz, op == wasm.OpI32Ctz, op == wasm.OpI32Popcnt,
+		op == wasm.OpI64Clz, op == wasm.OpI64Ctz, op == wasm.OpI64Popcnt:
+		return CBitCount
+	case op == wasm.OpF32Add, op == wasm.OpF32Sub, op == wasm.OpF64Add, op == wasm.OpF64Sub:
+		return CFAddSub
+	case op == wasm.OpF32Mul, op == wasm.OpF64Mul:
+		return CFMul
+	case op == wasm.OpF32Div, op == wasm.OpF64Div:
+		return CFDiv
+	case op == wasm.OpF32Sqrt, op == wasm.OpF64Sqrt:
+		return CFSqrt
+	case op >= wasm.OpF32Abs && op <= wasm.OpF32Nearest,
+		op >= wasm.OpF64Abs && op <= wasm.OpF64Nearest,
+		op >= wasm.OpF32Min && op <= wasm.OpF32Copysign,
+		op >= wasm.OpF64Min && op <= wasm.OpF64Copysign:
+		return CFMisc
+	case op >= wasm.OpI32WrapI64 && op <= wasm.OpF64ReinterpretI64:
+		return CConv
+	case op == wasm.OpBr || op == wasm.OpBrIf || op == wasm.OpIf || op == wasm.OpReturn:
+		return CBranch
+	case op == wasm.OpBrTable:
+		return CBrTable
+	case op == wasm.OpCall:
+		return CCall
+	case op == wasm.OpDrop || op == wasm.OpSelect:
+		return CDropSelect
+	}
+	return CStructural
+}
+
+// CostTable holds per-class virtual-cycle costs for one execution tier.
+type CostTable [NumCostClasses]float64
+
+// Scale returns a copy of the table with every cost multiplied by k.
+func (t CostTable) Scale(k float64) CostTable {
+	for i := range t {
+		t[i] *= k
+	}
+	return t
+}
+
+// BaselineBasicCost is the reference cost table for a Wasm basic tier
+// (Liftoff/Baseline-style single-pass code): every value travels through the
+// machine stack, so stack-traffic opcodes (const/local) are nearly as
+// expensive as arithmetic.
+func BaselineBasicCost() CostTable {
+	var t CostTable
+	t[CStructural] = 0
+	t[CConst] = 0.9
+	t[CLocal] = 0.9
+	t[CGlobal] = 1.2
+	t[CLoad] = 1.5
+	t[CStore] = 1.5
+	t[CAddSub] = 1.0
+	t[CMul] = 1.4
+	t[CDiv] = 8.0
+	t[CRem] = 8.0
+	t[CShift] = 1.0
+	t[CAnd] = 1.0
+	t[COr] = 1.0
+	t[CXor] = 1.0
+	t[CCmp] = 1.0
+	t[CBitCount] = 1.2
+	t[CFAddSub] = 1.6
+	t[CFMul] = 1.8
+	t[CFDiv] = 9.0
+	t[CFSqrt] = 9.0
+	t[CFMisc] = 1.4
+	t[CConv] = 1.2
+	t[CBranch] = 1.1
+	t[CBrTable] = 3.0
+	t[CCall] = 6.0
+	t[CDropSelect] = 0.8
+	t[CMemGrow] = 400
+	t[CMemSize] = 2
+	t[CUnreachable] = 1
+	return t
+}
+
+// BaselineOptCost is the reference cost table for a Wasm optimizing tier
+// (TurboFan/Ion-style): register allocation absorbs most stack traffic, so
+// const/local shuffles become nearly free while real work keeps its cost.
+// The modest gap between the two tables is exactly the paper's Table 7
+// observation that Wasm gains little from its optimizing JIT.
+func BaselineOptCost() CostTable {
+	t := BaselineBasicCost()
+	t[CConst] = 0.35
+	t[CLocal] = 0.45
+	t[CGlobal] = 0.9
+	t[CLoad] = 1.3
+	t[CStore] = 1.3
+	t[CBranch] = 0.95
+	t[CCall] = 4.5
+	t[CDropSelect] = 0.3
+	return t
+}

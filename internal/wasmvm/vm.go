@@ -1,0 +1,558 @@
+// Package wasmvm executes WebAssembly modules with a tiered virtual machine
+// modeled on the two-layer designs the paper studies (§4.4.2): a basic tier
+// (Chrome's LiftOff / Firefox's Baseline) and an optimizing tier (TurboFan /
+// Ion), with hotness-driven tier-up.
+//
+// Besides producing real program results, the VM maintains a deterministic
+// virtual-cycle clock driven by per-tier cost tables, dynamic instruction
+// counters per cost class, and linear-memory usage statistics — the three
+// metrics the study collects.
+package wasmvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wasmbench/internal/wasm"
+)
+
+// TierMode selects which compiler tiers are available, mirroring the
+// paper's Chrome flags (Table 11): both tiers (default), basic only
+// ("--liftoff --no-wasm-tier-up"), or optimizing only ("--no-liftoff").
+type TierMode int
+
+// Tier modes.
+const (
+	TierBoth TierMode = iota
+	TierBasicOnly
+	TierOptOnly
+)
+
+// Config parameterizes the VM for one execution environment.
+type Config struct {
+	// BasicCost and OptCost are the per-class virtual-cycle cost tables of
+	// the two tiers.
+	BasicCost CostTable
+	OptCost   CostTable
+	// CompileBasicPerInstr and CompileOptPerInstr are one-time compile
+	// charges per static instruction.
+	CompileBasicPerInstr float64
+	CompileOptPerInstr   float64
+	// TierUpThreshold is the hotness (calls + loop back-edges) after which a
+	// function is promoted to the optimizing tier in TierBoth mode.
+	TierUpThreshold uint64
+	Mode            TierMode
+	// DecodePerByte is the instantiation charge for decoding/validating the
+	// binary (Wasm needs no parsing — this is small, §2.2.2).
+	DecodePerByte float64
+	// InstantiateCost is a fixed module-instantiation charge (the mandatory
+	// JS glue that creates the instance, §2.2.2).
+	InstantiateCost float64
+	// GrowBoundaryCost is the extra JS-boundary charge per memory.grow,
+	// modeling Cheerp's resize-via-JS overhead (§4.2.2).
+	GrowBoundaryCost float64
+	// GrowGranularityPages rounds grow requests (Cheerp: 1 page = 64 KiB,
+	// Emscripten: 256 pages = 16 MiB).
+	GrowGranularityPages uint32
+	// MaxPages caps linear memory; 0 means the spec maximum (64 Ki pages).
+	MaxPages uint32
+	// StepLimit aborts runaway programs after this many dynamic
+	// instructions; 0 means no limit.
+	StepLimit uint64
+	// CallDepthLimit guards the host stack; 0 means 10000.
+	CallDepthLimit int
+}
+
+// DefaultConfig returns a neutral configuration with the baseline tier cost
+// tables and Chrome-like tiering.
+func DefaultConfig() Config {
+	return Config{
+		BasicCost:            BaselineBasicCost(),
+		OptCost:              BaselineOptCost(),
+		CompileBasicPerInstr: 6,
+		CompileOptPerInstr:   60,
+		TierUpThreshold:      1500,
+		Mode:                 TierBoth,
+		DecodePerByte:        0.6,
+		InstantiateCost:      9000,
+		GrowBoundaryCost:     350,
+		GrowGranularityPages: 1,
+		MaxPages:             65536,
+	}
+}
+
+// HostFunc is a native function bound to a function import. Arguments and
+// results use the VM's raw 64-bit value representation.
+type HostFunc func(vm *VM, args []uint64) ([]uint64, error)
+
+// branchTarget is a resolved branch destination.
+type branchTarget struct {
+	pc     int32 // destination program counter
+	unwind int32 // absolute operand-stack height to unwind to (frame-relative)
+	keep   uint8 // number of stack values carried to the target
+}
+
+// lop is a lowered instruction: the original opcode plus resolved control
+// targets and a precomputed cost class.
+type lop struct {
+	op      wasm.Opcode
+	class   CostClass
+	keep    uint8
+	a, b    uint32
+	val     int64
+	jump    branchTarget   // br, br_if (taken), if (false edge), else
+	targets []branchTarget // br_table
+}
+
+// compiledFunc is the executable form of one defined function.
+type compiledFunc struct {
+	name     string
+	typ      wasm.FuncType
+	nLocals  int // params + declared locals
+	code     []lop
+	tier     TierMode // TierBasicOnly => basic, TierOptOnly => optimized
+	hotness  uint64
+	tieredUp bool
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Steps   uint64
+	Counts  [NumCostClasses]uint64
+	TierUps int
+	GrowOps int
+}
+
+// ArithOps returns the counts the paper's Table 12 reports: ADD, MUL, DIV,
+// REM, SHIFT, AND, OR (OR includes XOR as in the paper's grouping).
+func (s *Stats) ArithOps() map[string]uint64 {
+	return map[string]uint64{
+		"ADD":   s.Counts[CAddSub] + s.Counts[CFAddSub],
+		"MUL":   s.Counts[CMul] + s.Counts[CFMul],
+		"DIV":   s.Counts[CDiv] + s.Counts[CFDiv],
+		"REM":   s.Counts[CRem],
+		"SHIFT": s.Counts[CShift],
+		"AND":   s.Counts[CAnd],
+		"OR":    s.Counts[COr] + s.Counts[CXor],
+	}
+}
+
+// VM is an instantiated module ready to execute exported functions.
+type VM struct {
+	module  *wasm.Module
+	cfg     Config
+	funcs   []compiledFunc
+	globals []uint64
+	mem     *Memory
+	imports []HostFunc
+	stack   []uint64
+	locals  []uint64
+	depth   int
+	cycles  float64
+	stats   Stats
+	inited  bool
+	binSize int
+}
+
+// ErrStepLimit reports that the configured dynamic instruction budget was
+// exhausted.
+var ErrStepLimit = errors.New("wasmvm: step limit exceeded")
+
+// New validates and lowers the module. binarySize is the encoded module
+// size in bytes, used for the instantiation decode charge (pass 0 if the
+// module was built in memory and size is not meaningful).
+func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
+	if err := wasm.Validate(m); err != nil {
+		return nil, err
+	}
+	if cfg.CallDepthLimit == 0 {
+		cfg.CallDepthLimit = 10000
+	}
+	if cfg.MaxPages == 0 {
+		cfg.MaxPages = 65536
+	}
+	vm := &VM{module: m, cfg: cfg, binSize: binarySize}
+	vm.funcs = make([]compiledFunc, len(m.Funcs))
+	for i := range m.Funcs {
+		cf, err := lowerFunc(m, &m.Funcs[i])
+		if err != nil {
+			return nil, fmt.Errorf("wasmvm: func %d: %w", i, err)
+		}
+		vm.funcs[i] = cf
+	}
+	vm.imports = make([]HostFunc, len(m.Imports))
+	return vm, nil
+}
+
+// BindImport installs a host function for the import module.field.
+func (vm *VM) BindImport(module, field string, fn HostFunc) error {
+	for i, imp := range vm.module.Imports {
+		if imp.Module == module && imp.Field == field {
+			vm.imports[i] = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("wasmvm: no import %s.%s", module, field)
+}
+
+// Instantiate allocates memory and globals, copies data segments, applies
+// the tier policy's up-front compilation charges, and charges startup costs.
+func (vm *VM) Instantiate() error {
+	m := vm.module
+	if m.Mem != nil {
+		maxP := vm.cfg.MaxPages
+		if m.Mem.HasMax && m.Mem.Max < maxP {
+			maxP = m.Mem.Max
+		}
+		vm.mem = NewMemory(m.Mem.Min, maxP, vm.cfg.GrowGranularityPages)
+		for _, d := range m.Data {
+			if int(d.Offset)+len(d.Bytes) > len(vm.mem.Bytes()) {
+				return fmt.Errorf("wasmvm: data segment at %d overflows memory", d.Offset)
+			}
+			copy(vm.mem.Bytes()[d.Offset:], d.Bytes)
+		}
+	}
+	vm.globals = make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		if g.Type == wasm.I32 {
+			vm.globals[i] = uint64(uint32(int32(g.Init)))
+		} else {
+			vm.globals[i] = uint64(g.Init)
+		}
+	}
+	vm.cycles += vm.cfg.InstantiateCost + vm.cfg.DecodePerByte*float64(vm.binSize)
+	total := 0
+	for i := range vm.funcs {
+		total += len(vm.funcs[i].code)
+	}
+	switch vm.cfg.Mode {
+	case TierBoth, TierBasicOnly:
+		vm.cycles += vm.cfg.CompileBasicPerInstr * float64(total)
+		for i := range vm.funcs {
+			vm.funcs[i].tier = TierBasicOnly
+		}
+	case TierOptOnly:
+		vm.cycles += vm.cfg.CompileOptPerInstr * float64(total)
+		for i := range vm.funcs {
+			vm.funcs[i].tier = TierOptOnly
+		}
+	}
+	vm.inited = true
+	return nil
+}
+
+// Call invokes an exported function by name with raw 64-bit arguments.
+func (vm *VM) Call(name string, args ...uint64) ([]uint64, error) {
+	if !vm.inited {
+		return nil, errors.New("wasmvm: module not instantiated")
+	}
+	idx, ok := vm.module.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("wasmvm: no exported function %q", name)
+	}
+	return vm.callIndex(idx, args)
+}
+
+// CallIndex invokes a function by combined index space position.
+func (vm *VM) CallIndex(idx uint32, args ...uint64) ([]uint64, error) {
+	if !vm.inited {
+		return nil, errors.New("wasmvm: module not instantiated")
+	}
+	return vm.callIndex(idx, args)
+}
+
+// Cycles returns the accumulated virtual-cycle count.
+func (vm *VM) Cycles() float64 { return vm.cycles }
+
+// AddCycles charges extra cycles (used by the host boundary model).
+func (vm *VM) AddCycles(c float64) { vm.cycles += c }
+
+// Stats returns a copy of the execution counters.
+func (vm *VM) Stats() Stats {
+	s := vm.stats
+	if vm.mem != nil {
+		s.GrowOps = vm.mem.GrowCount()
+	}
+	return s
+}
+
+// Memory returns the linear memory instance (nil if the module has none).
+func (vm *VM) Memory() *Memory { return vm.mem }
+
+// PeakMemoryBytes returns the linear-memory high-water mark in bytes.
+func (vm *VM) PeakMemoryBytes() uint64 {
+	if vm.mem == nil {
+		return 0
+	}
+	return uint64(vm.mem.PeakPages()) * PageSize
+}
+
+// ReadGlobal returns the raw value of global i.
+func (vm *VM) ReadGlobal(i int) (uint64, error) {
+	if i < 0 || i >= len(vm.globals) {
+		return 0, fmt.Errorf("wasmvm: global %d out of range", i)
+	}
+	return vm.globals[i], nil
+}
+
+// lowerFunc resolves structured control flow to branch targets and
+// pre-classifies every instruction. It runs two passes: the first matches
+// every block/loop/if with its else/end, the second replays the control
+// stack with operand heights and resolves each branch immediately.
+func lowerFunc(m *wasm.Module, f *wasm.Function) (compiledFunc, error) {
+	ft := m.Types[f.Type]
+	cf := compiledFunc{
+		name:    f.Name,
+		typ:     ft,
+		nLocals: len(ft.Params) + len(f.Locals),
+		code:    make([]lop, len(f.Body)),
+	}
+
+	// Pass 1: match structural markers. matchEnd[pc] is the pc of the
+	// matching end for a block/loop/if at pc; matchElse[pc] is the matching
+	// else (or -1).
+	matchEnd := make(map[int]int)
+	matchElse := make(map[int]int)
+	var open []int
+	for pc := range f.Body {
+		switch f.Body[pc].Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			open = append(open, pc)
+		case wasm.OpElse:
+			if len(open) == 0 {
+				return cf, fmt.Errorf("else without if at pc %d", pc)
+			}
+			matchElse[open[len(open)-1]] = pc
+		case wasm.OpEnd:
+			if len(open) == 0 {
+				// Function-closing end: must be the last instruction.
+				if pc != len(f.Body)-1 {
+					return cf, fmt.Errorf("unbalanced end at pc %d", pc)
+				}
+				continue
+			}
+			matchEnd[open[len(open)-1]] = pc
+			open = open[:len(open)-1]
+		}
+	}
+	if len(open) != 0 {
+		return cf, fmt.Errorf("%d unclosed blocks", len(open))
+	}
+
+	// Pass 2: replay with heights and resolve branches.
+	type frame struct {
+		op     wasm.Opcode
+		bt     int32
+		height int
+		pc     int // pc of the block/loop/if instruction; -1 for the function frame
+	}
+	fnBT := int32(wasm.BlockNone)
+	if len(ft.Results) == 1 {
+		fnBT = int32(ft.Results[0])
+	}
+	frames := []frame{{op: wasm.OpEnd, bt: fnBT, height: 0, pc: -1}}
+	height := 0
+	unreachable := false
+
+	// resolve computes the branch target for label depth d.
+	resolve := func(d int) (branchTarget, error) {
+		if d >= len(frames) {
+			return branchTarget{}, fmt.Errorf("branch depth %d out of range", d)
+		}
+		fr := frames[len(frames)-1-d]
+		if fr.op == wasm.OpLoop {
+			return branchTarget{pc: int32(fr.pc + 1), unwind: int32(fr.height), keep: 0}, nil
+		}
+		keep := uint8(0)
+		if fr.bt != wasm.BlockNone {
+			keep = 1
+		}
+		endPC := len(f.Body) // function frame: jump past the body
+		if fr.pc >= 0 {
+			endPC = matchEnd[fr.pc] + 1
+		}
+		return branchTarget{pc: int32(endPC), unwind: int32(fr.height), keep: keep}, nil
+	}
+
+	for pc := range f.Body {
+		in := &f.Body[pc]
+		l := &cf.code[pc]
+		l.op = in.Op
+		l.class = Classify(in.Op)
+		l.a, l.b, l.val = in.A, in.B, in.Val
+
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			if in.Op == wasm.OpIf && !unreachable {
+				height--
+			}
+			frames = append(frames, frame{op: in.Op, bt: in.BlockType, height: height, pc: pc})
+			if in.Op == wasm.OpIf {
+				// False edge: to after the else marker, or past end.
+				if ePC, ok := matchElse[pc]; ok {
+					l.jump = branchTarget{pc: int32(ePC + 1), unwind: int32(height), keep: 0}
+				} else {
+					l.jump = branchTarget{pc: int32(matchEnd[pc] + 1), unwind: int32(height), keep: 0}
+				}
+			}
+			continue
+		case wasm.OpElse:
+			fr := frames[len(frames)-1]
+			height = fr.height
+			unreachable = false
+			// Fallthrough from the then arm jumps past the end, carrying
+			// the block result.
+			keep := uint8(0)
+			if fr.bt != wasm.BlockNone {
+				keep = 1
+			}
+			l.jump = branchTarget{pc: int32(matchEnd[fr.pc] + 1), unwind: int32(fr.height), keep: keep}
+			continue
+		case wasm.OpEnd:
+			if len(frames) == 1 {
+				continue // function end
+			}
+			fr := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			height = fr.height
+			if fr.bt != wasm.BlockNone {
+				height++
+			}
+			unreachable = false
+			continue
+		case wasm.OpBr, wasm.OpBrIf:
+			t, err := resolve(int(in.A))
+			if err != nil {
+				return cf, fmt.Errorf("pc %d: %w", pc, err)
+			}
+			l.jump = t
+			if !unreachable {
+				if in.Op == wasm.OpBrIf {
+					height--
+				} else {
+					unreachable = true
+				}
+			}
+			continue
+		case wasm.OpBrTable:
+			l.targets = make([]branchTarget, 0, len(in.Targets)+1)
+			for _, lbl := range in.Targets {
+				t, err := resolve(int(lbl))
+				if err != nil {
+					return cf, fmt.Errorf("pc %d: %w", pc, err)
+				}
+				l.targets = append(l.targets, t)
+			}
+			t, err := resolve(int(in.A))
+			if err != nil {
+				return cf, fmt.Errorf("pc %d: %w", pc, err)
+			}
+			l.targets = append(l.targets, t) // default is last
+			unreachable = true
+			continue
+		case wasm.OpReturn:
+			keep := uint8(0)
+			if len(ft.Results) == 1 {
+				keep = 1
+			}
+			l.jump = branchTarget{pc: int32(len(f.Body)), unwind: 0, keep: keep}
+			unreachable = true
+			continue
+		case wasm.OpUnreachable:
+			unreachable = true
+			continue
+		}
+		if unreachable {
+			continue
+		}
+		pops, pushes, err := stackEffect(m, ft, f, in)
+		if err != nil {
+			return cf, fmt.Errorf("pc %d: %w", pc, err)
+		}
+		height += pushes - pops
+	}
+	return cf, nil
+}
+
+// stackEffect returns the operand-stack pops and pushes of a plain (already
+// control-handled) instruction.
+func stackEffect(m *wasm.Module, ft wasm.FuncType, f *wasm.Function, in *wasm.Instr) (pops, pushes int, err error) {
+	op := in.Op
+	switch {
+	case op >= wasm.OpI32Const && op <= wasm.OpF64Const:
+		return 0, 1, nil
+	case op == wasm.OpLocalGet || op == wasm.OpGlobalGet || op == wasm.OpMemorySize:
+		return 0, 1, nil
+	case op == wasm.OpLocalSet || op == wasm.OpGlobalSet || op == wasm.OpDrop:
+		return 1, 0, nil
+	case op == wasm.OpLocalTee || op == wasm.OpMemoryGrow:
+		return 1, 1, nil
+	case op >= wasm.OpI32Load && op <= wasm.OpI64Load32U:
+		return 1, 1, nil
+	case op >= wasm.OpI32Store && op <= wasm.OpI64Store32:
+		return 2, 0, nil
+	case op == wasm.OpSelect:
+		return 3, 1, nil
+	case op == wasm.OpCall:
+		ct, err := m.FuncTypeOf(in.A)
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(ct.Params), len(ct.Results), nil
+	case op == wasm.OpNop:
+		return 0, 0, nil
+	case isUnaryNumeric(op):
+		return 1, 1, nil
+	default:
+		return 2, 1, nil // binary numeric
+	}
+}
+
+func isUnaryNumeric(op wasm.Opcode) bool {
+	switch {
+	case op == wasm.OpI32Eqz || op == wasm.OpI64Eqz:
+		return true
+	case op >= wasm.OpI32Clz && op <= wasm.OpI32Popcnt:
+		return true
+	case op >= wasm.OpI64Clz && op <= wasm.OpI64Popcnt:
+		return true
+	case op >= wasm.OpF32Abs && op <= wasm.OpF32Sqrt:
+		return true
+	case op >= wasm.OpF64Abs && op <= wasm.OpF64Sqrt:
+		return true
+	case op >= wasm.OpI32WrapI64 && op <= wasm.OpF64ReinterpretI64:
+		return true
+	}
+	return false
+}
+
+// Raw value packing helpers shared with callers.
+
+// I32 packs an int32 into the raw representation.
+func I32(v int32) uint64 { return uint64(uint32(v)) }
+
+// I64 packs an int64 into the raw representation.
+func I64(v int64) uint64 { return uint64(v) }
+
+// F32 packs a float32 into the raw representation.
+func F32(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// F64 packs a float64 into the raw representation.
+func F64(v float64) uint64 { return math.Float64bits(v) }
+
+// AsI32 unpacks a raw value as int32.
+func AsI32(v uint64) int32 { return int32(uint32(v)) }
+
+// AsI64 unpacks a raw value as int64.
+func AsI64(v uint64) int64 { return int64(v) }
+
+// AsF32 unpacks a raw value as float32.
+func AsF32(v uint64) float32 { return math.Float32frombits(uint32(v)) }
+
+// AsF64 unpacks a raw value as float64.
+func AsF64(v uint64) float64 { return math.Float64frombits(v) }
+
+// popcnt64 is a tiny alias so the exec switch reads uniformly.
+func popcnt64(v uint64) uint64 { return uint64(bits.OnesCount64(v)) }
