@@ -1,0 +1,24 @@
+# Tier-1 verification gate (see ROADMAP.md). `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Observability overhead numbers (nil-tracer guard on the interpreter
+# hot path; see internal/obsv/overhead_bench_test.go).
+bench:
+	$(GO) test -bench Interp -benchtime 5x -run xxx ./internal/obsv/

@@ -32,14 +32,20 @@ import (
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
 	"wasmbench/internal/core"
+	"wasmbench/internal/harness"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/obsv"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (table2, fig5, fig9, ... or 'all')")
 	benchFilter := flag.String("bench", "", "comma-separated benchmark subset")
 	sizeFilter := flag.String("sizes", "", "comma-separated size subset (XS,S,M,L,XL)")
+	metricsFlag := flag.Bool("metrics", false, "run the suite cell grid and print per-cell wall time, queue depth, and worker utilization")
+	traceOut := flag.String("trace-out", "", "with -metrics: also write a Chrome trace_event JSON file of the run")
+	workers := flag.Int("workers", 0, "worker pool size for -metrics (0 = default)")
 	flag.Parse()
-	if *exp == "" {
+	if *exp == "" && !*metricsFlag && *traceOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -65,6 +71,15 @@ func main() {
 				fatal(fmt.Errorf("unknown size %q", s))
 			}
 			opts.Sizes = append(opts.Sizes, sz)
+		}
+	}
+
+	if *metricsFlag || *traceOut != "" {
+		if err := runMetrics(opts, *workers, *traceOut); err != nil {
+			fatal(err)
+		}
+		if *exp == "" {
+			return
 		}
 	}
 
@@ -163,6 +178,60 @@ func run(id string, opts core.Options) error {
 		fmt.Println(r.RenderTable12())
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+// runMetrics executes the benchmark × language cell grid on desktop Chrome
+// under the instrumented harness and prints the run's wall-time metrics.
+// Sizes default to M alone (the study's reference class) to keep the grid
+// manageable; -sizes widens it.
+func runMetrics(opts core.Options, workers int, traceOut string) error {
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = benchsuite.All()
+	}
+	sizes := opts.Sizes
+	if sizes == nil {
+		sizes = []benchsuite.Size{benchsuite.M}
+	}
+	var cells []harness.Cell
+	for _, b := range benches {
+		for _, sz := range sizes {
+			for _, lang := range []string{"wasm", "js"} {
+				cells = append(cells, harness.Cell{
+					Bench: b, Size: sz, Level: ir.O2,
+					Lang: lang, Profile: browser.Chrome(browser.Desktop),
+				})
+			}
+		}
+	}
+	ropt := harness.RunOptions{Workers: workers}
+	var coll *obsv.Collector
+	if traceOut != "" {
+		coll = &obsv.Collector{}
+		ropt.Tracer = coll
+	}
+	results, metrics := harness.RunCellsWith(cells, ropt)
+	fmt.Println(metrics.Render())
+	if errs := harness.AllErrors(results); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchtab: cell failed:", e)
+		}
+		return fmt.Errorf("%d of %d cells failed", len(errs), len(cells))
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obsv.WriteChromeTrace(f, coll.Events(), nil); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", coll.Len(), traceOut)
 	}
 	return nil
 }

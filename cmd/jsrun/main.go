@@ -6,6 +6,7 @@
 //
 //	jsrun prog.js
 //	jsrun -browser firefox -no-jit prog.js   # the paper's --no-opt setting
+//	jsrun -profile prog.js                   # per-function virtual-cycle profile
 package main
 
 import (
@@ -14,12 +15,15 @@ import (
 	"os"
 
 	"wasmbench/internal/browser"
+	"wasmbench/internal/obsv"
 )
 
 func main() {
 	browserFlag := flag.String("browser", "chrome", "browser profile: chrome, firefox, edge")
 	platformFlag := flag.String("platform", "desktop", "platform: desktop or mobile")
 	noJIT := flag.Bool("no-jit", false, "disable the optimizing JIT (--no-opt)")
+	profileFlag := flag.Bool("profile", false, "print a per-function virtual-cycle profile")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jsrun [flags] <program.js>")
@@ -47,6 +51,14 @@ func main() {
 	if *noJIT {
 		prof.JS.JITEnabled = false
 	}
+	var coll *obsv.Collector
+	if *traceOut != "" {
+		coll = &obsv.Collector{}
+		prof.JS.Tracer = coll
+	}
+	if *profileFlag {
+		prof.JS.Profile = true
+	}
 	vm := prof.NewJSVM()
 	if _, err := vm.Run(string(src)); err != nil {
 		fatal(err)
@@ -61,6 +73,22 @@ func main() {
 	fmt.Printf("memory: %.1f KB JS heap (peak, excl. ArrayBuffer stores %.1f KB)\n",
 		float64(vm.PeakHeapBytes())/1024, float64(vm.PeakExternalBytes())/1024)
 	fmt.Printf("steps: %d  gc runs: %d\n", vm.Steps(), vm.GCCount())
+	if *profileFlag {
+		fmt.Print(obsv.ProfileTable(vm.Profile()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obsv.WriteChromeTrace(f, coll.Events(), vm.Profile()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", coll.Len(), *traceOut)
+	}
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/ir"
+	"wasmbench/internal/obsv"
 )
 
 type defineFlags map[string]string
@@ -44,6 +45,7 @@ func main() {
 	heap := flag.Uint("heap", 0, "cheerp-linear-heap-size in bytes (0 = default 8 MiB)")
 	defines := defineFlags{}
 	flag.Var(defines, "D", "macro definition NAME=VALUE (repeatable)")
+	timings := flag.Bool("timings", false, "print per-stage pipeline timings (node-count work units)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -64,16 +66,25 @@ func main() {
 	if *toolchain == "emscripten" {
 		tc = compiler.Emscripten
 	}
-	art, err := compiler.Compile(string(src), compiler.Options{
+	var coll *obsv.Collector
+	copts := compiler.Options{
 		Opt:        level,
 		Toolchain:  tc,
 		Defines:    defines,
 		StackSize:  uint32(*stack),
 		HeapLimit:  uint32(*heap),
 		ModuleName: strings.TrimSuffix(srcPath, ".c"),
-	})
+	}
+	if *timings {
+		coll = &obsv.Collector{}
+		copts.Tracer = coll
+	}
+	art, err := compiler.Compile(string(src), copts)
 	if err != nil {
 		fatal(err)
+	}
+	if *timings {
+		fmt.Fprint(os.Stderr, obsv.CompilePassTable(coll.Events()))
 	}
 	if art.Transform.ExceptionsRemoved > 0 || art.Transform.UnionsConverted > 0 {
 		fmt.Fprintf(os.Stderr, "minicc: source transformation: %d try/catch removed, %d throws rewritten, %d unions converted\n",

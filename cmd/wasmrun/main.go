@@ -8,6 +8,8 @@
 //	wasmrun -browser firefox -platform mobile prog.wasm
 //	wasmrun -mode basic prog.wasm      # --liftoff --no-wasm-tier-up
 //	wasmrun -mode opt prog.wasm        # --no-liftoff
+//	wasmrun -profile prog.wasm         # per-function virtual-cycle profile
+//	wasmrun -trace-out t.json prog.wasm  # Chrome trace_event JSON
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"wasmbench/internal/browser"
 	"wasmbench/internal/compiler"
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 	"wasmbench/internal/wasmvm"
 )
@@ -26,6 +29,9 @@ func main() {
 	platformFlag := flag.String("platform", "desktop", "platform: desktop or mobile")
 	modeFlag := flag.String("mode", "both", "compiler tiers: both, basic, opt")
 	entry := flag.String("entry", "main", "exported function to call")
+	profileFlag := flag.Bool("profile", false, "print a per-function virtual-cycle profile")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	foldedOut := flag.String("folded-out", "", "write folded stacks (flamegraph.pl / speedscope input)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wasmrun [flags] <module.wasm>")
@@ -65,6 +71,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *modeFlag))
 	}
+	var coll *obsv.Collector
+	if *traceOut != "" || *foldedOut != "" {
+		coll = &obsv.Collector{}
+		cfg.Tracer = coll
+	}
+	if *profileFlag {
+		cfg.Profile = true
+	}
 
 	vm, err := wasmvm.New(mod, len(bin), cfg)
 	if err != nil {
@@ -93,6 +107,34 @@ func main() {
 	ops := st.ArithOps()
 	fmt.Printf("arith ops: ADD=%d MUL=%d DIV=%d REM=%d SHIFT=%d AND=%d OR=%d\n",
 		ops["ADD"], ops["MUL"], ops["DIV"], ops["REM"], ops["SHIFT"], ops["AND"], ops["OR"])
+	if *profileFlag {
+		fmt.Print(obsv.ProfileTable(vm.Profile()))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obsv.WriteChromeTrace(f, coll.Events(), vm.Profile()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", coll.Len(), *traceOut)
+	}
+	if *foldedOut != "" {
+		f, err := os.Create(*foldedOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obsv.WriteFolded(f, coll.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

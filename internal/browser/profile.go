@@ -11,6 +11,7 @@ import (
 
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/jsvm"
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasmvm"
 )
 
@@ -54,6 +55,21 @@ type Profile struct {
 // Name returns e.g. "chrome-desktop".
 func (p *Profile) Name() string {
 	return fmt.Sprintf("%s-%s", p.Browser, p.Platform)
+}
+
+// SetTracer installs a tracer on both engines. Events are forwarded with
+// the profile name prefixed to the engine track ("chrome-desktop/wasm",
+// "chrome-desktop/js"), so one collector can hold several environments.
+func (p *Profile) SetTracer(t obsv.Tracer) {
+	p.Wasm.Tracer = obsv.WithTrack(t, p.Name())
+	p.JS.Tracer = obsv.WithTrack(t, p.Name())
+}
+
+// SetProfiling enables per-function profile collection on both engines
+// without attaching a tracer.
+func (p *Profile) SetProfiling(on bool) {
+	p.Wasm.Profile = on
+	p.JS.Profile = on
 }
 
 // MSFromCycles converts virtual cycles to milliseconds.

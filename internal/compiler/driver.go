@@ -21,6 +21,7 @@ import (
 	"wasmbench/internal/codegen"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/minic"
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 )
 
@@ -54,6 +55,9 @@ type Options struct {
 	ModuleName string
 	// Targets selects the backends to run; empty = all.
 	Targets []Target
+	// Tracer receives KindCompilePass events for every pipeline stage and
+	// optimization pass, with deterministic node-count work estimates.
+	Tracer obsv.Tracer
 }
 
 // Target is a code generation target.
@@ -115,6 +119,24 @@ func wantTarget(opts Options, t Target) bool {
 	return false
 }
 
+// passClock stamps compiler stages onto a tracer with a deterministic
+// virtual clock: each stage's duration is its node-count work estimate, so
+// the same compilation always produces the same trace.
+type passClock struct {
+	tracer obsv.Tracer
+	ts     float64
+}
+
+func (c *passClock) stage(name string, work, before, after int) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Emit(obsv.Event{Kind: obsv.KindCompilePass, TS: c.ts,
+		Dur: float64(work), Name: name, Track: "compile",
+		A: float64(before), B: float64(after)})
+	c.ts += float64(work)
+}
+
 // Compile runs the pipeline on minic source.
 func Compile(src string, opts Options) (*Artifact, error) {
 	chunkPages := "1"
@@ -125,16 +147,20 @@ func Compile(src string, opts Options) (*Artifact, error) {
 	for k, v := range opts.Defines {
 		defines[k] = v
 	}
+	clock := &passClock{tracer: opts.Tracer}
 
 	full := runtimeSource + "\n" + src
 	file, err := minic.ParseSource(full, defines)
 	if err != nil {
 		return nil, err
 	}
+	clock.stage("parse", len(full), len(full), len(full))
 	report := minic.Transform(file)
+	clock.stage("transform", len(full), len(full), len(full))
 	if err := minic.Check(file, minic.CheckOptions{}); err != nil {
 		return nil, err
 	}
+	clock.stage("check", len(full), len(full), len(full))
 
 	bopts := ir.DefaultBuildOptions()
 	if opts.StackSize != 0 {
@@ -147,7 +173,15 @@ func Compile(src string, opts Options) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	ir.Optimize(prog, opts.Opt)
+	var hook ir.PassHook
+	if opts.Tracer != nil {
+		n := ir.NodeCount(prog)
+		clock.stage("ir-build", n, n, n)
+		hook = func(name string, before, after int) {
+			clock.stage(name, before, before, after)
+		}
+	}
+	ir.OptimizeWithHook(prog, opts.Opt, hook)
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: post-optimization IR invalid: %w", err)
 	}
@@ -178,6 +212,7 @@ func Compile(src string, opts Options) (*Artifact, error) {
 		}
 		art.Module = m
 		art.WasmBinary = bin
+		clock.stage("codegen-wasm", len(bin), len(bin), len(bin))
 	}
 
 	if wantTarget(opts, TargetJS) {
@@ -186,6 +221,7 @@ func Compile(src string, opts Options) (*Artifact, error) {
 			return nil, err
 		}
 		art.JS = js
+		clock.stage("codegen-js", len(js), len(js), len(js))
 	}
 
 	if wantTarget(opts, TargetX86) {
@@ -194,6 +230,7 @@ func Compile(src string, opts Options) (*Artifact, error) {
 			return nil, err
 		}
 		art.X86 = xp
+		clock.stage("codegen-x86", xp.StaticInstrCount(), xp.StaticInstrCount(), xp.StaticInstrCount())
 	}
 	return art, nil
 }

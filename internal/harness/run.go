@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/ir"
+	"wasmbench/internal/obsv"
 )
 
 // Cell is one measurement cell: a benchmark compiled with a configuration
@@ -21,6 +23,11 @@ type Cell struct {
 	Profile *browser.Profile
 	// Toolchain defaults to Cheerp.
 	Toolchain compiler.Toolchain
+}
+
+// Label renders a compact cell identifier, e.g. "atax/M/wasm/-O2@chrome-desktop".
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s/%v/%s/%v@%s", c.Bench.Name, c.Size, c.Lang, c.Level, c.Profile.Name())
 }
 
 // CellResult is the measured outcome.
@@ -50,50 +57,151 @@ func CompileCell(c Cell) (*compiler.Artifact, error) {
 
 // RunCell compiles and measures one cell.
 func RunCell(c Cell) CellResult {
+	r, _, _ := runCellTimed(c)
+	return r
+}
+
+// runCellTimed is RunCell with the wall-clock compile/measure split the
+// harness metrics report.
+func runCellTimed(c Cell) (res CellResult, compile, measure time.Duration) {
+	t0 := time.Now()
 	art, err := CompileCell(c)
+	compile = time.Since(t0)
 	if err != nil {
-		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}
+		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}, compile, 0
 	}
+	t1 := time.Now()
 	var m *browser.Measurement
 	if c.Lang == "js" {
 		m, err = c.Profile.MeasureJS(art)
 	} else {
 		m, err = c.Profile.MeasureWasm(art)
 	}
+	measure = time.Since(t1)
 	if err != nil {
 		err = fmt.Errorf("%s/%v/%s: %w", c.Bench.Name, c.Size, c.Lang, err)
 	}
-	return CellResult{Cell: c, Meas: m, Art: art, Err: err}
+	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, compile, measure
 }
 
-// RunCells executes cells in parallel (virtual-time metrics are
-// deterministic and independent across VM instances).
+// RunOptions configures a parallel harness run.
+type RunOptions struct {
+	// Workers is the pool size; <=0 selects the default
+	// (min(NumCPU, 8)).
+	Workers int
+	// Tracer, when set, receives a KindCellStart / KindCellDone pair per
+	// cell on the "harness" track. Unlike VM events, these carry
+	// wall-clock timestamps (nanoseconds since the run began), so they
+	// are not byte-reproducible across runs.
+	Tracer obsv.Tracer
+	// OnProgress, when set, is called after every finished cell with the
+	// completion count, the total, and the cell's result. Calls are
+	// serialized but arrive in completion order, not submission order.
+	OnProgress func(done, total int, r CellResult)
+}
+
+// DefaultWorkers returns the harness's default pool size.
+func DefaultWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunCells executes cells in parallel with the default pool size
+// (virtual-time metrics are deterministic and independent across VM
+// instances).
 func RunCells(cells []Cell) []CellResult {
+	res, _ := RunCellsWith(cells, RunOptions{})
+	return res
+}
+
+// RunCellsN executes cells with an explicit worker count.
+func RunCellsN(cells []Cell, workers int) []CellResult {
+	res, _ := RunCellsWith(cells, RunOptions{Workers: workers})
+	return res
+}
+
+// RunCellsWith executes cells under opt and reports per-cell wall-time
+// metrics: compile/measure split, worker assignment, queue depth at
+// pickup, and overall worker utilization.
+func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics) {
 	out := make([]CellResult, len(cells))
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
 	}
-	if workers < 1 {
-		workers = 1
+	metrics := &obsv.RunMetrics{
+		Workers: workers,
+		Cells:   make([]obsv.CellMetric, len(cells)),
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = RunCell(cells[i])
-			}
-		}()
+	if len(cells) == 0 {
+		return out, metrics
 	}
+
+	// The index channel is pre-filled and buffered so the sender never
+	// blocks: workers pull until the channel drains, whatever the pool
+	// size.
+	idx := make(chan int, len(cells))
 	for i := range cells {
 		idx <- i
 	}
 	close(idx)
+
+	var (
+		mu    sync.Mutex
+		done  int
+		wg    sync.WaitGroup
+		start = time.Now()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idx {
+				depth := len(idx)
+				cellStart := time.Since(start)
+				c := cells[i]
+				if opt.Tracer != nil {
+					opt.Tracer.Emit(obsv.Event{Kind: obsv.KindCellStart,
+						TS: float64(cellStart), Name: c.Label(),
+						Track: "harness", A: float64(worker), B: float64(depth)})
+				}
+				r, compile, measure := runCellTimed(c)
+				wall := time.Since(start) - cellStart
+				out[i] = r
+				metrics.Cells[i] = obsv.CellMetric{
+					Label:      c.Label(),
+					Worker:     worker,
+					QueueDepth: depth,
+					Start:      cellStart,
+					Compile:    compile,
+					Measure:    measure,
+					Wall:       wall,
+					Failed:     r.Err != nil,
+				}
+				if opt.Tracer != nil {
+					opt.Tracer.Emit(obsv.Event{Kind: obsv.KindCellDone,
+						TS: float64(cellStart + wall), Dur: float64(wall),
+						Name: c.Label(), Track: "harness", A: float64(worker)})
+				}
+				if opt.OnProgress != nil {
+					mu.Lock()
+					done++
+					n := done
+					mu.Unlock()
+					opt.OnProgress(n, len(cells), r)
+				}
+			}
+		}(w)
+	}
 	wg.Wait()
-	return out
+	metrics.Span = time.Since(start)
+	return out, metrics
 }
 
 // FirstError returns the first cell error, if any.
@@ -104,4 +212,15 @@ func FirstError(results []CellResult) error {
 		}
 	}
 	return nil
+}
+
+// AllErrors returns every cell error, in cell order.
+func AllErrors(results []CellResult) []error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errs
 }

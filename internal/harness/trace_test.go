@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/obsv"
+)
+
+// traceCell runs one cell on a fresh profile with a fresh collector and
+// returns the VM event stream plus the rendered Chrome trace. Everything
+// in the stream is stamped with virtual cycles, so two runs of the same
+// cell must agree byte for byte.
+func traceCell(t *testing.T, bench string, size benchsuite.Size, lang string) ([]obsv.Event, []byte) {
+	t.Helper()
+	b, err := benchsuite.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &obsv.Collector{}
+	prof := browser.Chrome(browser.Desktop)
+	prof.SetTracer(coll)
+	r := RunCell(Cell{Bench: b, Size: size, Level: ir.O2, Lang: lang, Profile: prof})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	var buf bytes.Buffer
+	if err := obsv.WriteChromeTrace(&buf, coll.Events(), nil); err != nil {
+		t.Fatal(err)
+	}
+	return coll.Events(), buf.Bytes()
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	ev1, json1 := traceCell(t, "atax", benchsuite.M, "wasm")
+	ev2, json2 := traceCell(t, "atax", benchsuite.M, "wasm")
+	if len(ev1) == 0 {
+		t.Fatal("no events collected")
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("event %d differs:\n  %+v\n  %+v", i, ev1[i], ev2[i])
+		}
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Fatal("rendered Chrome traces are not byte-identical")
+	}
+	if n := len(obsv.FilterKinds(ev1, obsv.KindTierUp)); n < 1 {
+		t.Fatalf("expected at least one tier-up event, got %d", n)
+	}
+	if n := len(obsv.FilterKinds(ev1, obsv.KindMemGrow)); n < 1 {
+		t.Fatalf("expected at least one memory-grow event, got %d", n)
+	}
+}
+
+func TestTraceDeterministicJS(t *testing.T) {
+	ev1, json1 := traceCell(t, "atax", benchsuite.S, "js")
+	_, json2 := traceCell(t, "atax", benchsuite.S, "js")
+	if len(ev1) == 0 {
+		t.Fatal("no events collected")
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Fatal("rendered Chrome traces are not byte-identical")
+	}
+	if n := len(obsv.FilterKinds(ev1, obsv.KindTierUp)); n < 1 {
+		t.Fatalf("expected at least one JS tier-up event, got %d", n)
+	}
+}
+
+// TestTraceDeterministicParallel checks that tracing survives the parallel
+// harness: each cell gets its own collector, and the per-cell streams must
+// match a serial re-run exactly.
+func TestTraceDeterministicParallel(t *testing.T) {
+	names := []string{"atax", "mvt", "bicg"}
+	colls := make([]*obsv.Collector, len(names))
+	cells := make([]Cell, len(names))
+	for i, name := range names {
+		b, err := benchsuite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colls[i] = &obsv.Collector{}
+		prof := browser.Chrome(browser.Desktop)
+		prof.SetTracer(colls[i])
+		cells[i] = Cell{Bench: b, Size: benchsuite.S, Level: ir.O2, Lang: "wasm", Profile: prof}
+	}
+	results := RunCellsN(cells, 3)
+	if errs := AllErrors(results); len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	for i, name := range names {
+		serial, _ := traceCell(t, name, benchsuite.S, "wasm")
+		par := colls[i].Events()
+		if len(par) != len(serial) {
+			t.Fatalf("%s: parallel run produced %d events, serial %d", name, len(par), len(serial))
+		}
+		for j := range par {
+			if par[j] != serial[j] {
+				t.Fatalf("%s: event %d differs between parallel and serial runs", name, j)
+			}
+		}
+	}
+}
+
+// TestRunCellsWithMetrics exercises the instrumented harness end to end:
+// worker accounting, compile/measure split, and harness trace events.
+func TestRunCellsWithMetrics(t *testing.T) {
+	b, err := benchsuite.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for _, lang := range []string{"wasm", "js"} {
+		cells = append(cells, Cell{Bench: b, Size: benchsuite.XS, Level: ir.O2,
+			Lang: lang, Profile: browser.Chrome(browser.Desktop)})
+	}
+	coll := &obsv.Collector{}
+	var progress int
+	results, metrics := RunCellsWith(cells, RunOptions{
+		Workers: 2,
+		Tracer:  coll,
+		OnProgress: func(done, total int, r CellResult) {
+			if total != len(cells) {
+				t.Errorf("progress total = %d, want %d", total, len(cells))
+			}
+			progress++
+		},
+	})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if progress != len(cells) {
+		t.Fatalf("progress callbacks = %d, want %d", progress, len(cells))
+	}
+	if metrics.Workers != 2 || len(metrics.Cells) != len(cells) {
+		t.Fatalf("metrics shape wrong: %+v", metrics)
+	}
+	for i, cm := range metrics.Cells {
+		if cm.Wall <= 0 || cm.Compile <= 0 || cm.Measure <= 0 {
+			t.Errorf("cell %d: missing timings: %+v", i, cm)
+		}
+		if cm.Label == "" {
+			t.Errorf("cell %d: empty label", i)
+		}
+	}
+	if u := metrics.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization out of range: %v", u)
+	}
+	starts := obsv.FilterKinds(coll.Events(), obsv.KindCellStart)
+	dones := obsv.FilterKinds(coll.Events(), obsv.KindCellDone)
+	if len(starts) != len(cells) || len(dones) != len(cells) {
+		t.Fatalf("harness events: %d starts, %d dones, want %d each",
+			len(starts), len(dones), len(cells))
+	}
+}
+
+func TestAllErrors(t *testing.T) {
+	results := []CellResult{
+		{},
+		{Err: errFake("a")},
+		{},
+		{Err: errFake("b")},
+	}
+	errs := AllErrors(results)
+	if len(errs) != 2 || errs[0].Error() != "a" || errs[1].Error() != "b" {
+		t.Fatalf("AllErrors = %v", errs)
+	}
+	if AllErrors(results[:1]) != nil {
+		t.Fatal("expected nil for clean results")
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }

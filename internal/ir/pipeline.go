@@ -107,6 +107,52 @@ func (l OptLevel) inlineBudget() int {
 	return 0
 }
 
+// passStep is one named pipeline stage.
+type passStep struct {
+	name string
+	fn   func(*Program)
+}
+
+// passSeq returns the exact pass sequence Optimize runs for the level.
+// (PassList is the coarser documented summary; this is the real schedule,
+// including repeated cleanup passes.)
+func passSeq(level OptLevel) []passStep {
+	cf := passStep{"constfold", ConstFold}
+	dce := passStep{"dce", DCE}
+	licm := passStep{"licm", LICM}
+	remat := passStep{"rematconst", RematConst}
+	inline := passStep{"inline", func(p *Program) { Inline(p, level.inlineBudget()) }}
+	argpromo := passStep{"argpromotion", ArgPromote}
+	vec := passStep{"vectorize-loops", Vectorize}
+	shrink := passStep{"libcalls-shrinkwrap", ShrinkwrapLibcalls}
+	gopt := passStep{"globalopt", func(p *Program) { GlobalOpt(p, false) }}
+
+	switch level {
+	case O0:
+		return nil
+	case O1:
+		return []passStep{cf, licm, cf, dce, gopt}
+	case O2:
+		return []passStep{cf, remat, cf, inline, licm, vec, shrink, cf, dce, gopt, cf, dce}
+	case Os:
+		return []passStep{cf, remat, cf, inline, licm, cf, dce, gopt, cf, dce}
+	case O3:
+		return []passStep{cf, remat, cf, inline, argpromo, licm, vec, shrink, cf, dce, gopt, cf, dce}
+	case O4:
+		return []passStep{cf, remat, cf, inline, inline, argpromo, licm, vec, shrink, cf, dce, gopt, cf, dce}
+	case Oz:
+		return []passStep{cf, licm, {"consthoist", ConstHoist}, cf, dce, gopt}
+	case Ofast:
+		return []passStep{cf, remat, cf, inline, argpromo, licm, vec,
+			{"fastmath", FastMath}, shrink, cf, dce,
+			// The modeled pass-ordering bug: fast-math suppresses the
+			// dead-global-store sweep.
+			{"globalopt(no-deadstore-sweep)", func(p *Program) { GlobalOpt(p, true) }},
+			cf, dce}
+	}
+	return nil
+}
+
 // Optimize runs the pass pipeline for the level, in place.
 //
 // The -Ofast pipeline intentionally skips the dead-global-store sweep:
@@ -114,68 +160,34 @@ func (l OptLevel) inlineBudget() int {
 // class of pass-ordering regression (cf. LLVM PR37449), where fast-math
 // function attributes suppress a late cleanup that -O2 still performs.
 func Optimize(p *Program, level OptLevel) {
-	switch level {
-	case O0:
-		return
-	case O1:
-		ConstFold(p)
-		LICM(p)
-		ConstFold(p)
-		DCE(p)
-		GlobalOpt(p, false)
-	case O2, Os:
-		ConstFold(p)
-		RematConst(p)
-		ConstFold(p)
-		Inline(p, level.inlineBudget())
-		LICM(p)
-		if level == O2 {
-			Vectorize(p)
-			ShrinkwrapLibcalls(p)
+	OptimizeWithHook(p, level, nil)
+}
+
+// PassHook observes one completed optimization pass: its name and the
+// program's node counts before and after. Node counts are deterministic,
+// so hooks can stand in for pass timings in reproducible traces.
+type PassHook func(name string, nodesBefore, nodesAfter int)
+
+// OptimizeWithHook runs the pass pipeline for the level, invoking hook
+// after every pass. A nil hook skips the node counting entirely.
+func OptimizeWithHook(p *Program, level OptLevel, hook PassHook) {
+	for _, s := range passSeq(level) {
+		if hook == nil {
+			s.fn(p)
+			continue
 		}
-		ConstFold(p)
-		DCE(p)
-		GlobalOpt(p, false)
-		ConstFold(p)
-		DCE(p)
-	case O3, O4:
-		ConstFold(p)
-		RematConst(p)
-		ConstFold(p)
-		Inline(p, level.inlineBudget())
-		if level == O4 {
-			Inline(p, level.inlineBudget())
-		}
-		ArgPromote(p)
-		LICM(p)
-		Vectorize(p)
-		ShrinkwrapLibcalls(p)
-		ConstFold(p)
-		DCE(p)
-		GlobalOpt(p, false)
-		ConstFold(p)
-		DCE(p)
-	case Oz:
-		ConstFold(p)
-		LICM(p)
-		ConstHoist(p)
-		ConstFold(p)
-		DCE(p)
-		GlobalOpt(p, false)
-	case Ofast:
-		ConstFold(p)
-		RematConst(p)
-		ConstFold(p)
-		Inline(p, level.inlineBudget())
-		ArgPromote(p)
-		LICM(p)
-		Vectorize(p)
-		FastMath(p)
-		ShrinkwrapLibcalls(p)
-		ConstFold(p)
-		DCE(p)
-		GlobalOpt(p, true) // the modeled pass-ordering bug
-		ConstFold(p)
-		DCE(p)
+		before := NodeCount(p)
+		s.fn(p)
+		hook(s.name, before, NodeCount(p))
 	}
+}
+
+// NodeCount returns the program's statement-node count across all
+// functions — the deterministic work-size proxy used for pass reporting.
+func NodeCount(p *Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += countStmts(f.Body)
+	}
+	return n
 }

@@ -31,6 +31,12 @@ type compiledFunc struct {
 	nNodes   int
 	hot      uint64
 	tieredUp bool
+
+	// Profiling accumulators, maintained only while vm.profiling is set.
+	calls       uint64
+	totalCycles float64
+	selfCycles  float64
+	classCounts [NumJSClasses]uint64
 }
 
 // cscope is a compile-time scope.
@@ -108,7 +114,8 @@ func (c *jsCompiler) labeledStmt(label string, body jsStmt) (stmtFn, error) {
 
 // compileProgram compiles top-level code.
 func compileProgram(vm *VM, body []jsStmt) (*compiledFunc, error) {
-	cf := &compiledFunc{slotOf: map[string]int{}, thisSlot: -1, argsSlot: -1}
+	cf := &compiledFunc{name: "(program)", slotOf: map[string]int{}, thisSlot: -1, argsSlot: -1}
+	vm.allFuncs = append(vm.allFuncs, cf)
 	sc := &cscope{cf: cf}
 	c := &jsCompiler{vm: vm, scope: sc, nodes: &cf.nNodes}
 	hoist(body, sc)
@@ -728,6 +735,10 @@ func (c *jsCompiler) function(name string, params []string, body []jsStmt) (*com
 		thisSlot: -1,
 		argsSlot: -1,
 	}
+	if cf.name == "" {
+		cf.name = "(anonymous)"
+	}
+	c.vm.allFuncs = append(c.vm.allFuncs, cf)
 	sc := &cscope{cf: cf, parent: c.scope}
 	for _, p := range params {
 		sc.define(p)

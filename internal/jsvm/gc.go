@@ -1,5 +1,7 @@
 package jsvm
 
+import "wasmbench/internal/obsv"
+
 // The mark-sweep collector. Collections run at statement-boundary
 // safepoints (maybeGC); in-flight expression temporaries are protected by
 // the vm.temps shadow stack, which every allocation joins until its
@@ -48,8 +50,14 @@ func (vm *VM) gc() {
 		}
 	}
 	// Charge collection work.
-	vm.cycles += vm.cfg.GCMarkPerObject*float64(len(live)) +
+	charge := vm.cfg.GCMarkPerObject*float64(len(live)) +
 		vm.cfg.GCSweepPerObject*float64(len(vm.objects)-len(live))
+	vm.cycles += charge
+	if vm.tracer != nil {
+		vm.tracer.Emit(obsv.Event{Kind: obsv.KindGCCycle, TS: vm.cycles,
+			Dur: charge, Track: "js",
+			A: float64(freedHeap + freedExt), B: float64(len(live))})
+	}
 	vm.objects = live
 	if freedHeap > vm.heapLive {
 		freedHeap = vm.heapLive

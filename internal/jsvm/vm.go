@@ -3,6 +3,8 @@ package jsvm
 import (
 	"errors"
 	"fmt"
+
+	"wasmbench/internal/obsv"
 )
 
 // JSClass buckets evaluation steps for virtual-cycle accounting.
@@ -32,6 +34,20 @@ const (
 	JReturn
 	NumJSClasses
 )
+
+var jsClassNames = [NumJSClasses]string{
+	"const", "varread", "varwrite", "arith", "add", "bitop", "cmp",
+	"call", "callnative", "propread", "propwrite", "elemread", "elemwrite",
+	"taread", "tawrite", "branch", "loopback", "alloc", "strop", "return",
+}
+
+// String returns a short name for the class.
+func (c JSClass) String() string {
+	if int(c) < len(jsClassNames) {
+		return jsClassNames[c]
+	}
+	return "unknown"
+}
 
 // JSCostTable holds per-class costs for one tier.
 type JSCostTable [NumJSClasses]float64
@@ -122,6 +138,13 @@ type Config struct {
 	// EngineBaseline is the resident engine overhead added to the memory
 	// metric (Chrome ≈ 880 KB, Firefox ≈ 510 KB in the paper's Tables 4/6).
 	EngineBaseline uint64
+	// Tracer receives typed execution events (tier-ups, GC cycles, call
+	// enter/exit) stamped with the virtual-cycle clock; nil disables
+	// tracing at the cost of one branch per hook.
+	Tracer obsv.Tracer
+	// Profile enables per-function virtual-cycle profiles (also implied by
+	// a non-nil Tracer).
+	Profile bool
 }
 
 // DefaultConfig returns a neutral engine configuration.
@@ -206,6 +229,14 @@ type VM struct {
 	NowFn func() float64
 
 	hostFuncs map[string]*Object
+
+	tracer    obsv.Tracer
+	profiling bool
+	// allFuncs registers every compiled function (in compile order) for
+	// profile export.
+	allFuncs []*compiledFunc
+	// childCycles accumulates callee cycles for the frame being profiled.
+	childCycles float64
 }
 
 // Execution errors.
@@ -237,6 +268,8 @@ func New(cfg Config) *VM {
 		cfg.GCThreshold = 2 << 20
 	}
 	vm := &VM{cfg: cfg}
+	vm.tracer = cfg.Tracer
+	vm.profiling = cfg.Profile || cfg.Tracer != nil
 	vm.NowFn = func() float64 { return vm.cycles / 1e6 }
 	vm.installHost()
 	return vm
@@ -393,6 +426,9 @@ func (vm *VM) Run(src string) (Value, error) {
 	vm.global = genv
 	vm.envStack = append(vm.envStack, genv)
 	defer func() { vm.envStack = vm.envStack[:len(vm.envStack)-1] }()
+	if vm.profiling {
+		defer vm.profEnter(cf)()
+	}
 	var result Value
 	for _, s := range cf.code {
 		ctrl, v, err := s(vm, genv)
@@ -406,6 +442,59 @@ func (vm *VM) Run(src string) (Value, error) {
 		result = v
 	}
 	return result, nil
+}
+
+// profEnter opens one profiled activation of cf: it records the call,
+// emits the CallEnter event, and returns the closer that finalizes
+// self/total cycle attribution and emits CallExit.
+func (vm *VM) profEnter(cf *compiledFunc) func() {
+	start := vm.cycles
+	savedChild := vm.childCycles
+	vm.childCycles = 0
+	cf.calls++
+	if vm.tracer != nil {
+		vm.tracer.Emit(obsv.Event{Kind: obsv.KindCallEnter, TS: start,
+			Name: cf.name, Track: "js"})
+	}
+	return func() {
+		total := vm.cycles - start
+		cf.totalCycles += total
+		cf.selfCycles += total - vm.childCycles
+		vm.childCycles = savedChild + total
+		if vm.tracer != nil {
+			vm.tracer.Emit(obsv.Event{Kind: obsv.KindCallExit, TS: vm.cycles,
+				Name: cf.name, Track: "js"})
+		}
+	}
+}
+
+// Profile returns the per-function virtual-cycle profiles collected while
+// profiling was enabled (Config.Profile or a non-nil Tracer); nil
+// otherwise. Functions that never ran are omitted; order is compile order.
+func (vm *VM) Profile() []obsv.FuncProfile {
+	if !vm.profiling {
+		return nil
+	}
+	out := make([]obsv.FuncProfile, 0, len(vm.allFuncs))
+	for _, cf := range vm.allFuncs {
+		if cf.calls == 0 {
+			continue
+		}
+		fp := obsv.FuncProfile{
+			Name:        cf.name,
+			Track:       "js",
+			Calls:       cf.calls,
+			SelfCycles:  cf.selfCycles,
+			TotalCycles: cf.totalCycles,
+		}
+		for c := JSClass(0); c < NumJSClasses; c++ {
+			if n := cf.classCounts[c]; n != 0 {
+				fp.Classes = append(fp.Classes, obsv.ClassCount{Class: c.String(), Count: n})
+			}
+		}
+		out = append(out, fp)
+	}
+	return out
 }
 
 // CallFunction invokes a JS function value with arguments.
@@ -432,6 +521,10 @@ func (vm *VM) callFuncObj(o *Object, this Value, args []Value) (Value, error) {
 	// Tiering: hotness per function code object.
 	cf.hot++
 	costs := vm.tierCosts(cf)
+
+	if vm.profiling {
+		defer vm.profEnter(cf)()
+	}
 
 	fenv := &env{
 		slots:  make([]Value, cf.nSlots),
@@ -472,11 +565,21 @@ func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
 		return &vm.cfg.JITCost
 	}
 	if vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
-		cf.tieredUp = true
-		vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
+		vm.tierUp(cf)
 		return &vm.cfg.JITCost
 	}
 	return &vm.cfg.InterpCost
+}
+
+// tierUp promotes cf to the optimizing tier, charging the compile and
+// emitting the trace event.
+func (vm *VM) tierUp(cf *compiledFunc) {
+	cf.tieredUp = true
+	vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
+	if vm.tracer != nil {
+		vm.tracer.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: vm.cycles,
+			Name: cf.name, Track: "js", A: float64(cf.nNodes)})
+	}
 }
 
 // bumpLoop is called on loop back-edges: contributes hotness and performs
@@ -485,8 +588,7 @@ func (vm *VM) bumpLoop(e *env) {
 	cf := e.fn
 	cf.hot++
 	if !cf.tieredUp && vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
-		cf.tieredUp = true
-		vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
+		vm.tierUp(cf)
 	}
 	if cf.tieredUp {
 		e.cost = &vm.cfg.JITCost
@@ -497,6 +599,9 @@ func (vm *VM) bumpLoop(e *env) {
 func (vm *VM) step(e *env, class JSClass) error {
 	vm.cycles += e.cost[class]
 	vm.steps++
+	if vm.profiling {
+		e.fn.classCounts[class]++
+	}
 	if vm.cfg.StepLimit != 0 && vm.steps > vm.cfg.StepLimit {
 		return ErrJSStepLimit
 	}

@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CellMetric records the harness-level schedule of one measurement cell.
+type CellMetric struct {
+	Label  string
+	Worker int
+	// QueueDepth is how many cells were still waiting when this one was
+	// picked up.
+	QueueDepth int
+	// Start is the offset from the run start.
+	Start time.Duration
+	// Compile and Measure split the cell's wall time into toolchain work
+	// and VM execution; Wall is the full span (compile + measure + glue).
+	Compile time.Duration
+	Measure time.Duration
+	Wall    time.Duration
+	Failed  bool
+}
+
+// RunMetrics aggregates one RunCells invocation's schedule.
+type RunMetrics struct {
+	Workers int
+	// Span is the wall time from run start to the last cell completion.
+	Span  time.Duration
+	Cells []CellMetric
+}
+
+// Utilization returns busy-time / (workers × span): 1.0 means every
+// worker was busy for the whole run.
+func (m *RunMetrics) Utilization() float64 {
+	if m.Workers == 0 || m.Span <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, c := range m.Cells {
+		busy += c.Wall
+	}
+	return float64(busy) / (float64(m.Workers) * float64(m.Span))
+}
+
+// CompileShare returns the fraction of total cell wall time spent in the
+// toolchain rather than measuring.
+func (m *RunMetrics) CompileShare() float64 {
+	var compile, wall time.Duration
+	for _, c := range m.Cells {
+		compile += c.Compile
+		wall += c.Wall
+	}
+	if wall == 0 {
+		return 0
+	}
+	return float64(compile) / float64(wall)
+}
+
+// Render returns the per-cell table plus the run summary line.
+func (m *RunMetrics) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s\n",
+		"cell", "wkr", "queue", "start", "compile", "measure", "wall")
+	for _, c := range m.Cells {
+		status := ""
+		if c.Failed {
+			status = "  FAILED"
+		}
+		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s%s\n",
+			c.Label, c.Worker, c.QueueDepth,
+			fmtDur(c.Start), fmtDur(c.Compile), fmtDur(c.Measure), fmtDur(c.Wall), status)
+	}
+	fmt.Fprintf(&b, "cells: %d  workers: %d  span: %s  utilization: %.1f%%  compile-share: %.1f%%\n",
+		len(m.Cells), m.Workers, fmtDur(m.Span),
+		100*m.Utilization(), 100*m.CompileShare())
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,179 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassCount is one cost-class bucket of a function's dynamic instruction
+// mix (the paper's Appendix D counts, attributed per function).
+type ClassCount struct {
+	Class string
+	Count uint64
+}
+
+// FuncProfile is one function's virtual-cycle profile: how often it ran,
+// how many cycles it spent in its own code vs. including callees, and its
+// dynamic instruction mix by cost class.
+type FuncProfile struct {
+	Name  string
+	Track string
+	Calls uint64
+	// SelfCycles excludes callees; TotalCycles includes them (recursive
+	// activations double-count Total, as in conventional profilers).
+	SelfCycles  float64
+	TotalCycles float64
+	Classes     []ClassCount
+}
+
+// SortProfiles orders profiles by self cycles descending (ties broken by
+// name) — the conventional "hottest first" profile order. Sorting is
+// deterministic so rendered tables and exported traces are byte-stable.
+func SortProfiles(profiles []FuncProfile) {
+	sort.SliceStable(profiles, func(i, j int) bool {
+		if profiles[i].SelfCycles != profiles[j].SelfCycles {
+			return profiles[i].SelfCycles > profiles[j].SelfCycles
+		}
+		return profiles[i].Name < profiles[j].Name
+	})
+}
+
+// ProfileTable renders profiles as a plain-text table (hottest first).
+func ProfileTable(profiles []FuncProfile) string {
+	ps := append([]FuncProfile(nil), profiles...)
+	SortProfiles(ps)
+	var totalSelf float64
+	for _, p := range ps {
+		totalSelf += p.SelfCycles
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %14s %14s %6s  %s\n",
+		"func", "calls", "self-cycles", "total-cycles", "self%", "top classes")
+	for _, p := range ps {
+		pct := 0.0
+		if totalSelf > 0 {
+			pct = 100 * p.SelfCycles / totalSelf
+		}
+		fmt.Fprintf(&b, "%-24s %10d %14.0f %14.0f %5.1f%%  %s\n",
+			p.Name, p.Calls, p.SelfCycles, p.TotalCycles, pct, topClasses(p.Classes, 3))
+	}
+	return b.String()
+}
+
+// topClasses renders the n largest cost-class buckets as "class:count".
+func topClasses(classes []ClassCount, n int) string {
+	cs := append([]ClassCount(nil), classes...)
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count > cs[j].Count
+		}
+		return cs[i].Class < cs[j].Class
+	})
+	if len(cs) > n {
+		cs = cs[:n]
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%s:%d", c.Class, c.Count)
+	}
+	return strings.Join(parts, " ")
+}
+
+// FlameNode is one node of the flame-style call tree built from
+// CallEnter/CallExit event nesting.
+type FlameNode struct {
+	Name string
+	// Calls is how many activations merged into this node.
+	Calls uint64
+	// TotalCycles includes children; SelfCycles excludes them.
+	TotalCycles float64
+	SelfCycles  float64
+	Children    []*FlameNode
+}
+
+func (n *FlameNode) child(name string) *FlameNode {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &FlameNode{Name: name}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// Flame builds flame trees from a trace, one root set per track, keyed by
+// track name. Call events from a single VM are strictly nested (the VMs
+// are single-threaded), so a simple stack replay suffices. Unbalanced
+// tails (calls still open at end of trace, e.g. after a trap) are closed
+// at the last event's timestamp.
+func Flame(events []Event) map[string][]*FlameNode {
+	type frame struct {
+		node  *FlameNode
+		start float64
+		child float64 // cycles consumed by completed children
+	}
+	type trackState struct {
+		root  *FlameNode // synthetic holder; its Children are the roots
+		stack []frame
+		last  float64
+	}
+	states := map[string]*trackState{}
+	state := func(track string) *trackState {
+		s, ok := states[track]
+		if !ok {
+			s = &trackState{root: &FlameNode{}}
+			states[track] = s
+		}
+		return s
+	}
+	for _, e := range events {
+		if e.Kind != KindCallEnter && e.Kind != KindCallExit {
+			continue
+		}
+		s := state(e.Track)
+		s.last = e.TS
+		switch e.Kind {
+		case KindCallEnter:
+			parent := s.root
+			if n := len(s.stack); n > 0 {
+				parent = s.stack[n-1].node
+			}
+			node := parent.child(e.Name)
+			node.Calls++
+			s.stack = append(s.stack, frame{node: node, start: e.TS})
+		case KindCallExit:
+			n := len(s.stack)
+			if n == 0 {
+				continue // stray exit; ignore
+			}
+			fr := s.stack[n-1]
+			s.stack = s.stack[:n-1]
+			total := e.TS - fr.start
+			fr.node.TotalCycles += total
+			fr.node.SelfCycles += total - fr.child
+			if n >= 2 {
+				s.stack[n-2].child += total
+			}
+		}
+	}
+	out := map[string][]*FlameNode{}
+	for track, s := range states {
+		// Close any frames left open by a trap or truncated trace.
+		for n := len(s.stack); n > 0; n-- {
+			fr := s.stack[n-1]
+			total := s.last - fr.start
+			fr.node.TotalCycles += total
+			fr.node.SelfCycles += total - fr.child
+			if n >= 2 {
+				s.stack[n-2].child += total
+			}
+			s.stack = s.stack[:n-1]
+		}
+		if len(s.root.Children) > 0 {
+			out[track] = s.root.Children
+		}
+	}
+	return out
+}

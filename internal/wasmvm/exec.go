@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 )
 
@@ -52,6 +53,10 @@ func (vm *VM) maybeTierUp(cf *compiledFunc) *CostTable {
 		cf.tier = TierOptOnly
 		vm.stats.TierUps++
 		vm.cycles += vm.cfg.CompileOptPerInstr * float64(len(cf.code))
+		if vm.tracer != nil {
+			vm.tracer.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: vm.cycles,
+				Name: cf.name, Track: "wasm", A: float64(len(cf.code))})
+		}
 	}
 	return vm.tierCosts(cf)
 }
@@ -73,6 +78,28 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	cf.hotness++
 	costs := vm.maybeTierUp(cf)
 
+	if vm.profiling {
+		start := vm.cycles
+		savedChild := vm.childCycles
+		vm.childCycles = 0
+		prof := &vm.profs[fi]
+		prof.calls++
+		if vm.tracer != nil {
+			vm.tracer.Emit(obsv.Event{Kind: obsv.KindCallEnter, TS: start,
+				Name: cf.name, Track: "wasm"})
+		}
+		defer func() {
+			total := vm.cycles - start
+			prof.totalCycles += total
+			prof.selfCycles += total - vm.childCycles
+			vm.childCycles = savedChild + total
+			if vm.tracer != nil {
+				vm.tracer.Emit(obsv.Event{Kind: obsv.KindCallExit, TS: vm.cycles,
+					Name: cf.name, Track: "wasm"})
+			}
+		}()
+	}
+
 	// Frame setup: locals arena.
 	localBase := len(vm.locals)
 	vm.locals = append(vm.locals, args...)
@@ -91,6 +118,12 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	limit := vm.cfg.StepLimit
 	cycles := vm.cycles
 	var counts *[NumCostClasses]uint64 = &vm.stats.Counts
+	// fclass attributes the instruction mix to this function when profiling
+	// is on; the nil check is the hot loop's entire disabled-tracing cost.
+	var fclass *[NumCostClasses]uint64
+	if vm.profiling {
+		fclass = &vm.profs[fi].classCounts
+	}
 
 	push := func(v uint64) { vm.stack = append(vm.stack, v) }
 
@@ -99,6 +132,9 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		in := &code[pc]
 		cycles += costs[in.class]
 		counts[in.class]++
+		if fclass != nil {
+			fclass[in.class]++
+		}
 		steps++
 		if limit != 0 && steps > limit {
 			vm.stats.Steps = steps
@@ -225,6 +261,10 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			r := mem.Grow(d)
 			vm.stack[len(vm.stack)-1] = uint64(uint32(r))
 			cycles += vm.cfg.GrowBoundaryCost
+			if vm.tracer != nil {
+				vm.tracer.Emit(obsv.Event{Kind: obsv.KindMemGrow, TS: cycles,
+					Name: cf.name, Track: "wasm", A: float64(d), B: float64(r)})
+			}
 
 		default:
 			var err error

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 	StepLimit uint64
 	// CallDepthLimit guards the host stack; 0 means 10000.
 	CallDepthLimit int
+	// Tracer receives typed execution events (tier-ups, memory grows,
+	// call enter/exit) stamped with the virtual-cycle clock. nil disables
+	// tracing; hook sites cost one branch.
+	Tracer obsv.Tracer
+	// Profile enables per-function virtual-cycle profiles (also implied by
+	// a non-nil Tracer).
+	Profile bool
 }
 
 // DefaultConfig returns a neutral configuration with the baseline tier cost
@@ -139,6 +147,16 @@ func (s *Stats) ArithOps() map[string]uint64 {
 	}
 }
 
+// funcProf accumulates one function's profile while profiling is enabled:
+// call count, self/total virtual cycles, and the dynamic instruction mix
+// by cost class.
+type funcProf struct {
+	calls       uint64
+	totalCycles float64
+	selfCycles  float64
+	classCounts [NumCostClasses]uint64
+}
+
 // VM is an instantiated module ready to execute exported functions.
 type VM struct {
 	module  *wasm.Module
@@ -154,6 +172,13 @@ type VM struct {
 	stats   Stats
 	inited  bool
 	binSize int
+
+	tracer    obsv.Tracer
+	profiling bool
+	profs     []funcProf
+	// childCycles accumulates callee cycles for the frame currently being
+	// profiled, so selfCycles = total − children.
+	childCycles float64
 }
 
 // ErrStepLimit reports that the configured dynamic instruction budget was
@@ -174,16 +199,54 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 		cfg.MaxPages = 65536
 	}
 	vm := &VM{module: m, cfg: cfg, binSize: binarySize}
+	vm.tracer = cfg.Tracer
+	vm.profiling = cfg.Profile || cfg.Tracer != nil
 	vm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
 		cf, err := lowerFunc(m, &m.Funcs[i])
 		if err != nil {
 			return nil, fmt.Errorf("wasmvm: func %d: %w", i, err)
 		}
+		if cf.name == "" {
+			cf.name = fmt.Sprintf("func%d", i)
+		}
 		vm.funcs[i] = cf
+	}
+	if vm.profiling {
+		vm.profs = make([]funcProf, len(vm.funcs))
 	}
 	vm.imports = make([]HostFunc, len(m.Imports))
 	return vm, nil
+}
+
+// Profile returns the per-function virtual-cycle profiles collected while
+// profiling was enabled (Config.Profile or a non-nil Tracer); nil
+// otherwise. Functions that never ran are omitted.
+func (vm *VM) Profile() []obsv.FuncProfile {
+	if !vm.profiling {
+		return nil
+	}
+	out := make([]obsv.FuncProfile, 0, len(vm.funcs))
+	for i := range vm.funcs {
+		p := &vm.profs[i]
+		if p.calls == 0 {
+			continue
+		}
+		fp := obsv.FuncProfile{
+			Name:        vm.funcs[i].name,
+			Track:       "wasm",
+			Calls:       p.calls,
+			SelfCycles:  p.selfCycles,
+			TotalCycles: p.totalCycles,
+		}
+		for c := CostClass(0); c < NumCostClasses; c++ {
+			if n := p.classCounts[c]; n != 0 {
+				fp.Classes = append(fp.Classes, obsv.ClassCount{Class: c.String(), Count: n})
+			}
+		}
+		out = append(out, fp)
+	}
+	return out
 }
 
 // BindImport installs a host function for the import module.field.
