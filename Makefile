@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
-check: vet build race
+check: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +22,8 @@ race:
 # hot path; see internal/obsv/overhead_bench_test.go).
 bench:
 	$(GO) test -bench Interp -benchtime 5x -run xxx ./internal/obsv/
+
+# One-iteration sweep of every benchmark so a broken -bench path fails CI
+# without waiting for steady-state numbers (baselines live in BENCH_perf.json).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -44,6 +44,7 @@ func main() {
 	metricsFlag := flag.Bool("metrics", false, "run the suite cell grid and print per-cell wall time, queue depth, and worker utilization")
 	traceOut := flag.String("trace-out", "", "with -metrics: also write a Chrome trace_event JSON file of the run")
 	workers := flag.Int("workers", 0, "worker pool size for -metrics (0 = default)")
+	compileCache := flag.Bool("compile-cache", true, "share one compiled artifact per unique (source, size, opt, toolchain, target); disable for cold-compile studies")
 	flag.Parse()
 	if *exp == "" && !*metricsFlag && *traceOut == "" {
 		flag.Usage()
@@ -75,7 +76,7 @@ func main() {
 	}
 
 	if *metricsFlag || *traceOut != "" {
-		if err := runMetrics(opts, *workers, *traceOut); err != nil {
+		if err := runMetrics(opts, *workers, *traceOut, *compileCache); err != nil {
 			fatal(err)
 		}
 		if *exp == "" {
@@ -185,8 +186,8 @@ func run(id string, opts core.Options) error {
 // runMetrics executes the benchmark × language cell grid on desktop Chrome
 // under the instrumented harness and prints the run's wall-time metrics.
 // Sizes default to M alone (the study's reference class) to keep the grid
-// manageable; -sizes widens it.
-func runMetrics(opts core.Options, workers int, traceOut string) error {
+// manageable; -sizes widens it. compileCache=false forces cold compiles.
+func runMetrics(opts core.Options, workers int, traceOut string, compileCache bool) error {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = benchsuite.All()
@@ -206,7 +207,7 @@ func runMetrics(opts core.Options, workers int, traceOut string) error {
 			}
 		}
 	}
-	ropt := harness.RunOptions{Workers: workers}
+	ropt := harness.RunOptions{Workers: workers, DisableCache: !compileCache}
 	var coll *obsv.Collector
 	if traceOut != "" {
 		coll = &obsv.Collector{}

@@ -10,6 +10,8 @@
 //	wasmrun -mode opt prog.wasm        # --no-liftoff
 //	wasmrun -profile prog.wasm         # per-function virtual-cycle profile
 //	wasmrun -trace-out t.json prog.wasm  # Chrome trace_event JSON
+//	wasmrun -no-fuse prog.wasm         # disable the superinstruction tier
+//	                                   # (identical metrics, slower dispatch)
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	modeFlag := flag.String("mode", "both", "compiler tiers: both, basic, opt")
 	entry := flag.String("entry", "main", "exported function to call")
 	profileFlag := flag.Bool("profile", false, "print a per-function virtual-cycle profile")
+	noFuse := flag.Bool("no-fuse", false, "disable interpreter superinstruction fusion (virtual metrics are identical; dispatch is slower)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	foldedOut := flag.String("folded-out", "", "write folded stacks (flamegraph.pl / speedscope input)")
 	flag.Parse()
@@ -79,6 +82,7 @@ func main() {
 	if *profileFlag {
 		cfg.Profile = true
 	}
+	cfg.DisableFusion = *noFuse
 
 	vm, err := wasmvm.New(mod, len(bin), cfg)
 	if err != nil {

@@ -1,0 +1,42 @@
+package compiler
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a content-addressed key for a compilation: a SHA-256
+// over the source text and every Options field that affects the generated
+// artifact — defines, opt level, toolchain, stack/heap limits, module name,
+// and target set. The pipeline is deterministic, so two compilations with
+// equal fingerprints produce identical artifacts; the harness compile
+// cache keys on this.
+//
+// Tracer is deliberately excluded: it observes compilation but never
+// changes its output.
+func Fingerprint(src string, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src:%d:", len(src))
+	h.Write([]byte(src))
+	fmt.Fprintf(h, "\nopt:%d toolchain:%d stack:%d heap:%d name:%s\n",
+		int(opts.Opt), int(opts.Toolchain), opts.StackSize, opts.HeapLimit, opts.ModuleName)
+	keys := make([]string, 0, len(opts.Defines))
+	for k := range opts.Defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "def:%s=%s\n", k, opts.Defines[k])
+	}
+	targets := make([]string, 0, len(opts.Targets))
+	for _, t := range opts.Targets {
+		targets = append(targets, string(t))
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		fmt.Fprintf(h, "target:%s\n", t)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -38,37 +38,60 @@ type CellResult struct {
 	Err  error
 }
 
-// CompileCell builds the artifact for a cell (cached per (bench, size,
-// level, toolchain) by the caller when needed; compilation is cheap).
-func CompileCell(c Cell) (*compiler.Artifact, error) {
+// cellOptions renders the cell's full compiler configuration.
+func cellOptions(c Cell) compiler.Options {
 	targets := []compiler.Target{compiler.TargetWasm}
 	if c.Lang == "js" {
 		targets = []compiler.Target{compiler.TargetJS}
 	}
-	return compiler.Compile(c.Bench.Source, compiler.Options{
+	return compiler.Options{
 		Opt:        c.Level,
 		Toolchain:  c.Toolchain,
 		Defines:    c.Bench.Defines(c.Size),
 		HeapLimit:  c.Bench.HeapLimitBytes(c.Size),
 		ModuleName: c.Bench.Name,
 		Targets:    targets,
-	})
+	}
+}
+
+// Fingerprint returns the cell's content-addressed compilation key:
+// cells that differ only in browser profile share a fingerprint, and
+// therefore share one compiled artifact under an ArtifactCache.
+func (c Cell) Fingerprint() string {
+	return compiler.Fingerprint(c.Bench.Source, cellOptions(c))
+}
+
+// CompileCell builds the artifact for a cell. Every call compiles from
+// scratch; the parallel harness deduplicates identical compilations with a
+// content-addressed ArtifactCache (on by default in RunCellsWith, shared
+// across the worker pool — see RunOptions.Cache / DisableCache), so each
+// unique artifact compiles exactly once no matter how many profiles
+// measure it.
+func CompileCell(c Cell) (*compiler.Artifact, error) {
+	return compiler.Compile(c.Bench.Source, cellOptions(c))
 }
 
 // RunCell compiles and measures one cell.
 func RunCell(c Cell) CellResult {
-	r, _, _ := runCellTimed(c)
+	r, _, _, _ := runCellTimed(c, nil)
 	return r
 }
 
 // runCellTimed is RunCell with the wall-clock compile/measure split the
-// harness metrics report.
-func runCellTimed(c Cell) (res CellResult, compile, measure time.Duration) {
+// harness metrics report. A non-nil cache deduplicates the compile step;
+// hit reports that the artifact came from it without compiling here.
+func runCellTimed(c Cell, cache *ArtifactCache) (res CellResult, compile, measure time.Duration, hit bool) {
 	t0 := time.Now()
-	art, err := CompileCell(c)
+	var art *compiler.Artifact
+	var err error
+	if cache != nil {
+		art, hit, err = cache.CompileCell(c)
+	} else {
+		art, err = CompileCell(c)
+	}
 	compile = time.Since(t0)
 	if err != nil {
-		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}, compile, 0
+		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}, compile, 0, hit
 	}
 	t1 := time.Now()
 	var m *browser.Measurement
@@ -81,7 +104,7 @@ func runCellTimed(c Cell) (res CellResult, compile, measure time.Duration) {
 	if err != nil {
 		err = fmt.Errorf("%s/%v/%s: %w", c.Bench.Name, c.Size, c.Lang, err)
 	}
-	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, compile, measure
+	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, compile, measure, hit
 }
 
 // RunOptions configures a parallel harness run.
@@ -98,6 +121,15 @@ type RunOptions struct {
 	// completion count, the total, and the cell's result. Calls are
 	// serialized but arrive in completion order, not submission order.
 	OnProgress func(done, total int, r CellResult)
+	// Cache is the artifact compile cache shared by the worker pool. nil
+	// creates a fresh cache for the run; pass an explicit cache to share
+	// compiled artifacts across several runs. Ignored when DisableCache
+	// is set.
+	Cache *ArtifactCache
+	// DisableCache forces every cell to cold-compile its artifact — the
+	// opt-out for compile-time measurement studies. Measurements are
+	// unaffected either way; only wall-clock compile time changes.
+	DisableCache bool
 }
 
 // DefaultWorkers returns the harness's default pool size.
@@ -128,7 +160,7 @@ func RunCellsN(cells []Cell, workers int) []CellResult {
 
 // RunCellsWith executes cells under opt and reports per-cell wall-time
 // metrics: compile/measure split, worker assignment, queue depth at
-// pickup, and overall worker utilization.
+// pickup, compile-cache counters, and overall worker utilization.
 func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics) {
 	out := make([]CellResult, len(cells))
 	workers := opt.Workers
@@ -141,6 +173,18 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 	}
 	if len(cells) == 0 {
 		return out, metrics
+	}
+	cache := opt.Cache
+	if cache == nil && !opt.DisableCache {
+		cache = NewArtifactCache()
+	}
+	if opt.DisableCache {
+		cache = nil
+	}
+	// Snapshot so a caller-shared cache reports this run's delta only.
+	var cacheBase CacheStats
+	if cache != nil {
+		cacheBase = cache.Stats()
 	}
 
 	// The index channel is pre-filled and buffered so the sender never
@@ -163,7 +207,11 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				depth := len(idx)
+				// len(idx) no longer counts the index just pulled, so add
+				// it back: QueueDepth is the depth at pickup, including
+				// this cell (a single worker draining k cells records
+				// k, k-1, …, 1).
+				depth := len(idx) + 1
 				cellStart := time.Since(start)
 				c := cells[i]
 				if opt.Tracer != nil {
@@ -171,7 +219,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 						TS: float64(cellStart), Name: c.Label(),
 						Track: "harness", A: float64(worker), B: float64(depth)})
 				}
-				r, compile, measure := runCellTimed(c)
+				r, compile, measure, hit := runCellTimed(c, cache)
 				wall := time.Since(start) - cellStart
 				out[i] = r
 				metrics.Cells[i] = obsv.CellMetric{
@@ -183,6 +231,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					Measure:    measure,
 					Wall:       wall,
 					Failed:     r.Err != nil,
+					CacheHit:   hit,
 				}
 				if opt.Tracer != nil {
 					opt.Tracer.Emit(obsv.Event{Kind: obsv.KindCellDone,
@@ -201,6 +250,13 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 	}
 	wg.Wait()
 	metrics.Span = time.Since(start)
+	if cache != nil {
+		s := cache.Stats()
+		metrics.CacheEnabled = true
+		metrics.CacheHits = s.Hits - cacheBase.Hits
+		metrics.CacheMisses = s.Misses - cacheBase.Misses
+		metrics.CacheDedupWaits = s.DedupWaits - cacheBase.DedupWaits
+	}
 	return out, metrics
 }
 

@@ -10,8 +10,9 @@ import (
 type CellMetric struct {
 	Label  string
 	Worker int
-	// QueueDepth is how many cells were still waiting when this one was
-	// picked up.
+	// QueueDepth is how many cells were queued at the moment this one was
+	// picked up, including the cell itself: a single worker draining k
+	// cells records k, k-1, …, 1.
 	QueueDepth int
 	// Start is the offset from the run start.
 	Start time.Duration
@@ -21,6 +22,10 @@ type CellMetric struct {
 	Measure time.Duration
 	Wall    time.Duration
 	Failed  bool
+	// CacheHit reports that the cell's artifact came from the harness
+	// compile cache (or from waiting on another worker's in-flight
+	// compile) instead of being compiled by this cell.
+	CacheHit bool
 }
 
 // RunMetrics aggregates one RunCells invocation's schedule.
@@ -29,6 +34,14 @@ type RunMetrics struct {
 	// Span is the wall time from run start to the last cell completion.
 	Span  time.Duration
 	Cells []CellMetric
+	// Compile-cache counters for the run (deltas when the cache is shared
+	// across runs): CacheHits resolved instantly, CacheMisses compiled,
+	// CacheDedupWaits blocked on another worker's in-flight compile.
+	// CacheEnabled distinguishes a disabled cache from an idle one.
+	CacheEnabled    bool
+	CacheHits       int
+	CacheMisses     int
+	CacheDedupWaits int
 }
 
 // Utilization returns busy-time / (workers × span): 1.0 means every
@@ -58,23 +71,32 @@ func (m *RunMetrics) CompileShare() float64 {
 	return float64(compile) / float64(wall)
 }
 
-// Render returns the per-cell table plus the run summary line.
+// Render returns the per-cell table plus the run summary lines.
 func (m *RunMetrics) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s\n",
-		"cell", "wkr", "queue", "start", "compile", "measure", "wall")
+	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s %5s\n",
+		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache")
 	for _, c := range m.Cells {
 		status := ""
 		if c.Failed {
 			status = "  FAILED"
 		}
-		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s%s\n",
+		cacheCol := "-"
+		if c.CacheHit {
+			cacheCol = "hit"
+		}
+		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s %5s%s\n",
 			c.Label, c.Worker, c.QueueDepth,
-			fmtDur(c.Start), fmtDur(c.Compile), fmtDur(c.Measure), fmtDur(c.Wall), status)
+			fmtDur(c.Start), fmtDur(c.Compile), fmtDur(c.Measure), fmtDur(c.Wall),
+			cacheCol, status)
 	}
 	fmt.Fprintf(&b, "cells: %d  workers: %d  span: %s  utilization: %.1f%%  compile-share: %.1f%%\n",
 		len(m.Cells), m.Workers, fmtDur(m.Span),
 		100*m.Utilization(), 100*m.CompileShare())
+	if m.CacheEnabled {
+		fmt.Fprintf(&b, "compile cache: %d hits  %d misses  %d dedup-waits\n",
+			m.CacheHits, m.CacheMisses, m.CacheDedupWaits)
+	}
 	return b.String()
 }
 

@@ -208,7 +208,7 @@ func TestRunMetrics(t *testing.T) {
 		Span:    100 * time.Millisecond,
 		Cells: []CellMetric{
 			{Label: "a", Wall: 80 * time.Millisecond, Compile: 20 * time.Millisecond, Measure: 60 * time.Millisecond},
-			{Label: "b", Wall: 120 * time.Millisecond, Compile: 30 * time.Millisecond, Measure: 90 * time.Millisecond},
+			{Label: "b", Wall: 120 * time.Millisecond, Compile: 30 * time.Millisecond, Measure: 90 * time.Millisecond, CacheHit: true},
 		},
 	}
 	if u := m.Utilization(); math.Abs(u-1.0) > 1e-9 {
@@ -220,6 +220,16 @@ func TestRunMetrics(t *testing.T) {
 	out := m.Render()
 	if !strings.Contains(out, "utilization: 100.0%") || !strings.Contains(out, "workers: 2") {
 		t.Errorf("render:\n%s", out)
+	}
+	// The cache column marks hit cells; the summary line only appears for
+	// runs where the cache was actually on.
+	if !strings.Contains(out, "hit") || strings.Contains(out, "compile cache:") {
+		t.Errorf("cache rendering:\n%s", out)
+	}
+	m.CacheEnabled = true
+	m.CacheHits, m.CacheMisses, m.CacheDedupWaits = 1, 1, 0
+	if out := m.Render(); !strings.Contains(out, "compile cache: 1 hits  1 misses  0 dedup-waits") {
+		t.Errorf("cache summary line:\n%s", out)
 	}
 }
 

@@ -116,32 +116,109 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	mem := vm.mem
 	steps := vm.stats.Steps
 	limit := vm.cfg.StepLimit
+	if limit == 0 {
+		limit = math.MaxUint64 // steps can never reach the sentinel
+	}
 	cycles := vm.cycles
 	var counts *[NumCostClasses]uint64 = &vm.stats.Counts
 	// fclass attributes the instruction mix to this function when profiling
-	// is on; the nil check is the hot loop's entire disabled-tracing cost.
-	var fclass *[NumCostClasses]uint64
+	// is on; with profiling off it points at a write-only scratch array so
+	// the loop needs no per-instruction branch.
+	fclass := &vm.scratchClass
 	if vm.profiling {
 		fclass = &vm.profs[fi].classCounts
 	}
-
-	push := func(v uint64) { vm.stack = append(vm.stack, v) }
 
 	pc := 0
 	for pc < len(code) {
 		in := &code[pc]
 		cycles += costs[in.class]
 		counts[in.class]++
-		if fclass != nil {
-			fclass[in.class]++
-		}
+		fclass[in.class]++
 		steps++
-		if limit != 0 && steps > limit {
+		if steps > limit {
 			vm.stats.Steps = steps
 			vm.cycles = cycles
 			return nil, ErrStepLimit
 		}
 		switch in.op {
+		// Superinstructions (fuse.go). Each arm first charges its second
+		// component exactly as the loop header would have, then performs
+		// both effects and skips the partner slot. Fusion is disabled under
+		// a step limit, so no budget check is needed for the extra step.
+		case opFusedGetGet:
+			cycles += costs[in.class2]
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			vm.stack = append(vm.stack, locals[in.a], locals[in.b2])
+			pc += 2
+			continue
+
+		case opFusedConst32Bin:
+			cycles += costs[in.class2]
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			vm.stack = append(vm.stack, uint64(uint32(in.val)))
+			if err := vm.execNumeric(in.op2); err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				return nil, err
+			}
+			pc += 2
+			continue
+
+		case opFusedConst64Bin:
+			cycles += costs[in.class2]
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			vm.stack = append(vm.stack, uint64(in.val))
+			if err := vm.execNumeric(in.op2); err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				return nil, err
+			}
+			pc += 2
+			continue
+
+		case opFusedGetLoad:
+			cycles += costs[in.class2]
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			vm.stack = append(vm.stack, locals[in.a])
+			if err := vm.execMem(in.op2, in.b2, mem); err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				return nil, err
+			}
+			pc += 2
+			continue
+
+		case opFusedCmpBrIf:
+			cycles += costs[in.class2]
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			_ = vm.execNumeric(in.op2) // comparisons cannot trap
+			c := vm.stack[len(vm.stack)-1]
+			vm.stack = vm.stack[:len(vm.stack)-1]
+			if uint32(c) != 0 {
+				// The br_if component sits at pc+1: same backward-edge
+				// hotness bookkeeping as the unfused opcode.
+				if in.jump.pc <= int32(pc+1) {
+					cf.hotness++
+					vm.cycles = cycles
+					costs = vm.maybeTierUp(cf)
+					cycles = vm.cycles
+				}
+				pc = vm.branch(stackBase, in.jump)
+				continue
+			}
+			pc += 2
+			continue
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpEnd, wasm.OpNop:
 			// structural: no effect
 
@@ -237,25 +314,25 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			}
 
 		case wasm.OpLocalGet:
-			push(locals[in.a])
+			vm.stack = append(vm.stack, locals[in.a])
 		case wasm.OpLocalSet:
 			locals[in.a] = vm.stack[len(vm.stack)-1]
 			vm.stack = vm.stack[:len(vm.stack)-1]
 		case wasm.OpLocalTee:
 			locals[in.a] = vm.stack[len(vm.stack)-1]
 		case wasm.OpGlobalGet:
-			push(vm.globals[in.a])
+			vm.stack = append(vm.stack, vm.globals[in.a])
 		case wasm.OpGlobalSet:
 			vm.globals[in.a] = vm.stack[len(vm.stack)-1]
 			vm.stack = vm.stack[:len(vm.stack)-1]
 
 		case wasm.OpI32Const, wasm.OpF32Const:
-			push(uint64(uint32(in.val)))
+			vm.stack = append(vm.stack, uint64(uint32(in.val)))
 		case wasm.OpI64Const, wasm.OpF64Const:
-			push(uint64(in.val))
+			vm.stack = append(vm.stack, uint64(in.val))
 
 		case wasm.OpMemorySize:
-			push(uint64(mem.Pages()))
+			vm.stack = append(vm.stack, uint64(mem.Pages()))
 		case wasm.OpMemoryGrow:
 			d := uint32(vm.stack[len(vm.stack)-1])
 			r := mem.Grow(d)
@@ -269,9 +346,9 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		default:
 			var err error
 			if isMemOp(in.op) {
-				err = vm.execMem(in, mem)
+				err = vm.execMem(in.op, in.b, mem)
 			} else {
-				err = vm.execNumeric(in)
+				err = vm.execNumeric(in.op)
 			}
 			if err != nil {
 				vm.stats.Steps = steps
@@ -309,13 +386,14 @@ func isMemOp(op wasm.Opcode) bool {
 	return op >= wasm.OpI32Load && op <= wasm.OpI64Store32
 }
 
-func (vm *VM) execMem(in *lop, mem *Memory) error {
+// execMem executes a load or store opcode with the given static offset.
+func (vm *VM) execMem(op wasm.Opcode, offset uint32, mem *Memory) error {
 	n := len(vm.stack)
-	if in.op >= wasm.OpI32Store && in.op <= wasm.OpI64Store32 {
+	if op >= wasm.OpI32Store && op <= wasm.OpI64Store32 {
 		v := vm.stack[n-1]
-		addr := uint64(uint32(vm.stack[n-2])) + uint64(in.b)
+		addr := uint64(uint32(vm.stack[n-2])) + uint64(offset)
 		vm.stack = vm.stack[:n-2]
-		switch in.op {
+		switch op {
 		case wasm.OpI32Store, wasm.OpF32Store:
 			return mem.storeU32(addr, v)
 		case wasm.OpI64Store, wasm.OpF64Store:
@@ -327,12 +405,12 @@ func (vm *VM) execMem(in *lop, mem *Memory) error {
 		case wasm.OpI64Store32:
 			return mem.storeU32(addr, v)
 		}
-		return fmt.Errorf("wasmvm: bad store op %v", in.op)
+		return fmt.Errorf("wasmvm: bad store op %v", op)
 	}
-	addr := uint64(uint32(vm.stack[n-1])) + uint64(in.b)
+	addr := uint64(uint32(vm.stack[n-1])) + uint64(offset)
 	var v uint64
 	var err error
-	switch in.op {
+	switch op {
 	case wasm.OpI32Load, wasm.OpF32Load:
 		v, err = mem.loadU32(addr)
 	case wasm.OpI64Load, wasm.OpF64Load:
@@ -363,7 +441,7 @@ func (vm *VM) execMem(in *lop, mem *Memory) error {
 		v, err = mem.loadU32(addr)
 		v = uint64(int64(int32(v)))
 	default:
-		return fmt.Errorf("wasmvm: bad load op %v", in.op)
+		return fmt.Errorf("wasmvm: bad load op %v", op)
 	}
 	if err != nil {
 		return err
@@ -380,10 +458,9 @@ func b2i(b bool) uint64 {
 }
 
 // execNumeric handles all pure numeric opcodes over the operand stack.
-func (vm *VM) execNumeric(in *lop) error {
+func (vm *VM) execNumeric(op wasm.Opcode) error {
 	st := vm.stack
 	n := len(st)
-	op := in.op
 
 	// Unary family first.
 	if isUnaryNumeric(op) {

@@ -1,0 +1,89 @@
+package wasmvm
+
+import "wasmbench/internal/wasm"
+
+// Superinstruction fusion: a load-time pass over lowered code that replaces
+// the first instruction of a common adjacent pair with a fused pseudo-op
+// executing both, so the dispatch loop pays one switch + bounds check + pc
+// update for two instructions. The pairs are the interpreter-tax hot spots
+// of stack machines: operand shuffles (local.get local.get), immediates
+// feeding arithmetic (const binop), address computation (local.get load),
+// and loop exits (cmp br_if).
+//
+// Determinism contract: a fused pair charges exactly the virtual cycles,
+// step counts, and per-class instruction counts of its two components, in
+// the same order, against the same tier cost table — so Cycles(), Stats(),
+// profiles, and trace events are byte-identical with fusion on or off.
+// Only wall-clock dispatch overhead changes.
+//
+// The second instruction of a pair is left in place untouched: sequential
+// flow skips it (pc advances by 2), while a branch landing on it executes
+// it exactly as unfused code would. That makes fusion safe without any
+// branch-target remapping.
+//
+// Fusion is skipped when Config.StepLimit is set: the step budget is
+// checked once per dispatch, and a fused pair could otherwise overshoot
+// the exact instruction at which the unfused interpreter stops.
+
+// Fused pseudo-opcodes. They live above the encoded wasm opcode space
+// (> 0xBF) and exist only inside lowered code — never in modules, traces,
+// or encodings.
+const (
+	opFusedGetGet     wasm.Opcode = 0xF0 // local.get a; local.get b2
+	opFusedConst32Bin wasm.Opcode = 0xF1 // i32/f32.const val; <binary op2>
+	opFusedConst64Bin wasm.Opcode = 0xF2 // i64/f64.const val; <binary op2>
+	opFusedGetLoad    wasm.Opcode = 0xF3 // local.get a; <load op2> offset b2
+	opFusedCmpBrIf    wasm.Opcode = 0xF4 // <cmp op2>; br_if jump
+)
+
+// isBinaryNumeric reports whether op is a pure two-operand numeric opcode
+// (the execNumeric binary family): comparisons through f64.copysign, minus
+// the unary instructions interleaved in that range.
+func isBinaryNumeric(op wasm.Opcode) bool {
+	return op >= wasm.OpI32Eq && op <= wasm.OpF64Copysign && !isUnaryNumeric(op)
+}
+
+// isCmpLike reports whether op leaves a boolean on the stack and cannot
+// trap — the class of ops fusable with a following br_if.
+func isCmpLike(op wasm.Opcode) bool {
+	return op == wasm.OpI32Eqz || op == wasm.OpI64Eqz ||
+		(op >= wasm.OpI32Eq && op <= wasm.OpF64Ge)
+}
+
+func isLoadOp(op wasm.Opcode) bool {
+	return op >= wasm.OpI32Load && op <= wasm.OpI64Load32U
+}
+
+// fuseFunc rewrites code in place, greedily fusing non-overlapping adjacent
+// pairs left to right, and returns the number of pairs fused.
+func fuseFunc(code []lop) int {
+	fused := 0
+	for pc := 0; pc+1 < len(code); pc++ {
+		in, next := &code[pc], &code[pc+1]
+		switch {
+		case isCmpLike(in.op) && next.op == wasm.OpBrIf:
+			in.op2 = in.op
+			in.op = opFusedCmpBrIf
+			in.jump = next.jump
+		case in.op == wasm.OpLocalGet && next.op == wasm.OpLocalGet:
+			in.op = opFusedGetGet
+			in.b2 = next.a
+		case (in.op == wasm.OpI32Const || in.op == wasm.OpF32Const) && isBinaryNumeric(next.op):
+			in.op = opFusedConst32Bin
+			in.op2 = next.op
+		case (in.op == wasm.OpI64Const || in.op == wasm.OpF64Const) && isBinaryNumeric(next.op):
+			in.op = opFusedConst64Bin
+			in.op2 = next.op
+		case in.op == wasm.OpLocalGet && isLoadOp(next.op):
+			in.op = opFusedGetLoad
+			in.op2 = next.op
+			in.b2 = next.b
+		default:
+			continue
+		}
+		in.class2 = next.class
+		fused++
+		pc++ // greedy: the partner stays intact but is skipped by flow
+	}
+	return fused
+}

@@ -1,0 +1,31 @@
+package wasmvm
+
+import "testing"
+
+// BenchmarkDispatch measures wall-clock interpreter dispatch on the hot
+// sum loop (its body is dense with fusable pairs: const+binop, get+get,
+// cmp+br_if) with the superinstruction tier on and off. Virtual cycles are
+// identical either way; only real time differs.
+func BenchmarkDispatch(b *testing.B) {
+	run := func(b *testing.B, disable bool) {
+		cfg := DefaultConfig()
+		cfg.DisableFusion = disable
+		vm, err := New(buildModule(), 0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+		const n = 100000
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := vm.Call("sum", I32(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(vm.Stats().Steps)/float64(b.N), "steps/op")
+	}
+	b.Run("fused", func(b *testing.B) { run(b, false) })
+	b.Run("unfused", func(b *testing.B) { run(b, true) })
+}

@@ -64,6 +64,13 @@ type Config struct {
 	StepLimit uint64
 	// CallDepthLimit guards the host stack; 0 means 10000.
 	CallDepthLimit int
+	// DisableFusion turns off the load-time superinstruction pass
+	// (fuse.go). Fusion never changes virtual cycles, step counts, or
+	// traces — only wall-clock dispatch speed — so this exists for
+	// equivalence tests and interpreter-overhead studies. Fusion is also
+	// skipped automatically when StepLimit is set, preserving the exact
+	// instruction at which the budget trips.
+	DisableFusion bool
 	// Tracer receives typed execution events (tier-ups, memory grows,
 	// call enter/exit) stamped with the virtual-cycle clock. nil disables
 	// tracing; hook sites cost one branch.
@@ -103,12 +110,17 @@ type branchTarget struct {
 }
 
 // lop is a lowered instruction: the original opcode plus resolved control
-// targets and a precomputed cost class.
+// targets and a precomputed cost class. Superinstructions (see fuse.go)
+// additionally carry their partner's opcode (op2), cost class (class2),
+// and immediate (b2).
 type lop struct {
 	op      wasm.Opcode
+	op2     wasm.Opcode
 	class   CostClass
+	class2  CostClass
 	keep    uint8
 	a, b    uint32
+	b2      uint32
 	val     int64
 	jump    branchTarget   // br, br_if (taken), if (false edge), else
 	targets []branchTarget // br_table
@@ -179,6 +191,13 @@ type VM struct {
 	// childCycles accumulates callee cycles for the frame currently being
 	// profiled, so selfCycles = total − children.
 	childCycles float64
+	// fused is the static count of superinstruction pairs formed at load
+	// time (0 when fusion is disabled).
+	fused int
+	// scratchClass absorbs per-class attribution writes when profiling is
+	// off, so the dispatch loop increments unconditionally instead of
+	// branching on every instruction. Never read.
+	scratchClass [NumCostClasses]uint64
 }
 
 // ErrStepLimit reports that the configured dynamic instruction budget was
@@ -215,9 +234,18 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 	if vm.profiling {
 		vm.profs = make([]funcProf, len(vm.funcs))
 	}
+	if !cfg.DisableFusion && cfg.StepLimit == 0 {
+		for i := range vm.funcs {
+			vm.fused += fuseFunc(vm.funcs[i].code)
+		}
+	}
 	vm.imports = make([]HostFunc, len(m.Imports))
 	return vm, nil
 }
+
+// FusedPairs returns the number of superinstruction pairs formed at load
+// time; 0 when fusion was disabled (explicitly or by a step limit).
+func (vm *VM) FusedPairs() int { return vm.fused }
 
 // Profile returns the per-function virtual-cycle profiles collected while
 // profiling was enabled (Config.Profile or a non-nil Tracer); nil
