@@ -18,10 +18,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Observability overhead numbers (nil-tracer guard on the interpreter
-# hot path; see internal/obsv/overhead_bench_test.go).
+# Performance numbers behind BENCH_perf.json: observability overhead
+# (nil-tracer guard on the interpreter hot path), wasmvm dispatch
+# (superinstruction fusion and the register-form optimizing tier), and the
+# parallel harness grid (compile cache on/off).
 bench:
 	$(GO) test -bench Interp -benchtime 5x -run xxx ./internal/obsv/
+	$(GO) test -bench 'Dispatch|RegTier' -benchtime 30x -run xxx ./internal/wasmvm/
+	$(GO) test -bench RunCellsMultiProfile -benchtime 5x -run xxx ./internal/harness/
 
 # One-iteration sweep of every benchmark so a broken -bench path fails CI
 # without waiting for steady-state numbers (baselines live in BENCH_perf.json).

@@ -6,6 +6,7 @@
 //
 //	jsrun prog.js
 //	jsrun -browser firefox -no-jit prog.js   # the paper's --no-opt setting
+//	jsrun -tierup-threshold 50 prog.js       # hotness before JIT tier-up
 //	jsrun -profile prog.js                   # per-function virtual-cycle profile
 package main
 
@@ -22,6 +23,7 @@ func main() {
 	browserFlag := flag.String("browser", "chrome", "browser profile: chrome, firefox, edge")
 	platformFlag := flag.String("platform", "desktop", "platform: desktop or mobile")
 	noJIT := flag.Bool("no-jit", false, "disable the optimizing JIT (--no-opt)")
+	tierUpThreshold := flag.Uint64("tierup-threshold", 0, "hotness (calls + loop iterations) before JIT tier-up; 0 keeps the browser profile's default")
 	profileFlag := flag.Bool("profile", false, "print a per-function virtual-cycle profile")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file")
 	flag.Parse()
@@ -51,6 +53,9 @@ func main() {
 	if *noJIT {
 		prof.JS.JITEnabled = false
 	}
+	if *tierUpThreshold != 0 {
+		prof.JS.TierUpThreshold = *tierUpThreshold
+	}
 	var coll *obsv.Collector
 	if *traceOut != "" {
 		coll = &obsv.Collector{}
@@ -72,7 +77,7 @@ func main() {
 	fmt.Printf("time: %.3f ms (%s)\n", prof.MSFromCycles(vm.Cycles()), prof.Name())
 	fmt.Printf("memory: %.1f KB JS heap (peak, excl. ArrayBuffer stores %.1f KB)\n",
 		float64(vm.PeakHeapBytes())/1024, float64(vm.PeakExternalBytes())/1024)
-	fmt.Printf("steps: %d  gc runs: %d\n", vm.Steps(), vm.GCCount())
+	fmt.Printf("steps: %d  gc runs: %d  tier-ups: %d\n", vm.Steps(), vm.GCCount(), vm.TierUps())
 	if *profileFlag {
 		fmt.Print(obsv.ProfileTable(vm.Profile()))
 	}

@@ -12,6 +12,9 @@
 //	wasmrun -trace-out t.json prog.wasm  # Chrome trace_event JSON
 //	wasmrun -no-fuse prog.wasm         # disable the superinstruction tier
 //	                                   # (identical metrics, slower dispatch)
+//	wasmrun -no-regtier prog.wasm      # disable register-form optimized dispatch
+//	wasmrun -tierup-threshold 50 prog.wasm  # hotness before tier-up (like
+//	                                        # tuning V8's --wasm-tiering-budget)
 package main
 
 import (
@@ -33,6 +36,8 @@ func main() {
 	entry := flag.String("entry", "main", "exported function to call")
 	profileFlag := flag.Bool("profile", false, "print a per-function virtual-cycle profile")
 	noFuse := flag.Bool("no-fuse", false, "disable interpreter superinstruction fusion (virtual metrics are identical; dispatch is slower)")
+	noRegTier := flag.Bool("no-regtier", false, "disable the register-form optimizing tier (virtual metrics are identical; tiered dispatch is slower)")
+	tierUpThreshold := flag.Uint64("tierup-threshold", 0, "hotness (calls + loop back-edges) before tier-up; 0 keeps the browser profile's default")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	foldedOut := flag.String("folded-out", "", "write folded stacks (flamegraph.pl / speedscope input)")
 	flag.Parse()
@@ -83,6 +88,10 @@ func main() {
 		cfg.Profile = true
 	}
 	cfg.DisableFusion = *noFuse
+	cfg.DisableRegTier = *noRegTier
+	if *tierUpThreshold != 0 {
+		cfg.TierUpThreshold = *tierUpThreshold
+	}
 
 	vm, err := wasmvm.New(mod, len(bin), cfg)
 	if err != nil {
@@ -108,6 +117,8 @@ func main() {
 		float64(vm.PeakMemoryBytes())/1024)
 	fmt.Printf("instructions: %d (tier-ups: %d, memory.grow: %d)\n",
 		st.Steps, st.TierUps, st.GrowOps)
+	fmt.Printf("tier cycles: basic=%.0f opt=%.0f (register bodies: %d)\n",
+		st.BasicCycles, st.OptCycles, vm.RegTranslated())
 	ops := st.ArithOps()
 	fmt.Printf("arith ops: ADD=%d MUL=%d DIV=%d REM=%d SHIFT=%d AND=%d OR=%d\n",
 		ops["ADD"], ops["MUL"], ops["DIV"], ops["REM"], ops["SHIFT"], ops["AND"], ops["OR"])

@@ -130,6 +130,7 @@ func RunJS(art *Artifact, cfg jsvm.Config) (*Result, error) {
 		MemoryBytes:   vm.PeakHeapBytes(),
 		ExternalBytes: vm.PeakExternalBytes(),
 		GCs:           vm.GCCount(),
+		TierUps:       vm.TierUps(),
 	}
 	for _, o := range vm.Output {
 		r.Output = append(r.Output, codegen.OutputEvent{Kind: o.Kind, I: o.I, F: o.F, S: o.S})

@@ -222,7 +222,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 				r, compile, measure, hit := runCellTimed(c, cache)
 				wall := time.Since(start) - cellStart
 				out[i] = r
-				metrics.Cells[i] = obsv.CellMetric{
+				cm := obsv.CellMetric{
 					Label:      c.Label(),
 					Worker:     worker,
 					QueueDepth: depth,
@@ -233,6 +233,12 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					Failed:     r.Err != nil,
 					CacheHit:   hit,
 				}
+				if r.Meas != nil && r.Meas.Result != nil {
+					cm.TierUps = r.Meas.Result.TierUps
+					cm.BasicCycles = r.Meas.Result.WasmStats.BasicCycles
+					cm.OptCycles = r.Meas.Result.WasmStats.OptCycles
+				}
+				metrics.Cells[i] = cm
 				if opt.Tracer != nil {
 					opt.Tracer.Emit(obsv.Event{Kind: obsv.KindCellDone,
 						TS: float64(cellStart + wall), Dur: float64(wall),

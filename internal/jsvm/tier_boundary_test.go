@@ -1,0 +1,135 @@
+package jsvm
+
+import (
+	"math"
+	"testing"
+
+	"wasmbench/internal/obsv"
+)
+
+func jsTierUpEvents(coll *obsv.Collector) []obsv.Event {
+	var out []obsv.Event
+	for _, e := range coll.Events() {
+		if e.Kind == obsv.KindTierUp {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestJSTierUpExactlyAtThreshold pins the call-count boundary: with
+// threshold T, the T-th call of a function is the first that promotes it.
+// Straight-line calls only, so the top-level program gains no loop hotness.
+func TestJSTierUpExactlyAtThreshold(t *testing.T) {
+	src := func(calls int) string {
+		s := "function f() { return 1; }\n"
+		for i := 0; i < calls; i++ {
+			s += "f();\n"
+		}
+		return s
+	}
+	mk := func(calls int) (*VM, *obsv.Collector) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 5
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm := New(cfg)
+		if _, err := vm.Run(src(calls)); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return vm, coll
+	}
+
+	under, ucoll := mk(4)
+	if got := under.TierUps(); got != 0 {
+		t.Fatalf("threshold-1 calls: TierUps = %d, want 0", got)
+	}
+	if n := len(jsTierUpEvents(ucoll)); n != 0 {
+		t.Fatalf("threshold-1 calls: %d KindTierUp events, want 0", n)
+	}
+
+	at, acoll := mk(5)
+	if got := at.TierUps(); got != 1 {
+		t.Fatalf("at threshold: TierUps = %d, want 1", got)
+	}
+	if n := len(jsTierUpEvents(acoll)); n != 1 {
+		t.Fatalf("at threshold: %d KindTierUp events, want 1", n)
+	}
+
+	over, ocoll := mk(30)
+	if got := over.TierUps(); got != 1 {
+		t.Fatalf("repeat calls: TierUps = %d, want 1", got)
+	}
+	if n := len(jsTierUpEvents(ocoll)); n != 1 {
+		t.Fatalf("repeat calls: %d KindTierUp events, want 1", n)
+	}
+}
+
+// TestJSNoJITNeverTiersUp pins the --no-opt setting: with JITEnabled off,
+// no amount of call or loop hotness promotes anything and no KindTierUp
+// event is emitted.
+func TestJSNoJITNeverTiersUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JITEnabled = false
+	cfg.TierUpThreshold = 10
+	coll := &obsv.Collector{}
+	cfg.Tracer = coll
+	vm := New(cfg)
+	_, err := vm.Run(`
+		function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }
+		for (var j = 0; j < 50; j++) f(1000);
+	`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := vm.TierUps(); got != 0 {
+		t.Fatalf("TierUps = %d, want 0", got)
+	}
+	if n := len(jsTierUpEvents(coll)); n != 0 {
+		t.Fatalf("%d KindTierUp events, want 0", n)
+	}
+}
+
+// TestJSTierUpCompileChargedOnce drives promotion on a loop back-edge
+// mid-call (bumpLoop's on-stack replacement) and then calls the function
+// again, asserting the compile charge lands exactly once: the cycle delta
+// against a zero-charge run equals CompilePerNode times the node count the
+// KindTierUp event reports.
+func TestJSTierUpCompileChargedOnce(t *testing.T) {
+	run := func(perNode float64) (*VM, *obsv.Collector) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 500
+		cfg.CompilePerNode = perNode
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm := New(cfg)
+		_, err := vm.Run(`
+			function f(n) { var s = 0; for (var i = 0; i < n; i++) s += i; return s; }
+			f(100000);
+			f(1000);
+		`)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return vm, coll
+	}
+
+	const perNode = 1000.0
+	charged, coll := run(perNode)
+	free, _ := run(0)
+
+	// Only f tiers up: the top level has no loop, so it never promotes.
+	evs := jsTierUpEvents(coll)
+	if len(evs) != 1 {
+		t.Fatalf("%d KindTierUp events, want 1", len(evs))
+	}
+	if got := charged.TierUps(); got != 1 {
+		t.Fatalf("TierUps = %d, want 1", got)
+	}
+	want := perNode * evs[0].A // A carries the function's AST node count
+	got := charged.Cycles() - free.Cycles()
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("compile charge = %.6f cycles, want %.6f (exactly one charge of %.0f x %.0f nodes)",
+			got, want, perNode, evs[0].A)
+	}
+}

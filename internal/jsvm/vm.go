@@ -209,6 +209,7 @@ type VM struct {
 	externalPeak uint64
 	allocSince   uint64
 	gcCount      int
+	tierUps      int
 	epoch        uint32
 
 	envStack []*env
@@ -307,6 +308,10 @@ func (vm *VM) ArithOps() map[string]uint64 {
 
 // GCCount returns how many collections ran.
 func (vm *VM) GCCount() int { return vm.gcCount }
+
+// TierUps returns how many function code objects were promoted to the
+// optimizing JIT tier (0 whenever JITEnabled is false).
+func (vm *VM) TierUps() int { return vm.tierUps }
 
 // HeapBytes returns the current JS-heap bytes (excluding ArrayBuffer
 // backing stores) plus the engine baseline.
@@ -575,6 +580,7 @@ func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
 // emitting the trace event.
 func (vm *VM) tierUp(cf *compiledFunc) {
 	cf.tieredUp = true
+	vm.tierUps++
 	vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
 	if vm.tracer != nil {
 		vm.tracer.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: vm.cycles,

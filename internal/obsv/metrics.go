@@ -26,6 +26,13 @@ type CellMetric struct {
 	// compile cache (or from waiting on another worker's in-flight
 	// compile) instead of being compiled by this cell.
 	CacheHit bool
+	// TierUps counts VM tier promotions during the measurement (Wasm
+	// functions or JS code objects), and BasicCycles/OptCycles split the
+	// cell's virtual instruction cycles by the tier that charged them
+	// (Wasm cells only; JS cells report zero).
+	TierUps     int
+	BasicCycles float64
+	OptCycles   float64
 }
 
 // RunMetrics aggregates one RunCells invocation's schedule.
@@ -74,8 +81,8 @@ func (m *RunMetrics) CompileShare() float64 {
 // Render returns the per-cell table plus the run summary lines.
 func (m *RunMetrics) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s %5s\n",
-		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache")
+	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s %5s %7s %5s\n",
+		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache", "tierups", "opt%")
 	for _, c := range m.Cells {
 		status := ""
 		if c.Failed {
@@ -85,10 +92,15 @@ func (m *RunMetrics) Render() string {
 		if c.CacheHit {
 			cacheCol = "hit"
 		}
-		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s %5s%s\n",
+		// Optimized-tier share of the cell's instruction cycles.
+		optCol := "-"
+		if total := c.BasicCycles + c.OptCycles; total > 0 {
+			optCol = fmt.Sprintf("%.0f", 100*c.OptCycles/total)
+		}
+		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s %5s %7d %5s%s\n",
 			c.Label, c.Worker, c.QueueDepth,
 			fmtDur(c.Start), fmtDur(c.Compile), fmtDur(c.Measure), fmtDur(c.Wall),
-			cacheCol, status)
+			cacheCol, c.TierUps, optCol, status)
 	}
 	fmt.Fprintf(&b, "cells: %d  workers: %d  span: %s  utilization: %.1f%%  compile-share: %.1f%%\n",
 		len(m.Cells), m.Workers, fmtDur(m.Span),

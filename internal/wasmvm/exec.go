@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/bits"
 
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
@@ -47,6 +46,14 @@ func (vm *VM) tierCosts(cf *compiledFunc) *CostTable {
 	return &vm.cfg.BasicCost
 }
 
+// tierPending reports whether the next maybeTierUp call on cf will actually
+// promote it. The dispatch loops use it so the per-tier cycle flush happens
+// only at real transitions: flushing on every back-edge would regroup the
+// float additions and break bit-identity across dispatch modes.
+func (vm *VM) tierPending(cf *compiledFunc) bool {
+	return vm.cfg.Mode == TierBoth && !cf.tieredUp && cf.hotness >= vm.cfg.TierUpThreshold
+}
+
 func (vm *VM) maybeTierUp(cf *compiledFunc) *CostTable {
 	if vm.cfg.Mode == TierBoth && !cf.tieredUp && cf.hotness >= vm.cfg.TierUpThreshold {
 		cf.tieredUp = true
@@ -61,8 +68,22 @@ func (vm *VM) maybeTierUp(cf *compiledFunc) *CostTable {
 	return vm.tierCosts(cf)
 }
 
-// exec runs a defined function. Locals and the operand stack live in shared
-// arenas to avoid per-call allocation.
+// addTierCycles attributes a span of instruction-charged cycles to the tier
+// whose cost table was active. Spans are flushed only at tier transitions,
+// call boundaries, and frame exit, so the float additions group identically
+// in every dispatch mode (register/stack, fused/unfused).
+func (vm *VM) addTierCycles(costs *CostTable, delta float64) {
+	if costs == &vm.cfg.OptCost {
+		vm.stats.OptCycles += delta
+	} else {
+		vm.stats.BasicCycles += delta
+	}
+}
+
+// exec runs a defined function: argument checks, frame setup in the shared
+// arenas, profiling hooks, and tier selection. The per-instruction work
+// happens in runStack (basic tier) or runReg (register-form optimizing
+// tier).
 func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	cf := &vm.funcs[fi]
 	if len(args) != len(cf.typ.Params) {
@@ -107,11 +128,21 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		vm.locals = append(vm.locals, 0)
 	}
 	defer func() { vm.locals = vm.locals[:localBase] }()
-	locals := vm.locals[localBase : localBase+cf.nLocals]
 
 	stackBase := len(vm.stack)
 	defer func() { vm.stack = vm.stack[:stackBase] }()
 
+	if cf.tier == TierOptOnly && vm.regEnabled && vm.regBody(cf) != nil {
+		return vm.runReg(fi, cf, localBase, stackBase, 0)
+	}
+	return vm.runStack(fi, cf, localBase, stackBase, costs)
+}
+
+// runStack executes a frame with the classic operand-stack dispatch loop.
+// It serves the basic tier and every configuration where the register tier
+// is unavailable (disabled, step-limited, or translation bailed).
+func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs *CostTable) ([]uint64, error) {
+	locals := vm.locals[localBase : localBase+cf.nLocals]
 	code := cf.code
 	mem := vm.mem
 	steps := vm.stats.Steps
@@ -120,7 +151,8 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		limit = math.MaxUint64 // steps can never reach the sentinel
 	}
 	cycles := vm.cycles
-	var counts *[NumCostClasses]uint64 = &vm.stats.Counts
+	tierBase := cycles
+	counts := &vm.tally
 	// fclass attributes the instruction mix to this function when profiling
 	// is on; with profiling off it points at a write-only scratch array so
 	// the loop needs no per-instruction branch.
@@ -139,6 +171,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		if steps > limit {
 			vm.stats.Steps = steps
 			vm.cycles = cycles
+			vm.addTierCycles(costs, cycles-tierBase)
 			return nil, ErrStepLimit
 		}
 		switch in.op {
@@ -164,6 +197,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			if err := vm.execNumeric(in.op2); err != nil {
 				vm.stats.Steps = steps
 				vm.cycles = cycles
+				vm.addTierCycles(costs, cycles-tierBase)
 				return nil, err
 			}
 			pc += 2
@@ -178,6 +212,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			if err := vm.execNumeric(in.op2); err != nil {
 				vm.stats.Steps = steps
 				vm.cycles = cycles
+				vm.addTierCycles(costs, cycles-tierBase)
 				return nil, err
 			}
 			pc += 2
@@ -192,6 +227,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			if err := vm.execMem(in.op2, in.b2, mem); err != nil {
 				vm.stats.Steps = steps
 				vm.cycles = cycles
+				vm.addTierCycles(costs, cycles-tierBase)
 				return nil, err
 			}
 			pc += 2
@@ -210,9 +246,20 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 				// hotness bookkeeping as the unfused opcode.
 				if in.jump.pc <= int32(pc+1) {
 					cf.hotness++
-					vm.cycles = cycles
-					costs = vm.maybeTierUp(cf)
-					cycles = vm.cycles
+					if vm.tierPending(cf) {
+						vm.cycles = cycles
+						vm.addTierCycles(costs, cycles-tierBase)
+						costs = vm.maybeTierUp(cf)
+						cycles = vm.cycles
+						tierBase = cycles
+						if vm.regEnabled && vm.regBody(cf) != nil {
+							pc = vm.branch(stackBase, in.jump)
+							vm.stats.Steps = steps
+							vm.cycles = cycles
+							copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+							return vm.runReg(fi, cf, localBase, stackBase, pc)
+						}
+					}
 				}
 				pc = vm.branch(stackBase, in.jump)
 				continue
@@ -225,6 +272,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		case wasm.OpUnreachable:
 			vm.stats.Steps = steps
 			vm.cycles = cycles
+			vm.addTierCycles(costs, cycles-tierBase)
 			return nil, ErrUnreachable
 
 		case wasm.OpIf:
@@ -242,9 +290,22 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		case wasm.OpBr:
 			if in.jump.pc <= int32(pc) {
 				cf.hotness++
-				vm.cycles = cycles
-				costs = vm.maybeTierUp(cf)
-				cycles = vm.cycles
+				if vm.tierPending(cf) {
+					vm.cycles = cycles
+					vm.addTierCycles(costs, cycles-tierBase)
+					costs = vm.maybeTierUp(cf)
+					cycles = vm.cycles
+					tierBase = cycles
+					if vm.regEnabled && vm.regBody(cf) != nil {
+						// OSR: land the branch in the stack world, then
+						// resume in the register body at the same pc.
+						pc = vm.branch(stackBase, in.jump)
+						vm.stats.Steps = steps
+						vm.cycles = cycles
+						copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+						return vm.runReg(fi, cf, localBase, stackBase, pc)
+					}
+				}
 			}
 			pc = vm.branch(stackBase, in.jump)
 			continue
@@ -255,9 +316,20 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			if uint32(c) != 0 {
 				if in.jump.pc <= int32(pc) {
 					cf.hotness++
-					vm.cycles = cycles
-					costs = vm.maybeTierUp(cf)
-					cycles = vm.cycles
+					if vm.tierPending(cf) {
+						vm.cycles = cycles
+						vm.addTierCycles(costs, cycles-tierBase)
+						costs = vm.maybeTierUp(cf)
+						cycles = vm.cycles
+						tierBase = cycles
+						if vm.regEnabled && vm.regBody(cf) != nil {
+							pc = vm.branch(stackBase, in.jump)
+							vm.stats.Steps = steps
+							vm.cycles = cycles
+							copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+							return vm.runReg(fi, cf, localBase, stackBase, pc)
+						}
+					}
 				}
 				pc = vm.branch(stackBase, in.jump)
 				continue
@@ -272,9 +344,20 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			}
 			if t.pc <= int32(pc) {
 				cf.hotness++
-				vm.cycles = cycles
-				costs = vm.maybeTierUp(cf)
-				cycles = vm.cycles
+				if vm.tierPending(cf) {
+					vm.cycles = cycles
+					vm.addTierCycles(costs, cycles-tierBase)
+					costs = vm.maybeTierUp(cf)
+					cycles = vm.cycles
+					tierBase = cycles
+					if vm.regEnabled && vm.regBody(cf) != nil {
+						pc = vm.branch(stackBase, t)
+						vm.stats.Steps = steps
+						vm.cycles = cycles
+						copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+						return vm.runReg(fi, cf, localBase, stackBase, pc)
+					}
+				}
 			}
 			pc = vm.branch(stackBase, t)
 			continue
@@ -292,9 +375,11 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			vm.stack = vm.stack[:len(vm.stack)-np]
 			vm.stats.Steps = steps
 			vm.cycles = cycles
+			vm.addTierCycles(costs, cycles-tierBase)
 			res, err := vm.callIndex(in.a, argsCopy)
 			steps = vm.stats.Steps
 			cycles = vm.cycles
+			tierBase = cycles
 			if err != nil {
 				return nil, err
 			}
@@ -353,6 +438,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 			if err != nil {
 				vm.stats.Steps = steps
 				vm.cycles = cycles
+				vm.addTierCycles(costs, cycles-tierBase)
 				return nil, err
 			}
 		}
@@ -360,6 +446,7 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	}
 	vm.stats.Steps = steps
 	vm.cycles = cycles
+	vm.addTierCycles(costs, cycles-tierBase)
 
 	nr := len(cf.typ.Results)
 	if len(vm.stack)-stackBase < nr {
@@ -386,63 +473,18 @@ func isMemOp(op wasm.Opcode) bool {
 	return op >= wasm.OpI32Load && op <= wasm.OpI64Store32
 }
 
-// execMem executes a load or store opcode with the given static offset.
+// execMem executes a load or store opcode with the given static offset over
+// the operand stack; value semantics live in memLoad/memStore (numeric.go).
 func (vm *VM) execMem(op wasm.Opcode, offset uint32, mem *Memory) error {
 	n := len(vm.stack)
 	if op >= wasm.OpI32Store && op <= wasm.OpI64Store32 {
 		v := vm.stack[n-1]
 		addr := uint64(uint32(vm.stack[n-2])) + uint64(offset)
 		vm.stack = vm.stack[:n-2]
-		switch op {
-		case wasm.OpI32Store, wasm.OpF32Store:
-			return mem.storeU32(addr, v)
-		case wasm.OpI64Store, wasm.OpF64Store:
-			return mem.storeU64(addr, v)
-		case wasm.OpI32Store8, wasm.OpI64Store8:
-			return mem.storeU8(addr, v)
-		case wasm.OpI32Store16, wasm.OpI64Store16:
-			return mem.storeU16(addr, v)
-		case wasm.OpI64Store32:
-			return mem.storeU32(addr, v)
-		}
-		return fmt.Errorf("wasmvm: bad store op %v", op)
+		return memStore(mem, op, addr, v)
 	}
 	addr := uint64(uint32(vm.stack[n-1])) + uint64(offset)
-	var v uint64
-	var err error
-	switch op {
-	case wasm.OpI32Load, wasm.OpF32Load:
-		v, err = mem.loadU32(addr)
-	case wasm.OpI64Load, wasm.OpF64Load:
-		v, err = mem.loadU64(addr)
-	case wasm.OpI32Load8U:
-		v, err = mem.loadU8(addr)
-	case wasm.OpI32Load8S:
-		v, err = mem.loadU8(addr)
-		v = uint64(uint32(int32(int8(v))))
-	case wasm.OpI32Load16U:
-		v, err = mem.loadU16(addr)
-	case wasm.OpI32Load16S:
-		v, err = mem.loadU16(addr)
-		v = uint64(uint32(int32(int16(v))))
-	case wasm.OpI64Load8U:
-		v, err = mem.loadU8(addr)
-	case wasm.OpI64Load8S:
-		v, err = mem.loadU8(addr)
-		v = uint64(int64(int8(v)))
-	case wasm.OpI64Load16U:
-		v, err = mem.loadU16(addr)
-	case wasm.OpI64Load16S:
-		v, err = mem.loadU16(addr)
-		v = uint64(int64(int16(v)))
-	case wasm.OpI64Load32U:
-		v, err = mem.loadU32(addr)
-	case wasm.OpI64Load32S:
-		v, err = mem.loadU32(addr)
-		v = uint64(int64(int32(v)))
-	default:
-		return fmt.Errorf("wasmvm: bad load op %v", op)
-	}
+	v, err := memLoad(mem, op, addr)
 	if err != nil {
 		return err
 	}
@@ -450,393 +492,24 @@ func (vm *VM) execMem(op wasm.Opcode, offset uint32, mem *Memory) error {
 	return nil
 }
 
-func b2i(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-// execNumeric handles all pure numeric opcodes over the operand stack.
+// execNumeric executes a pure numeric opcode over the operand stack; value
+// semantics live in numUnary/numBinary (numeric.go).
 func (vm *VM) execNumeric(op wasm.Opcode) error {
 	st := vm.stack
 	n := len(st)
-
-	// Unary family first.
 	if isUnaryNumeric(op) {
-		x := st[n-1]
-		var r uint64
-		switch op {
-		case wasm.OpI32Eqz:
-			r = b2i(uint32(x) == 0)
-		case wasm.OpI64Eqz:
-			r = b2i(x == 0)
-		case wasm.OpI32Clz:
-			r = uint64(bits.LeadingZeros32(uint32(x)))
-		case wasm.OpI32Ctz:
-			r = uint64(bits.TrailingZeros32(uint32(x)))
-		case wasm.OpI32Popcnt:
-			r = uint64(bits.OnesCount32(uint32(x)))
-		case wasm.OpI64Clz:
-			r = uint64(bits.LeadingZeros64(x))
-		case wasm.OpI64Ctz:
-			r = uint64(bits.TrailingZeros64(x))
-		case wasm.OpI64Popcnt:
-			r = popcnt64(x)
-		case wasm.OpF32Abs:
-			r = F32(float32(math.Abs(float64(AsF32(x)))))
-		case wasm.OpF32Neg:
-			r = F32(-AsF32(x))
-		case wasm.OpF32Ceil:
-			r = F32(float32(math.Ceil(float64(AsF32(x)))))
-		case wasm.OpF32Floor:
-			r = F32(float32(math.Floor(float64(AsF32(x)))))
-		case wasm.OpF32Trunc:
-			r = F32(float32(math.Trunc(float64(AsF32(x)))))
-		case wasm.OpF32Nearest:
-			r = F32(float32(math.RoundToEven(float64(AsF32(x)))))
-		case wasm.OpF32Sqrt:
-			r = F32(float32(math.Sqrt(float64(AsF32(x)))))
-		case wasm.OpF64Abs:
-			r = F64(math.Abs(AsF64(x)))
-		case wasm.OpF64Neg:
-			r = F64(-AsF64(x))
-		case wasm.OpF64Ceil:
-			r = F64(math.Ceil(AsF64(x)))
-		case wasm.OpF64Floor:
-			r = F64(math.Floor(AsF64(x)))
-		case wasm.OpF64Trunc:
-			r = F64(math.Trunc(AsF64(x)))
-		case wasm.OpF64Nearest:
-			r = F64(math.RoundToEven(AsF64(x)))
-		case wasm.OpF64Sqrt:
-			r = F64(math.Sqrt(AsF64(x)))
-		default:
-			var err error
-			r, err = execConv(op, x)
-			if err != nil {
-				return err
-			}
+		r, err := numUnary(op, st[n-1])
+		if err != nil {
+			return err
 		}
 		st[n-1] = r
 		return nil
 	}
-
-	// Binary family.
-	y, x := st[n-1], st[n-2]
-	vm.stack = st[:n-1]
-	var r uint64
-	switch op {
-	case wasm.OpI32Eq:
-		r = b2i(uint32(x) == uint32(y))
-	case wasm.OpI32Ne:
-		r = b2i(uint32(x) != uint32(y))
-	case wasm.OpI32LtS:
-		r = b2i(int32(x) < int32(y))
-	case wasm.OpI32LtU:
-		r = b2i(uint32(x) < uint32(y))
-	case wasm.OpI32GtS:
-		r = b2i(int32(x) > int32(y))
-	case wasm.OpI32GtU:
-		r = b2i(uint32(x) > uint32(y))
-	case wasm.OpI32LeS:
-		r = b2i(int32(x) <= int32(y))
-	case wasm.OpI32LeU:
-		r = b2i(uint32(x) <= uint32(y))
-	case wasm.OpI32GeS:
-		r = b2i(int32(x) >= int32(y))
-	case wasm.OpI32GeU:
-		r = b2i(uint32(x) >= uint32(y))
-	case wasm.OpI64Eq:
-		r = b2i(x == y)
-	case wasm.OpI64Ne:
-		r = b2i(x != y)
-	case wasm.OpI64LtS:
-		r = b2i(int64(x) < int64(y))
-	case wasm.OpI64LtU:
-		r = b2i(x < y)
-	case wasm.OpI64GtS:
-		r = b2i(int64(x) > int64(y))
-	case wasm.OpI64GtU:
-		r = b2i(x > y)
-	case wasm.OpI64LeS:
-		r = b2i(int64(x) <= int64(y))
-	case wasm.OpI64LeU:
-		r = b2i(x <= y)
-	case wasm.OpI64GeS:
-		r = b2i(int64(x) >= int64(y))
-	case wasm.OpI64GeU:
-		r = b2i(x >= y)
-	case wasm.OpF32Eq:
-		r = b2i(AsF32(x) == AsF32(y))
-	case wasm.OpF32Ne:
-		r = b2i(AsF32(x) != AsF32(y))
-	case wasm.OpF32Lt:
-		r = b2i(AsF32(x) < AsF32(y))
-	case wasm.OpF32Gt:
-		r = b2i(AsF32(x) > AsF32(y))
-	case wasm.OpF32Le:
-		r = b2i(AsF32(x) <= AsF32(y))
-	case wasm.OpF32Ge:
-		r = b2i(AsF32(x) >= AsF32(y))
-	case wasm.OpF64Eq:
-		r = b2i(AsF64(x) == AsF64(y))
-	case wasm.OpF64Ne:
-		r = b2i(AsF64(x) != AsF64(y))
-	case wasm.OpF64Lt:
-		r = b2i(AsF64(x) < AsF64(y))
-	case wasm.OpF64Gt:
-		r = b2i(AsF64(x) > AsF64(y))
-	case wasm.OpF64Le:
-		r = b2i(AsF64(x) <= AsF64(y))
-	case wasm.OpF64Ge:
-		r = b2i(AsF64(x) >= AsF64(y))
-
-	case wasm.OpI32Add:
-		r = uint64(uint32(x) + uint32(y))
-	case wasm.OpI32Sub:
-		r = uint64(uint32(x) - uint32(y))
-	case wasm.OpI32Mul:
-		r = uint64(uint32(x) * uint32(y))
-	case wasm.OpI32DivS:
-		if uint32(y) == 0 {
-			return ErrDivByZero
-		}
-		if int32(x) == math.MinInt32 && int32(y) == -1 {
-			return ErrIntOverflow
-		}
-		r = uint64(uint32(int32(x) / int32(y)))
-	case wasm.OpI32DivU:
-		if uint32(y) == 0 {
-			return ErrDivByZero
-		}
-		r = uint64(uint32(x) / uint32(y))
-	case wasm.OpI32RemS:
-		if uint32(y) == 0 {
-			return ErrDivByZero
-		}
-		if int32(x) == math.MinInt32 && int32(y) == -1 {
-			r = 0
-		} else {
-			r = uint64(uint32(int32(x) % int32(y)))
-		}
-	case wasm.OpI32RemU:
-		if uint32(y) == 0 {
-			return ErrDivByZero
-		}
-		r = uint64(uint32(x) % uint32(y))
-	case wasm.OpI32And:
-		r = uint64(uint32(x) & uint32(y))
-	case wasm.OpI32Or:
-		r = uint64(uint32(x) | uint32(y))
-	case wasm.OpI32Xor:
-		r = uint64(uint32(x) ^ uint32(y))
-	case wasm.OpI32Shl:
-		r = uint64(uint32(x) << (uint32(y) & 31))
-	case wasm.OpI32ShrS:
-		r = uint64(uint32(int32(x) >> (uint32(y) & 31)))
-	case wasm.OpI32ShrU:
-		r = uint64(uint32(x) >> (uint32(y) & 31))
-	case wasm.OpI32Rotl:
-		r = uint64(bits.RotateLeft32(uint32(x), int(uint32(y)&31)))
-	case wasm.OpI32Rotr:
-		r = uint64(bits.RotateLeft32(uint32(x), -int(uint32(y)&31)))
-
-	case wasm.OpI64Add:
-		r = x + y
-	case wasm.OpI64Sub:
-		r = x - y
-	case wasm.OpI64Mul:
-		r = x * y
-	case wasm.OpI64DivS:
-		if y == 0 {
-			return ErrDivByZero
-		}
-		if int64(x) == math.MinInt64 && int64(y) == -1 {
-			return ErrIntOverflow
-		}
-		r = uint64(int64(x) / int64(y))
-	case wasm.OpI64DivU:
-		if y == 0 {
-			return ErrDivByZero
-		}
-		r = x / y
-	case wasm.OpI64RemS:
-		if y == 0 {
-			return ErrDivByZero
-		}
-		if int64(x) == math.MinInt64 && int64(y) == -1 {
-			r = 0
-		} else {
-			r = uint64(int64(x) % int64(y))
-		}
-	case wasm.OpI64RemU:
-		if y == 0 {
-			return ErrDivByZero
-		}
-		r = x % y
-	case wasm.OpI64And:
-		r = x & y
-	case wasm.OpI64Or:
-		r = x | y
-	case wasm.OpI64Xor:
-		r = x ^ y
-	case wasm.OpI64Shl:
-		r = x << (y & 63)
-	case wasm.OpI64ShrS:
-		r = uint64(int64(x) >> (y & 63))
-	case wasm.OpI64ShrU:
-		r = x >> (y & 63)
-	case wasm.OpI64Rotl:
-		r = bits.RotateLeft64(x, int(y&63))
-	case wasm.OpI64Rotr:
-		r = bits.RotateLeft64(x, -int(y&63))
-
-	case wasm.OpF32Add:
-		r = F32(AsF32(x) + AsF32(y))
-	case wasm.OpF32Sub:
-		r = F32(AsF32(x) - AsF32(y))
-	case wasm.OpF32Mul:
-		r = F32(AsF32(x) * AsF32(y))
-	case wasm.OpF32Div:
-		r = F32(AsF32(x) / AsF32(y))
-	case wasm.OpF32Min:
-		r = F32(wasmFMin32(AsF32(x), AsF32(y)))
-	case wasm.OpF32Max:
-		r = F32(wasmFMax32(AsF32(x), AsF32(y)))
-	case wasm.OpF32Copysign:
-		r = F32(float32(math.Copysign(float64(AsF32(x)), float64(AsF32(y)))))
-	case wasm.OpF64Add:
-		r = F64(AsF64(x) + AsF64(y))
-	case wasm.OpF64Sub:
-		r = F64(AsF64(x) - AsF64(y))
-	case wasm.OpF64Mul:
-		r = F64(AsF64(x) * AsF64(y))
-	case wasm.OpF64Div:
-		r = F64(AsF64(x) / AsF64(y))
-	case wasm.OpF64Min:
-		r = F64(wasmFMin64(AsF64(x), AsF64(y)))
-	case wasm.OpF64Max:
-		r = F64(wasmFMax64(AsF64(x), AsF64(y)))
-	case wasm.OpF64Copysign:
-		r = F64(math.Copysign(AsF64(x), AsF64(y)))
-	default:
-		return fmt.Errorf("wasmvm: unhandled opcode %v", op)
+	r, err := numBinary(op, st[n-2], st[n-1])
+	if err != nil {
+		return err
 	}
+	vm.stack = st[:n-1]
 	vm.stack[n-2] = r
 	return nil
 }
-
-// execConv handles conversion opcodes (all unary).
-func execConv(op wasm.Opcode, x uint64) (uint64, error) {
-	switch op {
-	case wasm.OpI32WrapI64:
-		return uint64(uint32(x)), nil
-	case wasm.OpI32TruncF32S:
-		f := float64(AsF32(x))
-		if math.IsNaN(f) || f >= 2147483648 || f < -2147483648 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(uint32(int32(f))), nil
-	case wasm.OpI32TruncF32U:
-		f := float64(AsF32(x))
-		if math.IsNaN(f) || f >= 4294967296 || f <= -1 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(uint32(f)), nil
-	case wasm.OpI32TruncF64S:
-		f := AsF64(x)
-		if math.IsNaN(f) || f >= 2147483648 || f < -2147483649 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(uint32(int32(f))), nil
-	case wasm.OpI32TruncF64U:
-		f := AsF64(x)
-		if math.IsNaN(f) || f >= 4294967296 || f <= -1 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(uint32(f)), nil
-	case wasm.OpI64ExtendI32S:
-		return uint64(int64(int32(x))), nil
-	case wasm.OpI64ExtendI32U:
-		return uint64(uint32(x)), nil
-	case wasm.OpI64TruncF32S:
-		f := float64(AsF32(x))
-		if math.IsNaN(f) || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(int64(f)), nil
-	case wasm.OpI64TruncF32U:
-		f := float64(AsF32(x))
-		if math.IsNaN(f) || f >= 1.8446744073709552e19 || f <= -1 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(f), nil
-	case wasm.OpI64TruncF64S:
-		f := AsF64(x)
-		if math.IsNaN(f) || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(int64(f)), nil
-	case wasm.OpI64TruncF64U:
-		f := AsF64(x)
-		if math.IsNaN(f) || f >= 1.8446744073709552e19 || f <= -1 {
-			return 0, ErrTruncInvalid
-		}
-		return uint64(f), nil
-	case wasm.OpF32ConvertI32S:
-		return F32(float32(int32(x))), nil
-	case wasm.OpF32ConvertI32U:
-		return F32(float32(uint32(x))), nil
-	case wasm.OpF32ConvertI64S:
-		return F32(float32(int64(x))), nil
-	case wasm.OpF32ConvertI64U:
-		return F32(float32(x)), nil
-	case wasm.OpF32DemoteF64:
-		return F32(float32(AsF64(x))), nil
-	case wasm.OpF64ConvertI32S:
-		return F64(float64(int32(x))), nil
-	case wasm.OpF64ConvertI32U:
-		return F64(float64(uint32(x))), nil
-	case wasm.OpF64ConvertI64S:
-		return F64(float64(int64(x))), nil
-	case wasm.OpF64ConvertI64U:
-		return F64(float64(x)), nil
-	case wasm.OpF64PromoteF32:
-		return F64(float64(AsF32(x))), nil
-	case wasm.OpI32ReinterpretF32, wasm.OpI64ReinterpretF64,
-		wasm.OpF32ReinterpretI32, wasm.OpF64ReinterpretI64:
-		return x, nil
-	}
-	return 0, fmt.Errorf("wasmvm: unhandled conversion %v", op)
-}
-
-// Wasm float min/max propagate NaN and order -0 < +0.
-func wasmFMin64(a, b float64) float64 {
-	if math.IsNaN(a) || math.IsNaN(b) {
-		return math.NaN()
-	}
-	if a == 0 && b == 0 {
-		if math.Signbit(a) {
-			return a
-		}
-		return b
-	}
-	return math.Min(a, b)
-}
-
-func wasmFMax64(a, b float64) float64 {
-	if math.IsNaN(a) || math.IsNaN(b) {
-		return math.NaN()
-	}
-	if a == 0 && b == 0 {
-		if !math.Signbit(a) {
-			return a
-		}
-		return b
-	}
-	return math.Max(a, b)
-}
-
-func wasmFMin32(a, b float32) float32 { return float32(wasmFMin64(float64(a), float64(b))) }
-func wasmFMax32(a, b float32) float32 { return float32(wasmFMax64(float64(a), float64(b))) }

@@ -1,0 +1,40 @@
+package wasmvm
+
+import "testing"
+
+// BenchmarkRegTier measures wall-clock dispatch on the hot sum loop after
+// tier-up, register body versus stack interpreter. The first call crosses
+// the threshold (OSR) so every timed iteration runs fully tiered; virtual
+// cycles are identical across variants, only host time differs.
+func BenchmarkRegTier(b *testing.B) {
+	run := func(b *testing.B, disableReg, disableFuse bool) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.DisableRegTier = disableReg
+		cfg.DisableFusion = disableFuse
+		vm, err := New(buildModule(), 0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+		const n = 100000
+		// Warm-up call tiers the function up (and translates it when the
+		// register tier is enabled), so the timed loop measures pure
+		// optimized-tier dispatch.
+		if _, err := vm.Call("sum", I32(n)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := vm.Call("sum", I32(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(vm.Stats().Steps)/float64(b.N), "steps/op")
+	}
+	b.Run("reg", func(b *testing.B) { run(b, false, false) })
+	b.Run("stack-fused", func(b *testing.B) { run(b, true, false) })
+	b.Run("stack-unfused", func(b *testing.B) { run(b, true, true) })
+}

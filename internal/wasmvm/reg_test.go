@@ -1,0 +1,324 @@
+package wasmvm
+
+import (
+	"errors"
+	"testing"
+
+	"wasmbench/internal/obsv"
+	"wasmbench/internal/wasm"
+)
+
+// runRegPair instantiates the module twice — register tier enabled and
+// disabled — applies call, and returns both VMs for comparison. Any other
+// config variation (fusion, tier mode, profiling, tracing) comes in via
+// cfg so the matrix tests can sweep them.
+func runRegPair(t *testing.T, m *wasm.Module, cfg Config, call func(vm *VM) ([]uint64, error)) (reg, stack *VM, rres, sres []uint64, rerr, serr error) {
+	t.Helper()
+	mk := func(disable bool) (*VM, []uint64, error) {
+		c := cfg
+		c.DisableRegTier = disable
+		vm, err := New(m, 0, c)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			t.Fatalf("Instantiate: %v", err)
+		}
+		res, err := call(vm)
+		return vm, res, err
+	}
+	reg, rres, rerr = mk(false)
+	stack, sres, serr = mk(true)
+	return
+}
+
+// assertTracesEqual compares two collectors event by event: kinds, virtual
+// timestamps, names, and payloads must all match.
+func assertTracesEqual(t *testing.T, reg, stack *obsv.Collector) {
+	t.Helper()
+	re, se := reg.Events(), stack.Events()
+	if len(re) != len(se) {
+		t.Fatalf("trace lengths differ: reg=%d stack=%d", len(re), len(se))
+	}
+	for i := range re {
+		if re[i] != se[i] {
+			t.Fatalf("trace event %d differs:\n  reg:   %+v\n  stack: %+v", i, re[i], se[i])
+		}
+	}
+}
+
+func TestRegTierTranslates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 100
+	vm := newVM(t, cfg)
+	call1(t, vm, "sum", I32(200000))
+	if vm.RegTranslated() == 0 {
+		t.Fatal("hot loop should have produced a register body")
+	}
+
+	cfg.DisableRegTier = true
+	vm2 := newVM(t, cfg)
+	call1(t, vm2, "sum", I32(200000))
+	if vm2.RegTranslated() != 0 {
+		t.Errorf("DisableRegTier left %d register bodies", vm2.RegTranslated())
+	}
+
+	cfg = DefaultConfig()
+	cfg.TierUpThreshold = 100
+	cfg.StepLimit = 1 << 40
+	vm3 := newVM(t, cfg)
+	call1(t, vm3, "sum", I32(200000))
+	if vm3.RegTranslated() != 0 {
+		t.Errorf("StepLimit should disable the register tier, got %d bodies", vm3.RegTranslated())
+	}
+}
+
+// TestRegEquivalenceMatrix sweeps every exported function of the shared
+// test module across tier modes and fusion settings, comparing the
+// register-tier VM against the stack interpreter on results, cycles, and
+// the full Stats struct (steps, class tallies, tier-ups, per-tier split).
+func TestRegEquivalenceMatrix(t *testing.T) {
+	calls := []struct {
+		name string
+		args []uint64
+	}{
+		{"add", []uint64{I32(2), I32(40)}},
+		{"sum", []uint64{I32(200000)}}, // crosses the tier-up threshold mid-loop
+		{"fib", []uint64{I32(15)}},
+		{"hypot", []uint64{F64(3), F64(4)}},
+		{"memtest", []uint64{I32(1024)}},
+		{"grow", []uint64{I32(2)}},
+		{"switcher", []uint64{I32(1)}},
+	}
+	for _, mode := range []struct {
+		name string
+		mode TierMode
+	}{{"both", TierBoth}, {"basic", TierBasicOnly}, {"opt", TierOptOnly}} {
+		for _, fuse := range []struct {
+			name    string
+			disable bool
+		}{{"fused", false}, {"unfused", true}} {
+			for _, c := range calls {
+				t.Run(mode.name+"/"+fuse.name+"/"+c.name, func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Mode = mode.mode
+					cfg.TierUpThreshold = 100
+					cfg.DisableFusion = fuse.disable
+					reg, stack, rres, sres, rerr, serr := runRegPair(t, buildModule(), cfg,
+						func(vm *VM) ([]uint64, error) { return vm.Call(c.name, c.args...) })
+					assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+					if mode.mode == TierOptOnly && reg.RegTranslated() == 0 {
+						t.Error("opt-only mode should run register bodies")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRegEquivalenceOSR pins the on-stack-replacement path: a single call
+// whose loop crosses the threshold mid-execution must switch to the
+// register body at the back-edge and still match the stack interpreter
+// bit for bit — including a second call that now starts in register form.
+func TestRegEquivalenceOSR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 500
+	reg, stack, rres, sres, rerr, serr := runRegPair(t, buildModule(), cfg,
+		func(vm *VM) ([]uint64, error) {
+			if _, err := vm.Call("sum", I32(100000)); err != nil {
+				return nil, err
+			}
+			return vm.Call("sum", I32(1000))
+		})
+	assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+	if reg.Stats().TierUps != 1 {
+		t.Fatalf("expected exactly one tier-up, got %d", reg.Stats().TierUps)
+	}
+	if reg.RegTranslated() != 1 {
+		t.Fatalf("expected one register body, got %d", reg.RegTranslated())
+	}
+	if AsI64(rres[0]) != 499500 {
+		t.Errorf("post-OSR result wrong: %d", AsI64(rres[0]))
+	}
+}
+
+// TestRegEquivalenceTraces runs a profiled, traced, tiering workload on
+// both dispatchers and requires the full event streams — call enter/exit,
+// tier-up, memory.grow, every virtual timestamp — to be identical.
+func TestRegEquivalenceTraces(t *testing.T) {
+	mk := func(disable bool) (*VM, *obsv.Collector) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.DisableRegTier = disable
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm, err := New(buildModule(), 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("sum", I32(50000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("fib", I32(12)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("grow", I32(2)); err != nil {
+			t.Fatal(err)
+		}
+		return vm, coll
+	}
+	reg, rcoll := mk(false)
+	stack, scoll := mk(true)
+	if reg.Cycles() != stack.Cycles() {
+		t.Errorf("cycles differ: reg=%v stack=%v", reg.Cycles(), stack.Cycles())
+	}
+	if reg.RegTranslated() == 0 {
+		t.Fatal("trace test should exercise the register tier")
+	}
+	assertTracesEqual(t, rcoll, scoll)
+}
+
+// TestRegEquivalenceProfiles compares per-function profiles (calls, self
+// and total cycles, class mix) across dispatchers under tiering.
+func TestRegEquivalenceProfiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Profile = true
+	cfg.TierUpThreshold = 100
+	reg, stack, rres, sres, rerr, serr := runRegPair(t, buildModule(), cfg,
+		func(vm *VM) ([]uint64, error) {
+			if _, err := vm.Call("fib", I32(14)); err != nil {
+				return nil, err
+			}
+			return vm.Call("sum", I32(50000))
+		})
+	assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+	rp, sp := reg.Profile(), stack.Profile()
+	if len(rp) != len(sp) {
+		t.Fatalf("profile lengths differ: %d vs %d", len(rp), len(sp))
+	}
+	for i := range rp {
+		if rp[i].Name != sp[i].Name || rp[i].SelfCycles != sp[i].SelfCycles ||
+			rp[i].TotalCycles != sp[i].TotalCycles || rp[i].Calls != sp[i].Calls {
+			t.Errorf("profile %d differs:\n  reg:   %+v\n  stack: %+v", i, rp[i], sp[i])
+		}
+		if len(rp[i].Classes) != len(sp[i].Classes) {
+			t.Fatalf("profile %d class mix length differs", i)
+		}
+		for j := range rp[i].Classes {
+			if rp[i].Classes[j] != sp[i].Classes[j] {
+				t.Errorf("profile %d class %d differs: %+v vs %+v",
+					i, j, rp[i].Classes[j], sp[i].Classes[j])
+			}
+		}
+	}
+}
+
+// TestRegTrapEquivalence drives the register body into traps — fused
+// const+div-by-zero and fused get+load out of bounds — in opt-only mode so
+// the register forms execute from the first instruction. The partial
+// charges at the trap point must match the stack interpreter exactly.
+func TestRegTrapEquivalence(t *testing.T) {
+	for _, fuse := range []struct {
+		name    string
+		disable bool
+	}{{"fused", false}, {"unfused", true}} {
+		for _, c := range []struct {
+			name string
+			arg  uint64
+			want error
+		}{
+			{"divz", I32(7), ErrDivByZero},
+			{"oob", I32(1 << 30), nil}, // OOB trap type, checked by message equality
+		} {
+			t.Run(fuse.name+"/"+c.name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Mode = TierOptOnly
+				cfg.DisableFusion = fuse.disable
+				reg, stack, rres, sres, rerr, serr := runRegPair(t, trapModule(), cfg,
+					func(vm *VM) ([]uint64, error) { return vm.Call(c.name, c.arg) })
+				if rerr == nil || serr == nil {
+					t.Fatalf("expected traps, got reg=%v stack=%v", rerr, serr)
+				}
+				if c.want != nil && !errors.Is(rerr, c.want) {
+					t.Fatalf("reg trap = %v, want %v", rerr, c.want)
+				}
+				if reg.RegTranslated() == 0 {
+					t.Fatal("trap test should execute register bodies")
+				}
+				assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+			})
+		}
+	}
+}
+
+// TestRegBranchIntoPair re-runs the fusion landing-pad module in opt-only
+// mode: a branch into the second slot of a fused pair must execute that
+// slot's standalone register form.
+func TestRegBranchIntoPair(t *testing.T) {
+	m := &wasm.Module{}
+	ti := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Funcs = append(m.Funcs, wasm.Function{Type: ti, Name: "landing",
+		Locals: []wasm.ValType{wasm.I32},
+		Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Val: 5}, {Op: wasm.OpLocalSet, A: 1},
+			{Op: wasm.OpBlock, BlockType: wasm.BlockNone},
+			{Op: wasm.OpLocalGet, A: 0},
+			{Op: wasm.OpBrIf, A: 0},
+			{Op: wasm.OpI32Const, Val: 100}, {Op: wasm.OpLocalSet, A: 1},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, A: 0},
+			{Op: wasm.OpLocalGet, A: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpEnd},
+		}})
+	m.Exports = append(m.Exports, wasm.Export{Name: "landing", Kind: wasm.ExportFunc, Idx: 0})
+	for _, x := range []int32{0, 3} {
+		cfg := DefaultConfig()
+		cfg.Mode = TierOptOnly
+		reg, stack, rres, sres, rerr, serr := runRegPair(t, m, cfg,
+			func(vm *VM) ([]uint64, error) { return vm.Call("landing", I32(x)) })
+		assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+		want := x + 5
+		if x == 0 {
+			want = 100
+		}
+		if AsI32(rres[0]) != want {
+			t.Errorf("landing(%d) = %d, want %d", x, AsI32(rres[0]), want)
+		}
+	}
+}
+
+// TestRegTierCycleSplit checks the Stats per-tier attribution: basic-only
+// runs charge only BasicCycles, opt-only runs only OptCycles, and a
+// tiering run splits across both with the totals adding up.
+func TestRegTierCycleSplit(t *testing.T) {
+	run := func(mode TierMode, disableReg bool) Stats {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.TierUpThreshold = 100
+		cfg.DisableRegTier = disableReg
+		vm := newVM(t, cfg)
+		call1(t, vm, "sum", I32(50000))
+		return vm.Stats()
+	}
+	basic := run(TierBasicOnly, false)
+	if basic.OptCycles != 0 || basic.BasicCycles == 0 {
+		t.Errorf("basic-only split wrong: %+v", basic)
+	}
+	opt := run(TierOptOnly, false)
+	if opt.BasicCycles != 0 || opt.OptCycles == 0 {
+		t.Errorf("opt-only split wrong: %+v", opt)
+	}
+	both := run(TierBoth, false)
+	if both.BasicCycles == 0 || both.OptCycles == 0 {
+		t.Errorf("tiering run should split cycles across tiers: %+v", both)
+	}
+	// The split must be identical with the register tier disabled (it is
+	// part of the Stats equality in the matrix test, but pin it here too).
+	if stack := run(TierBoth, true); stack.BasicCycles != both.BasicCycles || stack.OptCycles != both.OptCycles {
+		t.Errorf("split differs across dispatchers: reg=%+v stack=%+v", both, stack)
+	}
+}

@@ -1,0 +1,391 @@
+package wasmvm
+
+import "wasmbench/internal/wasm"
+
+// This file implements the register-form translation behind the optimizing
+// tier. The idea mirrors what LiftOff-vs-TurboFan means for dispatch cost
+// in the engines the paper studies (§4.4.2): the basic tier interprets
+// stack bytecode, paying a push/pop on almost every instruction, while the
+// optimizing tier runs code whose operands live in fixed slots.
+//
+// Wasm validation guarantees the operand-stack height at every pc is a
+// static property, so each stack slot can be assigned a fixed virtual
+// register at translation time: slot at height h lives in frame register
+// nLocals+h, where the frame is a flat slice holding locals followed by
+// the register file. lowerFunc records the entry height of every
+// instruction in compiledFunc.heights; translateReg turns each lowered
+// instruction into an rop that names its operand registers directly.
+//
+// The translation is deliberately 1:1 — regCode[pc] executes exactly
+// code[pc] — so branch targets survive unchanged and the stack engine can
+// switch to the register body at any label (OSR) without a pc mapping.
+// Superinstructions (fuse.go) translate into fused register forms that
+// keep the two-component cost accounting.
+//
+// Determinism contract: executing regCode must charge the same cycles (in
+// the same float-addition order), the same steps, the same cost-class
+// tallies, and emit the same trace events as executing code under the
+// optimizing cost table. Costs are precomputed from OptCost only because
+// the register body runs exclusively in the optimizing tier.
+
+// rkind discriminates register-form instructions. A handful of hot
+// opcode specializations (rAddI32, rGeS32BrIf, ...) inline their operation
+// into the dispatch arm; everything else funnels through the shared
+// numUnary/numBinary/memLoad/memStore evaluators.
+type rkind uint8
+
+const (
+	rDead rkind = iota // statically unreachable slot (never executed)
+	rNop               // block/loop/end/nop/drop: charge only
+	rMove              // local.get/set/tee
+	rConst
+	rGlobalGet
+	rGlobalSet
+	rSelect
+	rUn      // unary numeric/conversion via numUnary
+	rBin     // binary numeric via numBinary
+	rExtI64S // i64.extend_i32_s
+	rAddI32
+	rSubI32
+	rMulI32
+	rAddI64
+	rAddF64
+	rMulF64
+	rShlI32
+	rAndI32
+	rXorI32
+	rLoad
+	rStore
+	rMemSize
+	rMemGrow
+	rCall
+	rIf   // branch when condition register is zero
+	rJump // else/br/return: unconditional
+	rBrIf
+	rBrTable
+	rUnreachable
+	rMove2      // fused local.get+local.get
+	rConstBin   // fused const+binop via numBinary
+	rConstAdd32 // fused i32.const+i32.add
+	rGetLoad    // fused local.get+load
+	rCmpBrIf    // fused cmp+br_if via numUnary/numBinary
+	rGeS32BrIf  // fused i32.ge_s+br_if
+	rLtS32BrIf  // fused i32.lt_s+br_if
+)
+
+// rbranch is a resolved branch target in register form. Wasm labels carry
+// at most one value here (multi-value is bailed at translation), so the
+// stack engine's copy-and-truncate becomes a single register move from src
+// to dst when keep is 1.
+type rbranch struct {
+	pc   int32
+	src  int32 // register holding the carried value at the branch site
+	dst  int32 // register the target expects it in
+	keep uint8
+}
+
+// rop is one register-form instruction. Registers index the frame slice
+// (locals at 0..nLocals-1, operand slots above). cost/cost2 are the
+// OptCost charges of the components, precomputed so the dispatch loop
+// avoids a table lookup.
+type rop struct {
+	kind    rkind
+	op      wasm.Opcode
+	op2     wasm.Opcode
+	class   CostClass
+	class2  CostClass
+	r1      int32 // first operand register (or local index / param count)
+	r2      int32 // second operand register (-1 when absent)
+	rd      int32 // destination register (or call argument base)
+	a       uint32
+	b       uint32 // memory offset
+	val     int64  // constant, pre-packed to the raw representation
+	cost    float64
+	cost2   float64
+	jump    rbranch
+	targets []rbranch // br_table (default last)
+}
+
+// regBody returns cf's register-form body, translating it on first use.
+// A nil result means translation bailed (the stack loop keeps serving the
+// function; only dispatch speed is affected, never metrics).
+func (vm *VM) regBody(cf *compiledFunc) []rop {
+	if !cf.regTried {
+		cf.regTried = true
+		cf.regCode = translateReg(vm.module, cf, &vm.cfg.OptCost)
+		if cf.regCode != nil {
+			vm.regBuilt++
+		}
+	}
+	return cf.regCode
+}
+
+// translateReg lowers a function's stack bytecode to register form using
+// the static entry heights recorded by lowerFunc. Returns nil if any
+// construct falls outside the register model (conservative bail).
+func translateReg(m *wasm.Module, cf *compiledFunc, opt *CostTable) []rop {
+	code := cf.code
+	heights := cf.heights
+	nLocals := int32(cf.nLocals)
+
+	// Frame capacity: every runtime stack depth is some instruction's entry
+	// height, so the peak is the max recorded height plus the deepest
+	// single-instruction growth (at most 2 pushes, fused get+get).
+	maxH := int32(0)
+	for _, h := range heights {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	cf.maxStack = maxH + 2
+
+	reg := func(h int32) int32 { return nLocals + h }
+	// jmp converts a branch target taken at operand height hb.
+	jmp := func(t branchTarget, hb int32) (rbranch, bool) {
+		if t.keep > 1 {
+			return rbranch{}, false
+		}
+		rb := rbranch{pc: t.pc, keep: t.keep}
+		if t.keep == 1 {
+			rb.src = reg(hb - 1)
+			rb.dst = reg(t.unwind)
+		}
+		return rb, true
+	}
+
+	out := make([]rop, len(code))
+	for pc := range code {
+		in := &code[pc]
+		h := heights[pc]
+		r := &out[pc]
+		r.op = in.op
+		r.class = in.class
+		r.cost = opt[in.class]
+		r.a, r.b = in.a, in.b
+		r.val = in.val
+		r.r2 = -1
+		if h < 0 {
+			r.kind = rDead
+			continue
+		}
+
+		switch in.op {
+		case opFusedGetGet:
+			r.kind = rMove2
+			r.class2 = in.class2
+			r.cost2 = opt[in.class2]
+			r.r1 = int32(in.a)
+			r.r2 = int32(in.b2)
+			r.rd = reg(h)
+
+		case opFusedConst32Bin, opFusedConst64Bin:
+			r.op2 = in.op2
+			r.class2 = in.class2
+			r.cost2 = opt[in.class2]
+			if in.op == opFusedConst32Bin {
+				r.val = int64(uint64(uint32(in.val)))
+			}
+			r.r1 = reg(h - 1)
+			r.rd = reg(h - 1)
+			if in.op2 == wasm.OpI32Add {
+				r.kind = rConstAdd32
+			} else {
+				r.kind = rConstBin
+			}
+
+		case opFusedGetLoad:
+			r.kind = rGetLoad
+			r.op2 = in.op2
+			r.class2 = in.class2
+			r.cost2 = opt[in.class2]
+			r.r1 = int32(in.a)
+			r.b = in.b2
+			r.rd = reg(h)
+
+		case opFusedCmpBrIf:
+			r.op2 = in.op2
+			r.class2 = in.class2
+			r.cost2 = opt[in.class2]
+			var hb int32 // operand height when the branch is applied
+			if isUnaryNumeric(in.op2) {
+				r.r1 = reg(h - 1) // eqz
+				hb = h - 1
+			} else {
+				r.r1 = reg(h - 2)
+				r.r2 = reg(h - 1)
+				hb = h - 2
+			}
+			j, ok := jmp(in.jump, hb)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+			switch in.op2 {
+			case wasm.OpI32GeS:
+				r.kind = rGeS32BrIf
+			case wasm.OpI32LtS:
+				r.kind = rLtS32BrIf
+			default:
+				r.kind = rCmpBrIf
+			}
+
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpEnd, wasm.OpNop, wasm.OpDrop:
+			r.kind = rNop
+
+		case wasm.OpUnreachable:
+			r.kind = rUnreachable
+
+		case wasm.OpIf:
+			r.kind = rIf
+			r.r1 = reg(h - 1)
+			j, ok := jmp(in.jump, h-1)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+
+		case wasm.OpElse:
+			r.kind = rJump
+			j, ok := jmp(in.jump, h)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+
+		case wasm.OpBr:
+			r.kind = rJump
+			j, ok := jmp(in.jump, h)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+
+		case wasm.OpBrIf:
+			r.kind = rBrIf
+			r.r1 = reg(h - 1)
+			j, ok := jmp(in.jump, h-1)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+
+		case wasm.OpBrTable:
+			r.kind = rBrTable
+			r.r1 = reg(h - 1)
+			r.targets = make([]rbranch, len(in.targets))
+			for i, t := range in.targets {
+				j, ok := jmp(t, h-1)
+				if !ok {
+					return nil
+				}
+				r.targets[i] = j
+			}
+
+		case wasm.OpReturn:
+			r.kind = rJump
+			j, ok := jmp(in.jump, h)
+			if !ok {
+				return nil
+			}
+			r.jump = j
+
+		case wasm.OpCall:
+			ct, err := m.FuncTypeOf(in.a)
+			if err != nil {
+				return nil
+			}
+			np := int32(len(ct.Params))
+			r.kind = rCall
+			r.r1 = np
+			r.rd = reg(h - np) // arguments base; results land at the same base
+
+		case wasm.OpSelect:
+			r.kind = rSelect
+			r.rd = reg(h - 3) // v1, v2, cond at rd, rd+1, rd+2
+
+		case wasm.OpLocalGet:
+			r.kind = rMove
+			r.r1 = int32(in.a)
+			r.rd = reg(h)
+		case wasm.OpLocalSet:
+			r.kind = rMove
+			r.r1 = reg(h - 1)
+			r.rd = int32(in.a)
+		case wasm.OpLocalTee:
+			r.kind = rMove
+			r.r1 = reg(h - 1)
+			r.rd = int32(in.a)
+		case wasm.OpGlobalGet:
+			r.kind = rGlobalGet
+			r.rd = reg(h)
+		case wasm.OpGlobalSet:
+			r.kind = rGlobalSet
+			r.r1 = reg(h - 1)
+
+		case wasm.OpI32Const, wasm.OpF32Const:
+			r.kind = rConst
+			r.val = int64(uint64(uint32(in.val)))
+			r.rd = reg(h)
+		case wasm.OpI64Const, wasm.OpF64Const:
+			r.kind = rConst
+			r.rd = reg(h)
+
+		case wasm.OpMemorySize:
+			r.kind = rMemSize
+			r.rd = reg(h)
+		case wasm.OpMemoryGrow:
+			r.kind = rMemGrow
+			r.r1 = reg(h - 1)
+			r.rd = reg(h - 1)
+
+		default:
+			switch {
+			case isMemOp(in.op):
+				if in.op >= wasm.OpI32Store {
+					r.kind = rStore
+					r.r1 = reg(h - 2) // address
+					r.r2 = reg(h - 1) // value
+				} else {
+					r.kind = rLoad
+					r.r1 = reg(h - 1)
+					r.rd = reg(h - 1)
+				}
+			case isUnaryNumeric(in.op):
+				if in.op == wasm.OpI64ExtendI32S {
+					r.kind = rExtI64S
+				} else {
+					r.kind = rUn
+				}
+				r.r1 = reg(h - 1)
+				r.rd = reg(h - 1)
+			default: // binary numeric
+				r.r1 = reg(h - 2)
+				r.r2 = reg(h - 1)
+				r.rd = reg(h - 2)
+				switch in.op {
+				case wasm.OpI32Add:
+					r.kind = rAddI32
+				case wasm.OpI32Sub:
+					r.kind = rSubI32
+				case wasm.OpI32Mul:
+					r.kind = rMulI32
+				case wasm.OpI64Add:
+					r.kind = rAddI64
+				case wasm.OpF64Add:
+					r.kind = rAddF64
+				case wasm.OpF64Mul:
+					r.kind = rMulF64
+				case wasm.OpI32Shl:
+					r.kind = rShlI32
+				case wasm.OpI32And:
+					r.kind = rAndI32
+				case wasm.OpI32Xor:
+					r.kind = rXorI32
+				default:
+					r.kind = rBin
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package wasmvm
+
+import (
+	"errors"
+
+	"wasmbench/internal/obsv"
+)
+
+// errDeadSlot reports that control reached a slot the translator proved
+// statically unreachable — an internal invariant violation, not a wasm trap.
+var errDeadSlot = errors.New("wasmvm: internal: register body executed a dead slot")
+
+// runReg executes a frame with the register-form body produced by
+// translateReg. It runs only in the optimizing tier (costs are baked in
+// from OptCost) and is entered either at pc 0 from exec, or mid-function
+// at a branch target after a loop back-edge tier-up (OSR), in which case
+// the live operand-stack slots are transferred into their registers first.
+//
+// Every metric side effect — cycle additions (order included), step
+// counts, class tallies, trace events — mirrors runStack exactly; only the
+// host-side operand shuffling differs.
+func (vm *VM) runReg(fi int, cf *compiledFunc, localBase, stackBase, pc int) ([]uint64, error) {
+	nLocals := cf.nLocals
+	for i := int32(0); i < cf.maxStack; i++ {
+		vm.locals = append(vm.locals, 0)
+	}
+	frame := vm.locals[localBase : localBase+nLocals+int(cf.maxStack)]
+
+	// OSR entry: operand-stack slot at height i is register nLocals+i.
+	if h := len(vm.stack) - stackBase; h > 0 {
+		copy(frame[nLocals:], vm.stack[stackBase:])
+		vm.stack = vm.stack[:stackBase]
+	}
+
+	code := cf.regCode
+	mem := vm.mem
+	steps := vm.stats.Steps
+	cycles := vm.cycles
+	tierBase := cycles
+	counts := &vm.tally
+	fclass := &vm.scratchClass
+	if vm.profiling {
+		fclass = &vm.profs[fi].classCounts
+	}
+
+	for pc < len(code) {
+		in := &code[pc]
+		cycles += in.cost
+		counts[in.class]++
+		fclass[in.class]++
+		steps++
+		switch in.kind {
+		case rNop:
+
+		case rMove:
+			frame[in.rd] = frame[in.r1]
+		case rConst:
+			frame[in.rd] = uint64(in.val)
+		case rGlobalGet:
+			frame[in.rd] = vm.globals[in.a]
+		case rGlobalSet:
+			vm.globals[in.a] = frame[in.r1]
+
+		case rAddI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) + uint32(frame[in.r2]))
+		case rSubI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) - uint32(frame[in.r2]))
+		case rMulI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) * uint32(frame[in.r2]))
+		case rAddI64:
+			frame[in.rd] = frame[in.r1] + frame[in.r2]
+		case rAddF64:
+			frame[in.rd] = F64(AsF64(frame[in.r1]) + AsF64(frame[in.r2]))
+		case rMulF64:
+			frame[in.rd] = F64(AsF64(frame[in.r1]) * AsF64(frame[in.r2]))
+		case rShlI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) << (uint32(frame[in.r2]) & 31))
+		case rAndI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) & uint32(frame[in.r2]))
+		case rXorI32:
+			frame[in.rd] = uint64(uint32(frame[in.r1]) ^ uint32(frame[in.r2]))
+
+		case rExtI64S:
+			frame[in.rd] = uint64(int64(int32(frame[in.r1])))
+		case rUn:
+			r, err := numUnary(in.op, frame[in.r1])
+			if err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+			frame[in.rd] = r
+		case rBin:
+			r, err := numBinary(in.op, frame[in.r1], frame[in.r2])
+			if err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+			frame[in.rd] = r
+
+		case rLoad:
+			v, err := memLoad(mem, in.op, uint64(uint32(frame[in.r1]))+uint64(in.b))
+			if err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+			frame[in.rd] = v
+		case rStore:
+			if err := memStore(mem, in.op, uint64(uint32(frame[in.r1]))+uint64(in.b), frame[in.r2]); err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+
+		case rSelect:
+			if uint32(frame[in.rd+2]) == 0 {
+				frame[in.rd] = frame[in.rd+1]
+			}
+
+		case rMemSize:
+			frame[in.rd] = uint64(mem.Pages())
+		case rMemGrow:
+			d := uint32(frame[in.r1])
+			g := mem.Grow(d)
+			frame[in.rd] = uint64(uint32(g))
+			cycles += vm.cfg.GrowBoundaryCost
+			if vm.tracer != nil {
+				vm.tracer.Emit(obsv.Event{Kind: obsv.KindMemGrow, TS: cycles,
+					Name: cf.name, Track: "wasm", A: float64(d), B: float64(g)})
+			}
+
+		case rCall:
+			np := int(in.r1)
+			base := int(in.rd)
+			argsCopy := make([]uint64, np)
+			copy(argsCopy, frame[base:base+np])
+			vm.stats.Steps = steps
+			vm.cycles = cycles
+			vm.stats.OptCycles += cycles - tierBase
+			res, err := vm.callIndex(in.a, argsCopy)
+			steps = vm.stats.Steps
+			cycles = vm.cycles
+			tierBase = cycles
+			if err != nil {
+				return nil, err
+			}
+			copy(frame[base:], res)
+
+		case rIf:
+			if uint32(frame[in.r1]) == 0 {
+				pc = regJump(frame, &in.jump)
+				continue
+			}
+		case rJump:
+			pc = regJump(frame, &in.jump)
+			continue
+		case rBrIf:
+			if uint32(frame[in.r1]) != 0 {
+				pc = regJump(frame, &in.jump)
+				continue
+			}
+		case rBrTable:
+			c := uint32(frame[in.r1])
+			t := &in.targets[len(in.targets)-1]
+			if int(c) < len(in.targets)-1 {
+				t = &in.targets[c]
+			}
+			pc = regJump(frame, t)
+			continue
+
+		case rUnreachable:
+			vm.stats.Steps = steps
+			vm.cycles = cycles
+			vm.stats.OptCycles += cycles - tierBase
+			return nil, ErrUnreachable
+
+		// Fused forms: charge the second component exactly as the loop
+		// header would have, then perform both effects and skip the
+		// partner slot (runStack charges in the same order).
+		case rMove2:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			frame[in.rd] = frame[in.r1]
+			frame[in.rd+1] = frame[in.r2]
+			pc += 2
+			continue
+		case rConstAdd32:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			frame[in.rd] = uint64(uint32(frame[in.r1]) + uint32(in.val))
+			pc += 2
+			continue
+		case rConstBin:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			r, err := numBinary(in.op2, frame[in.r1], uint64(in.val))
+			if err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+			frame[in.rd] = r
+			pc += 2
+			continue
+		case rGetLoad:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			v, err := memLoad(mem, in.op2, uint64(uint32(frame[in.r1]))+uint64(in.b))
+			if err != nil {
+				vm.stats.Steps = steps
+				vm.cycles = cycles
+				vm.stats.OptCycles += cycles - tierBase
+				return nil, err
+			}
+			frame[in.rd] = v
+			pc += 2
+			continue
+		case rGeS32BrIf:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			if int32(frame[in.r1]) >= int32(frame[in.r2]) {
+				pc = regJump(frame, &in.jump)
+				continue
+			}
+			pc += 2
+			continue
+		case rLtS32BrIf:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			if int32(frame[in.r1]) < int32(frame[in.r2]) {
+				pc = regJump(frame, &in.jump)
+				continue
+			}
+			pc += 2
+			continue
+		case rCmpBrIf:
+			cycles += in.cost2
+			counts[in.class2]++
+			fclass[in.class2]++
+			steps++
+			var c uint64
+			if in.r2 < 0 {
+				c, _ = numUnary(in.op2, frame[in.r1]) // eqz cannot trap
+			} else {
+				c, _ = numBinary(in.op2, frame[in.r1], frame[in.r2])
+			}
+			if uint32(c) != 0 {
+				pc = regJump(frame, &in.jump)
+				continue
+			}
+			pc += 2
+			continue
+
+		case rDead:
+			vm.stats.Steps = steps
+			vm.cycles = cycles
+			vm.stats.OptCycles += cycles - tierBase
+			return nil, errDeadSlot
+		}
+		pc++
+	}
+	vm.stats.Steps = steps
+	vm.cycles = cycles
+	vm.stats.OptCycles += cycles - tierBase
+
+	nr := len(cf.typ.Results)
+	res := make([]uint64, nr)
+	copy(res, frame[nLocals:nLocals+nr])
+	return res, nil
+}
+
+// regJump applies a register-form branch: move the carried value (at most
+// one) to the register the target expects, then return the target pc.
+func regJump(frame []uint64, t *rbranch) int {
+	if t.keep != 0 {
+		frame[t.dst] = frame[t.src]
+	}
+	return int(t.pc)
+}

@@ -1,0 +1,115 @@
+package wasmvm
+
+import (
+	"math"
+	"testing"
+
+	"wasmbench/internal/obsv"
+)
+
+func tierUpEvents(coll *obsv.Collector) []obsv.Event {
+	var out []obsv.Event
+	for _, e := range coll.Events() {
+		if e.Kind == obsv.KindTierUp {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestTierUpExactlyAtThreshold pins the boundary: with threshold T, the
+// T-th entry (calls + loop back-edges) is the first that promotes, and
+// repeat calls never promote again.
+func TestTierUpExactlyAtThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 5
+	coll := &obsv.Collector{}
+	cfg.Tracer = coll
+	vm := newVM(t, cfg)
+
+	for i := 0; i < 4; i++ {
+		call1(t, vm, "add", I32(1), I32(2))
+	}
+	if got := vm.Stats().TierUps; got != 0 {
+		t.Fatalf("after threshold-1 calls: TierUps = %d, want 0", got)
+	}
+	if n := len(tierUpEvents(coll)); n != 0 {
+		t.Fatalf("after threshold-1 calls: %d KindTierUp events, want 0", n)
+	}
+
+	call1(t, vm, "add", I32(1), I32(2)) // hotness reaches exactly 5
+	if got := vm.Stats().TierUps; got != 1 {
+		t.Fatalf("at threshold: TierUps = %d, want 1", got)
+	}
+
+	for i := 0; i < 10; i++ {
+		call1(t, vm, "add", I32(1), I32(2))
+	}
+	if got := vm.Stats().TierUps; got != 1 {
+		t.Fatalf("after repeat calls: TierUps = %d, want 1", got)
+	}
+	if n := len(tierUpEvents(coll)); n != 1 {
+		t.Fatalf("%d KindTierUp events, want 1", n)
+	}
+}
+
+// TestTierModesNeverTierUp verifies the single-tier modes are pinned: no
+// amount of hotness promotes, and no KindTierUp event is ever emitted.
+func TestTierModesNeverTierUp(t *testing.T) {
+	for _, mode := range []TierMode{TierBasicOnly, TierOptOnly} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.TierUpThreshold = 10
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm := newVM(t, cfg)
+		// Hot by both measures: many calls plus a long loop's back-edges.
+		for i := 0; i < 50; i++ {
+			call1(t, vm, "add", I32(1), I32(2))
+		}
+		call1(t, vm, "sum", I32(10000))
+		if got := vm.Stats().TierUps; got != 0 {
+			t.Errorf("mode %v: TierUps = %d, want 0", mode, got)
+		}
+		if n := len(tierUpEvents(coll)); n != 0 {
+			t.Errorf("mode %v: %d KindTierUp events, want 0", mode, n)
+		}
+	}
+}
+
+// TestTierUpCompileChargedOnce drives the OSR path (promotion on a loop
+// back-edge mid-call) and then re-enters the function, asserting the
+// optimizing-compile charge lands exactly once: the cycle delta against a
+// zero-charge run equals CompileOptPerInstr times the body length the
+// KindTierUp event reports.
+func TestTierUpCompileChargedOnce(t *testing.T) {
+	run := func(perInstr float64) (*VM, *obsv.Collector) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 500
+		cfg.CompileOptPerInstr = perInstr
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm := newVM(t, cfg)
+		call1(t, vm, "sum", I32(100000)) // promotes on a back-edge mid-call
+		call1(t, vm, "sum", I32(1000))   // re-entry must not charge again
+		return vm, coll
+	}
+
+	const perInstr = 1000.0
+	charged, coll := run(perInstr)
+	free, _ := run(0)
+
+	evs := tierUpEvents(coll)
+	if len(evs) != 1 {
+		t.Fatalf("%d KindTierUp events, want 1", len(evs))
+	}
+	if got := charged.Stats().TierUps; got != 1 {
+		t.Fatalf("TierUps = %d, want 1", got)
+	}
+	want := perInstr * evs[0].A // A carries len(cf.code)
+	got := charged.Cycles() - free.Cycles()
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("compile charge = %.6f cycles, want %.6f (exactly one charge of %.0f x %.0f instrs)",
+			got, want, perInstr, evs[0].A)
+	}
+}

@@ -71,6 +71,16 @@ type Config struct {
 	// skipped automatically when StepLimit is set, preserving the exact
 	// instruction at which the budget trips.
 	DisableFusion bool
+	// DisableRegTier turns off the register-form optimizing tier
+	// (regalloc.go/regexec.go): tier-up then only swaps cost tables, as
+	// the basic interpreter always did. Like fusion, the register tier
+	// never changes virtual cycles, step counts, stats, profiles, or
+	// traces — only wall-clock dispatch speed — so this exists for
+	// equivalence tests and dispatch-overhead studies. The register tier
+	// is also skipped automatically when StepLimit is set: a translated
+	// instruction charges all of its fused components before the budget
+	// check, which could overshoot the exact trip instruction.
+	DisableRegTier bool
 	// Tracer receives typed execution events (tier-ups, memory grows,
 	// call enter/exit) stamped with the virtual-cycle clock. nil disables
 	// tracing; hook sites cost one branch.
@@ -135,6 +145,21 @@ type compiledFunc struct {
 	tier     TierMode // TierBasicOnly => basic, TierOptOnly => optimized
 	hotness  uint64
 	tieredUp bool
+
+	// heights[pc] is the operand-stack height on entry to code[pc], derived
+	// by abstract interpretation of stack effects during lowering; -1 marks
+	// statically unreachable slots. The register translator reads these to
+	// assign every stack slot a fixed frame register.
+	heights []int32
+
+	// Register-form body, produced lazily by translateReg the first time
+	// the function runs (or resumes via OSR) in the optimizing tier. The
+	// translation is 1:1 — regCode[pc] executes exactly code[pc] — so
+	// branch targets, OSR safe points, and fused partner slots need no
+	// remapping.
+	regCode  []rop
+	maxStack int32 // peak operand-stack height (register frame = locals + this)
+	regTried bool  // translation attempted (regCode may still be nil on bail)
 }
 
 // Stats aggregates execution counters.
@@ -143,6 +168,14 @@ type Stats struct {
 	Counts  [NumCostClasses]uint64
 	TierUps int
 	GrowOps int
+	// BasicCycles and OptCycles split the cycles charged while executing
+	// instructions by the tier cost table that was active at the charge
+	// (memory.grow boundary charges included; one-time compile,
+	// instantiate, and tier-up charges excluded). Together they show where
+	// a tier-mode experiment's cycles land, not just how many tier-ups
+	// fired.
+	BasicCycles float64
+	OptCycles   float64
 }
 
 // ArithOps returns the counts the paper's Table 12 reports: ADD, MUL, DIV,
@@ -161,12 +194,14 @@ func (s *Stats) ArithOps() map[string]uint64 {
 
 // funcProf accumulates one function's profile while profiling is enabled:
 // call count, self/total virtual cycles, and the dynamic instruction mix
-// by cost class.
+// by cost class. classCounts is padded to 256 entries so a uint8 CostClass
+// index needs no bounds check in the dispatch loops; entries at and above
+// NumCostClasses stay zero.
 type funcProf struct {
 	calls       uint64
 	totalCycles float64
 	selfCycles  float64
-	classCounts [NumCostClasses]uint64
+	classCounts [256]uint64
 }
 
 // VM is an instantiated module ready to execute exported functions.
@@ -194,10 +229,18 @@ type VM struct {
 	// fused is the static count of superinstruction pairs formed at load
 	// time (0 when fusion is disabled).
 	fused int
+	// regEnabled gates the register-form optimizing tier (off under
+	// DisableRegTier or a step limit); regBuilt counts translated bodies.
+	regEnabled bool
+	regBuilt   int
+	// tally is the live per-class instruction counter behind Stats.Counts,
+	// padded to 256 entries so a uint8 CostClass index needs no bounds
+	// check in the dispatch loops; Stats() folds it back down.
+	tally [256]uint64
 	// scratchClass absorbs per-class attribution writes when profiling is
 	// off, so the dispatch loop increments unconditionally instead of
 	// branching on every instruction. Never read.
-	scratchClass [NumCostClasses]uint64
+	scratchClass [256]uint64
 }
 
 // ErrStepLimit reports that the configured dynamic instruction budget was
@@ -239,6 +282,7 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 			vm.fused += fuseFunc(vm.funcs[i].code)
 		}
 	}
+	vm.regEnabled = !cfg.DisableRegTier && cfg.StepLimit == 0
 	vm.imports = make([]HostFunc, len(m.Imports))
 	return vm, nil
 }
@@ -246,6 +290,11 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 // FusedPairs returns the number of superinstruction pairs formed at load
 // time; 0 when fusion was disabled (explicitly or by a step limit).
 func (vm *VM) FusedPairs() int { return vm.fused }
+
+// RegTranslated returns how many functions have been translated to
+// register form so far; 0 when the register tier is disabled (explicitly
+// or by a step limit) or when nothing has tiered up yet.
+func (vm *VM) RegTranslated() int { return vm.regBuilt }
 
 // Profile returns the per-function virtual-cycle profiles collected while
 // profiling was enabled (Config.Profile or a non-nil Tracer); nil
@@ -363,6 +412,7 @@ func (vm *VM) AddCycles(c float64) { vm.cycles += c }
 // Stats returns a copy of the execution counters.
 func (vm *VM) Stats() Stats {
 	s := vm.stats
+	copy(s.Counts[:], vm.tally[:NumCostClasses])
 	if vm.mem != nil {
 		s.GrowOps = vm.mem.GrowCount()
 	}
@@ -399,6 +449,7 @@ func lowerFunc(m *wasm.Module, f *wasm.Function) (compiledFunc, error) {
 		typ:     ft,
 		nLocals: len(ft.Params) + len(f.Locals),
 		code:    make([]lop, len(f.Body)),
+		heights: make([]int32, len(f.Body)),
 	}
 
 	// Pass 1: match structural markers. matchEnd[pc] is the pc of the
@@ -473,6 +524,14 @@ func lowerFunc(m *wasm.Module, f *wasm.Function) (compiledFunc, error) {
 		l.op = in.Op
 		l.class = Classify(in.Op)
 		l.a, l.b, l.val = in.A, in.B, in.Val
+
+		// Entry height for the register translator; -1 = statically dead
+		// (never executed: flow branched away and only rejoins at labels).
+		if unreachable {
+			cf.heights[pc] = -1
+		} else {
+			cf.heights[pc] = int32(height)
+		}
 
 		switch in.Op {
 		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
