@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build vet test race bench bench-smoke difftest-smoke fuzz
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke difftest-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,3 +31,16 @@ bench:
 # without waiting for steady-state numbers (baselines live in BENCH_perf.json).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Differential smoke: 200 generated programs from fixed seeds plus every
+# committed corpus regression, across the full backend matrix. Deterministic;
+# any divergence fails CI. (The -race gate above reruns a reduced range.)
+difftest-smoke:
+	$(GO) test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
+
+# Open-ended differential fuzzing (not part of check). Override FUZZTIME
+# and FUZZ to steer, e.g. make fuzz FUZZ=FuzzDiffOptLevels FUZZTIME=5m.
+FUZZTIME ?= 60s
+FUZZ ?= FuzzDiffBackends
+fuzz:
+	$(GO) test ./internal/difftest -fuzz $(FUZZ) -fuzztime $(FUZZTIME)

@@ -193,6 +193,10 @@ func (vm *X86VM) Steps() uint64 { return vm.steps }
 // PeakMemoryBytes reports the linear-buffer high-water mark.
 func (vm *X86VM) PeakMemoryBytes() uint64 { return uint64(vm.memPeak) }
 
+// Memory returns the live linear buffer (the differential oracle
+// checksums it after a run; callers must not retain it across Run calls).
+func (vm *X86VM) Memory() []byte { return vm.mem }
+
 // Run executes main and returns its value.
 func (vm *X86VM) Run() (uint64, error) {
 	return vm.call(vm.p.MainFunc, nil)

@@ -1,0 +1,187 @@
+package codegen_test
+
+// x86vm error-path coverage, mirroring the wasmvm fusion/tier trap tests
+// (wasmvm/fuse_test.go) and the jsvm step/depth-limit tests
+// (jsvm/jsvm_test.go): every trap class the native backend models must
+// surface as its sentinel error, not as a wrong result or a panic.
+
+import (
+	"errors"
+	"testing"
+
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/wasmvm"
+)
+
+func runX86Src(t *testing.T, src string, cfg codegen.X86Config) (*compiler.Result, error) {
+	t.Helper()
+	art, err := compiler.Compile(src, compiler.Options{
+		Opt: ir.O0, ModuleName: "trap",
+		Targets: []compiler.Target{compiler.TargetX86},
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return compiler.RunX86(art, cfg)
+}
+
+func TestX86TrapDivByZero(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"i32-div", "int main() { int a = 7; int b = 0; return a / b; }"},
+		{"i32-rem", "int main() { int a = 7; int b = 0; return a % b; }"},
+		{"i64-div", "int main() { long a = 7; long b = 0; return (int)(a / b); }"},
+		{"i64-rem", "int main() { long a = 7; long b = 0; return (int)(a % b); }"},
+		{"u32-div", "int main() { unsigned a = 7; unsigned b = 0; return (int)(a / b); }"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := runX86Src(t, c.src, codegen.DefaultX86Config())
+			if !errors.Is(err, codegen.ErrX86DivZero) {
+				t.Fatalf("want ErrX86DivZero, got %v", err)
+			}
+		})
+	}
+}
+
+func TestX86TrapDivOverflow(t *testing.T) {
+	// INT_MIN / -1 overflows two's complement: a trap on Wasm and on this
+	// model, not a silent wraparound.
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"i32", `int main() {
+			int a = (-2147483647) - 1;
+			int b = -1;
+			return a / b;
+		}`},
+		{"i64", `int main() {
+			long a = (-9223372036854775807) - 1;
+			long b = -1;
+			return (int)(a / b);
+		}`},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := runX86Src(t, c.src, codegen.DefaultX86Config())
+			if !errors.Is(err, codegen.ErrX86Trap) {
+				t.Fatalf("want ErrX86Trap, got %v", err)
+			}
+		})
+	}
+}
+
+func TestX86TrapOOB(t *testing.T) {
+	src := `
+int AI[4];
+int main() {
+	int i = 1 << 27;
+	return AI[i];
+}`
+	_, err := runX86Src(t, src, codegen.DefaultX86Config())
+	if !errors.Is(err, codegen.ErrX86OOB) {
+		t.Fatalf("want ErrX86OOB, got %v", err)
+	}
+}
+
+func TestX86TrapStepLimit(t *testing.T) {
+	src := `
+int main() {
+	int i = 0;
+	while (1) { i += 1; }
+	return i;
+}`
+	cfg := codegen.DefaultX86Config()
+	cfg.StepLimit = 10000
+	_, err := runX86Src(t, src, cfg)
+	if !errors.Is(err, codegen.ErrX86StepLimit) {
+		t.Fatalf("want ErrX86StepLimit, got %v", err)
+	}
+}
+
+func TestX86TrapCallDepth(t *testing.T) {
+	src := `
+int down(int x) { return down(x + 1); }
+int main() { return down(0); }`
+	cfg := codegen.DefaultX86Config()
+	cfg.DepthLimit = 100
+	_, err := runX86Src(t, src, cfg)
+	if !errors.Is(err, codegen.ErrX86Depth) {
+		t.Fatalf("want ErrX86Depth, got %v", err)
+	}
+}
+
+func TestX86TrapBuiltinTrap(t *testing.T) {
+	src := `
+int main() {
+	__builtin_trap();
+	return 0;
+}`
+	_, err := runX86Src(t, src, codegen.DefaultX86Config())
+	if !errors.Is(err, codegen.ErrX86Trap) {
+		t.Fatalf("want ErrX86Trap, got %v", err)
+	}
+}
+
+func TestX86TrapFloatTrunc(t *testing.T) {
+	// (int) of a non-finite or out-of-range double is a conversion trap
+	// (Wasm i32.trunc_f64_s semantics), matching the wasm backend.
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"inf", `int main() {
+			double z = 0.0;
+			double inf = 1.0 / z;
+			return (int)inf;
+		}`},
+		{"nan", `int main() {
+			double z = 0.0;
+			double nan = z / z;
+			return (int)nan;
+		}`},
+		{"huge", `int main() {
+			double big = 1e300;
+			return (int)big;
+		}`},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := runX86Src(t, c.src, codegen.DefaultX86Config())
+			if !errors.Is(err, codegen.ErrX86Trap) {
+				t.Fatalf("want ErrX86Trap, got %v", err)
+			}
+		})
+	}
+}
+
+// TestX86TrapsMatchWasm cross-checks the trap *classes* differentially:
+// a program that traps on x86 must also trap on the wasm backend (and vice
+// versa, exercised by difftest's generated trap-free programs never
+// tripping either).
+func TestX86TrapsMatchWasm(t *testing.T) {
+	srcs := map[string]string{
+		"divzero": "int main() { int a = 7; int b = 0; return a / b; }",
+		"oob":     "int AI[4];\nint main() { int i = 1 << 27; return AI[i]; }",
+		"trunc":   "int main() { double z = 0.0; return (int)(1.0 / z); }",
+		"builtin": "int main() { __builtin_trap(); return 0; }",
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			art, err := compiler.Compile(src, compiler.Options{Opt: ir.O0, ModuleName: "trap"})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			_, xerr := compiler.RunX86(art, codegen.DefaultX86Config())
+			if xerr == nil {
+				t.Fatal("x86 did not trap")
+			}
+			_, werr := compiler.RunWasm(art, wasmvm.DefaultConfig())
+			if werr == nil {
+				t.Fatal("wasm did not trap")
+			}
+		})
+	}
+}

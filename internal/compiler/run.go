@@ -20,11 +20,27 @@ type Result struct {
 	MemoryBytes uint64
 	// ExternalBytes is the JS backing-store peak (JS backend only).
 	ExternalBytes uint64
+	// MemChecksum is the FNV-1a hash of the final linear memory (Wasm and
+	// x86 backends; 0 for JS, whose heap layout is engine-managed). The
+	// differential oracle compares it across VM configurations of the
+	// same artifact.
+	MemChecksum uint64
 	// WasmStats carries the Wasm VM counters when applicable.
 	WasmStats wasmvm.Stats
 	GrowOps   int
 	GCs       int
 	TierUps   int
+}
+
+// memChecksum is FNV-1a over a byte slice (inlined to avoid allocating a
+// hash.Hash per run).
+func memChecksum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // OutputStrings renders the output channel for differential comparison.
@@ -105,6 +121,9 @@ func RunWasm(art *Artifact, cfg wasmvm.Config) (*Result, error) {
 		MemoryBytes: vm.PeakMemoryBytes(),
 		WasmStats:   vm.Stats(),
 	}
+	if mem := vm.Memory(); mem != nil {
+		r.MemChecksum = memChecksum(mem.Bytes())
+	}
 	r.Steps = r.WasmStats.Steps
 	r.GrowOps = r.WasmStats.GrowOps
 	r.TierUps = r.WasmStats.TierUps
@@ -157,5 +176,6 @@ func RunX86(art *Artifact, cfg codegen.X86Config) (*Result, error) {
 		Cycles:      vm.Cycles(),
 		Steps:       vm.Steps(),
 		MemoryBytes: vm.PeakMemoryBytes(),
+		MemChecksum: memChecksum(vm.Memory()),
 	}, nil
 }

@@ -1,0 +1,68 @@
+package difftest
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The regression corpus: every divergence the fuzzer ever found lands here
+// minimized, next to a set of generator seed programs. TestCorpus replays
+// all of them across the full backend matrix, and the Go fuzz targets use
+// them as their seed corpus.
+//
+//go:embed corpus/*.c
+var corpusFS embed.FS
+
+// CorpusEntry is one committed corpus program.
+type CorpusEntry struct {
+	Name   string // file name without directory or .c extension
+	Source string
+}
+
+// Corpus returns the committed corpus, sorted by name. It panics on an
+// unreadable embed FS (impossible without a build-system bug).
+func Corpus() []CorpusEntry {
+	ents, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		panic("difftest: corpus embed: " + err.Error())
+	}
+	out := make([]CorpusEntry, 0, len(ents))
+	for _, e := range ents {
+		b, err := corpusFS.ReadFile("corpus/" + e.Name())
+		if err != nil {
+			panic("difftest: corpus embed: " + err.Error())
+		}
+		out = append(out, CorpusEntry{
+			Name:   strings.TrimSuffix(e.Name(), ".c"),
+			Source: string(b),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteCorpusEntry writes a program into dir as name.c with a metadata
+// header comment, the format every committed corpus file follows. The note
+// should say where the program came from (seed, divergence, fix). Returns
+// the written path.
+func WriteCorpusEntry(dir, name, note, src string) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* difftest corpus: %s\n", name)
+	for _, line := range strings.Split(strings.TrimSpace(note), "\n") {
+		fmt.Fprintf(&b, "   %s\n", strings.TrimSpace(line))
+	}
+	b.WriteString("*/\n")
+	b.WriteString(src)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".c")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

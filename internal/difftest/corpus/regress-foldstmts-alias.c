@@ -1,0 +1,15 @@
+/* difftest corpus: regress-foldstmts-alias
+   foldStmts built its output into body[:0] while the constant-If fold can
+   append more statements than it has consumed, overwriting entries not yet
+   read (some statements duplicated, the overwritten ones dropped).
+   Fixed in ir/passes.go by building into a fresh slice.
+   Divergence class: wrong observable output at -O1 and above. */
+int main() {
+    int r = 0;
+    if (1) { r += 1; r += 2; r += 3; r += 4; }
+    r += 10;
+    r += 20;
+    r += 40;
+    print_i((long)(r));
+    return r;
+}

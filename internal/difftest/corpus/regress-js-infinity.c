@@ -1,0 +1,64 @@
+/* difftest corpus: regress-js-infinity
+   Minimized from generator seed 212. ConstFold folds (-1.5)/(0.0) to an
+   f64 -Inf constant, which the JS backend spells "-Infinity"; jsvm had no
+   global Infinity/NaN bindings, so the identifier read as undefined (NaN
+   after ToNumber) and the comparison -Inf <= gd0 silently flipped.
+   Fixed in jsvm/host.go: ECMA-262 global value properties Infinity, NaN,
+   undefined.
+   Divergence class: x86/wasm vs js output mismatch at -O1 and above. */
+/* difftest generated program, seed=212 floatfree=false */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+double gd0 = 0.5;
+double gd1 = 0.5;
+int AI[64];
+long AL[16];
+double AD[32];
+int MI[8][8];
+
+int __f2i(double d) {
+	if (d != d) { return -1; }
+	if (d > 1000000000.0) { return 1000000000; }
+	if (d < -1000000000.0) { return -1000000000; }
+	return (int)d;
+}
+
+long hf0(long a, int b) {
+	return (long)(1);
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	double ld0 = 0.25;
+	double ld1 = 0.25;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	if (((((-1.5) / (0.0))) <= (gd0))) {
+		gl0 += hf0((long)(0), 0);
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	print_f(gd0);
+	print_f(gd1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 32; __e0++) { __h = __h * 31 + (long)__f2i(AD[__e0] * 1024.0); }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

@@ -1,0 +1,54 @@
+/* difftest corpus: regress-rematconst-param
+   Minimized from generator seed 201 (floatfree). RematConst treated "one
+   static SetLocal of a constant" as "local is that constant everywhere",
+   but parameters carry an implicit entry write and plain locals read zero
+   until the first store: the use of b in `AI[0] *= b` executes BEFORE the
+   lone write `b = 1` and must see the argument value, not 1.
+   Fixed in ir/passes2.go: the write must be a top-level statement that
+   precedes every use of the local.
+   Divergence class: x86@-O0 vs x86@-O3 exit mismatch (xlevel). */
+/* difftest generated program, seed=201 floatfree=true */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+int AI[64];
+long AL[16];
+int MI[8][8];
+
+int hf0(int a, int b) {
+	AI[(0) & 63] *= b;
+	b = 1;
+	return 0;
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	int i4 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	for (i4 = 0; i4 < 134; i4++) {
+		gl1 += (long)(hf0(0, 0));
+		AI[(0) & 63] += 1;
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

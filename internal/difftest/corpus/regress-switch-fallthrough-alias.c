@@ -1,0 +1,24 @@
+/* difftest corpus: regress-switch-fallthrough-alias
+   Switch fallthrough materialization shared statement nodes between the
+   case that owns them and every earlier case that absorbs them. The
+   globalopt function-index remap then visited the shared *Call twice
+   (panic: index out of range [-1] once the first visit rewrote it).
+   Fixed in ir/build.go by deep-copying absorbed case bodies.
+   Divergence class: compile panic at -O1 and above. */
+int dropped(int x) { return x + 1; }
+int used(int x) { return x * 2; }
+int main() {
+    int a = 0;
+    int r = 0;
+    switch (a) {
+    case 0:
+        r += 1;
+    case 1:
+        r += used(2);
+        break;
+    default:
+        r = 3;
+    }
+    print_i((long)(r));
+    return r;
+}

@@ -1,0 +1,178 @@
+/* difftest corpus: seed-0001
+   Generator-produced seed program (seed=1 floatfree=false); exercises the
+   cross-backend oracle end to end. No known bug attached. */
+/* difftest generated program, seed=1 floatfree=false */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+double gd0 = 0.5;
+double gd1 = 0.5;
+int AI[64];
+long AL[16];
+double AD[32];
+int MI[8][8];
+
+int __f2i(double d) {
+	if (d != d) { return -1; }
+	if (d > 1000000000.0) { return 1000000000; }
+	if (d < -1000000000.0) { return -1000000000; }
+	return (int)d;
+}
+
+long hf0(long a, int b) {
+	int i0 = 0;
+	if (((((((unsigned)(__f2i(-1.5)))) + (gu0))) <= ((-((~(gu0))))))) {
+		if (((((double)(((int)((unsigned)1582031093))))) > (floor(((AD[(AI[(b) & 63]) & 31]) / (AD[(gi1) & 31])))))) {
+			if (((gd0) >= (0.5))) {
+				MI[(((int)((((unsigned)1751549763) & (gu0))))) & 7][(((0) + (b))) & 7] -= (((~(((int)((long)(0)))))) ^ (((AI[(MI[(gi1) & 7][(gi1) & 7]) & 63]) + (((gi0) >> ((int)((AI[(gi0) & 63]) & 31)))))));
+			} else {
+				if (((((((((unsigned)(__f2i(AD[(gi0) & 31])))) <= ((((((unsigned)4127757965) ^ ((unsigned)2929631165))) % ((((-(gu0))) & 15) + 1))))) ? (((int)(AL[(gi1) & 15]))) : (1000000007))) != (((((gi0) - (gi0))) ^ (((gi0) & (b))))))) {
+					for (i0 = 0; i0 < 15; i0++) {
+						print_i(((long)(__f2i(((0.0) * (AD[(gi1) & 31]))))));
+					}
+					AD[(b) & 31] = fmod(gd1, sin(((gd1) / (gd0))));
+				}
+				gi1 *= ((int)(((unsigned)(__f2i(((double)(MI[(AI[(gi0) & 63]) & 7][(gi1) & 7])))))));
+			}
+		}
+		gi1 -= (((~(((-645721) & (gi0))))) % (((798663) & 15) + 1));
+	}
+	return ((long)(((((((((557134) & (b))) >= (gi0))) ? ((((((long)(7838611770415186808)) < ((((((((((((unsigned)4198243707) ^ (gu0))) + (((gu0) | (gu0))))) <= ((((-((unsigned)1))) / (((((gu0) | (gu0))) & 15) + 1))))) ? ((long)(-2385795246871878382)) : (AL[(gi1) & 15]))) ^ ((~(gl1))))))) ? (gu0) : (gu0))) : ((((((((-(gd1))) - (floor(AD[(gi0) & 31])))) == (pow(floor(AD[(b) & 31]), fabs(AD[(gi0) & 31]))))) ? (gu0) : (gu0))))) >= (((((((((((long)(((-105.25) < (gd1))))) >> ((long)(((((long)(31)) + ((long)(31)))) & 63)))) >= (((long)((((unsigned)3999628443) << ((unsigned)((gu0) & 31)))))))) ? (gu0) : (gu0))) & ((~((unsigned)1))))))));
+}
+
+int hf1(int a, int b) {
+	print_f(-80.0);
+	if (((((((unsigned)(((fabs(log(gd1))) != (gd1))))) <= (((unsigned)(__f2i(((gd1) + (gd0)))))))) >= ((!(((MI[(-2147483647) & 7][(gi1) & 7]) << ((int)((b) & 31)))))))) {
+		gi0 *= ((int)(gl1));
+		a = ((((MI[(gi0) & 7][(b) & 7]) << ((int)((a) & 31)))) < (((int)((((unsigned)1) / ((((unsigned)1) & 15) + 1))))));
+	}
+	return ((((gi0) % (((b) & 15) + 1))) - (((MI[(a) & 7][(1000000007) & 7]) >> ((int)((-701649) & 31)))));
+}
+
+double hf2(double a, int b) {
+	int i1 = 0;
+	for (i1 = 0; i1 < 15; i1++) {
+		b -= __f2i(a);
+		if (((fmod(((double)((long)(-6690402650071872427))), ((a) - (1.0)))) >= (AD[(AI[(-973769) & 63]) & 31]))) {
+			b *= gi1;
+			gi0 = ((((int)(((long)((unsigned)2685598989))))) << ((int)((((((i1) & (i1))) | (((int)(gu0))))) & 31)));
+		}
+	}
+	return ((AD[(gi1) & 31]) * (-43.5625));
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	double ld0 = 0.25;
+	double ld1 = 0.25;
+	int i2 = 0;
+	int i3 = 0;
+	int i4 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	if (((((((unsigned)(((((AL[(AI[(li1) & 63]) & 15]) <= (((((long)(__f2i(-1.5)))) + ((~(ll0))))))) > (li3))))) & (((unsigned)(AI[(li0) & 63]))))) == (((unsigned)(((((((long)(__f2i(((ld1) / (118.9375)))))) < (((long)(((1) * (13))))))) ? (-366870) : (MI[(334278) & 7][(-73656) & 7]))))))) {
+		MI[(__f2i((-(3.14159265)))) & 7][(__f2i(8.1875)) & 7] = ((-1) | (((((int)((unsigned)3601897042))) >> ((int)((gi1) & 31)))));
+	} else {
+		AI[(((__f2i(97.6875)) % (((((li3) ^ (gi0))) & 15) + 1))) & 63] = ((__f2i(((-89.3125) - (43.5)))) * (((((AI[(li3) & 63]) % (((li0) & 15) + 1))) / (((((-938988) << ((int)((li1) & 31)))) & 15) + 1))));
+		switch ((-787748) & 7) {
+		case 3:
+			li2 *= ((__f2i(98.0625)) + (((int)(gl0))));
+			break;
+		case 5:
+			for (i2 = 0; i2 < 4; i2++) {
+				if (((gl0) < (((long)(((int)((unsigned)2594772561))))))) { break; }
+			}
+			break;
+		default:
+			li1 += ((((((926168) & (li0))) | (7))) >> ((int)((gi1) & 31)));
+		}
+	}
+	if (((((long)(__f2i(fmod(gd0, ld1))))) == (ll1))) {
+		switch ((__f2i(ld1)) & 7) {
+		case 4:
+			gi0 -= __f2i(ld0);
+			break;
+		default:
+			gl0 += hf0(gl1, MI[(gi1) & 7][(gi0) & 7]);
+		}
+		if (((ll0) == (AL[(71117) & 15]))) {
+			AL[(li2) & 15] -= ((((gd0) > (((double)(((gl0) << ((long)((gl1) & 63)))))))) ? (((ll1) % (((AL[(-2147483647) & 15]) & 15) + 1))) : (((((long)(__f2i(ld0)))) | (((long)(__f2i(-1.5)))))));
+		}
+	} else {
+		li1 = __f2i((-((-(AD[(397337) & 31])))));
+	}
+	print_f(((((ld0) / (-117.375))) - (((ld1) / (AD[(-229322) & 31])))));
+	if ((((unsigned)800269806) > (gu0))) {
+		switch (((((unsigned)3686806052) > (gu0))) & 7) {
+		case 2:
+			li3 -= ((((((MI[(li0) & 7][(MI[(gi0) & 7][(gi0) & 7]) & 7]) << ((int)((MI[(gi1) & 7][(AI[(li2) & 63]) & 7]) & 31)))) % (((li2) & 15) + 1))) + (__f2i(((gd0) - (ld0)))));
+			break;
+		case 4:
+			li3 *= (((((~(gi0))) << ((int)((((875733) >> ((int)((li2) & 31)))) & 31)))) % (((((__f2i(1e+06)) | (64))) & 15) + 1));
+			break;
+		default:
+			gi1 = __f2i(((double)(((long)(lu0)))));
+		}
+	} else {
+		gi1 += gi1;
+	}
+	switch ((((((((-959819) % (((((ld0) == (ceil(AD[(0) & 31])))) & 15) + 1))) > (((((MI[(AI[(-2147483647) & 63]) & 7][(li3) & 7]) % (((7) & 15) + 1))) << ((int)((gi0) & 31)))))) ? (AI[(AI[(-808018) & 63]) & 63]) : (((2147483647) ^ (li0))))) & 7) {
+	case 5:
+		li2 += (((~(((int)((long)(4294967296)))))) & (((((((((unsigned)(__f2i(gd1)))) * (((gu0) >> ((unsigned)(((unsigned)1) & 31)))))) >= (((unsigned)((((((~(64))) % (((((((ceil(((ld0) + (ld0)))) > (ceil(fmod(ld0, ld0))))) ? (0) : (-1))) & 15) + 1))) == (((gl1) != (((((((AL[(1000000007) & 15]) / ((((long)(0)) & 15) + 1))) == ((~((long)(255)))))) ? (((long)(gi1))) : (((gl1) & ((long)(-2878127223643001356)))))))))))))) | ((-(AI[(li3) & 63]))))));
+		break;
+	case 2:
+		li0 = ((((__f2i(ld1)) - (((li0) ^ (gi0))))) ^ (li1));
+		break;
+	case 1:
+		print_i((long)(((unsigned)(__f2i(101.8125)))));
+	case 7:
+		MI[((((((((unsigned)1167874560) >> ((unsigned)((((((fmod(AD[(7) & 31], ((AD[(li0) & 31]) / (AD[(li0) & 31])))) == (((((ld0) + (40.4375))) * (((gd1) / (-70.875))))))) ? ((unsigned)1) : (lu0))) & 31)))) > (((unsigned)(((((ld1) / (((double)(13))))) < (((((double)(gl0))) - (12.6875))))))))) ^ (li3))) & 7][(((((AI[(-527167) & 63]) == (li3))) ? (li3) : (li3))) & 7] = (!(((((((((((AD[(370040) & 31]) / (111.5625))) - (((0.0) - (-81.4375))))) != (((double)(li3))))) ? (AI[(621073) & 63]) : (li3))) * (((li1) / (((695221) & 15) + 1))))));
+		break;
+	default:
+		i3 = 7;
+		while (i3 > 0) {
+			if ((((unsigned)772731995) != ((((unsigned)1) | (((unsigned)(7))))))) {
+				gi1 = (!(((((gi1) | (745923))) >> ((int)((AI[(gi1) & 63]) & 31)))));
+				li1 = ((((((((1e+18) > ((((-(ld1))) + (pow(AD[(AI[(li0) & 63]) & 31], 1e+18)))))) & (gi1))) < (((((li2) * (gi0))) << ((int)((gi0) & 31)))))) % (((((1000000007) * ((~(16672))))) & 15) + 1));
+			}
+			li1 *= ((int)(((long)(((((double)((long)(4560192597857264935)))) < (((log(ld1)) - (3.14159265))))))));
+			i3 = i3 - 1;
+		}
+	}
+	li2 += ((((int)(((AL[(MI[(li0) & 7][(li0) & 7]) & 15]) % (((AL[(-2147483647) & 15]) & 15) + 1))))) + (__f2i((-(17.8125)))));
+	for (i4 = 0; i4 < 99; i4++) {
+		gd1 += hf2(1.0, i4);
+		AI[(i4) & 63] += ((((li1) % (((MI[(gi1) & 7][(li0) & 7]) & 15) + 1))) * (__f2i(1e+18)));
+	}
+	{
+		int* __p = (int*)malloc(851 * sizeof(int));
+		int __k;
+		for (__k = 0; __k < 851; __k++) { __p[__k] = __k * 8; }
+		for (__k = 0; __k < 851; __k += 17) { gl0 = gl0 * 31 + (long)__p[__k]; }
+		free(__p);
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	print_f(gd0);
+	print_f(gd1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 32; __e0++) { __h = __h * 31 + (long)__f2i(AD[__e0] * 1024.0); }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

@@ -1,0 +1,79 @@
+/* difftest corpus: seed-0003
+   Generator-produced seed program (seed=3 floatfree=false); exercises the
+   cross-backend oracle end to end. No known bug attached. */
+/* difftest generated program, seed=3 floatfree=false */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+double gd0 = 0.5;
+double gd1 = 0.5;
+int AI[64];
+long AL[16];
+double AD[32];
+int MI[8][8];
+
+int __f2i(double d) {
+	if (d != d) { return -1; }
+	if (d > 1000000000.0) { return 1000000000; }
+	if (d < -1000000000.0) { return -1000000000; }
+	return (int)d;
+}
+
+int hf0(int a, int b) {
+	int i0 = 0;
+	for (i0 = 0; i0 < 12; i0++) {
+		a += AI[(i0) & 63];
+		if (((((((gu0) << ((unsigned)(((unsigned)1) & 31)))) | ((((((~(((unsigned)(__f2i(0.25)))))) >= (((((gd1) <= (exp(((3.14159265) - (gd1)))))) ? ((unsigned)2417663551) : ((unsigned)1))))) ? ((unsigned)2374767511) : ((unsigned)1))))) <= (((((((((unsigned)(((((unsigned)(__f2i(((AD[(a) & 31]) - (gd1)))))) == ((((((unsigned)2665342273) % ((((unsigned)1) & 15) + 1))) >> ((unsigned)(((((unsigned)1) / (((gu0) & 15) + 1))) & 31)))))))) != (((((((((b) * (i0))) * (a))) == (((((gd1) != (fmod(ceil(AD[(426803) & 31]), ((gd0) - (-1.5)))))) * (((((860102) > ((((((long)(5697906746570918293)) == (AL[(MI[(i0) & 7][(AI[(gi1) & 63]) & 7]) & 15]))) ? (a) : (((i0) ^ (-555479))))))) ? (b) : (b))))))) ? ((unsigned)3428236984) : (((unsigned)(__f2i(9.75)))))))) ? ((unsigned)1) : (gu0))) & (((gu0) - (gu0))))))) { break; }
+	}
+	return (((-(gi0))) >> ((int)((((((((((((((unsigned)((((((((long)(0)) + ((long)(-9221120237041090561)))) * (AL[(-761127) & 15]))) >= (((((long)(2))) + (((long)((unsigned)3975521150))))))))) & (((unsigned)(((((((unsigned)(((__f2i(fabs(-74.375))) != (((gi1) * (((b) * (MI[(b) & 7][(MI[(b) & 7][(gi0) & 7]) & 7]))))))))) | (((((log(fabs(gd1))) == (log(((gd0) / (28.25)))))) ? ((unsigned)1) : ((unsigned)152438501))))) <= ((((unsigned)1) & ((((unsigned)1) & ((unsigned)1))))))))))) > (((unsigned)(((((((a) % (((a) & 15) + 1))) * (((AI[(69771) & 63]) ^ (b))))) != (MI[(139637) & 7][(a) & 7]))))))) + (__f2i(gd0)))) != (AI[(AI[(4096) & 63]) & 63]))) ? (gi0) : (gi0))) & 31)));
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	double ld0 = 0.25;
+	double ld1 = 0.25;
+	int i1 = 0;
+	int i2 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	li2 = __f2i(((((0.0) - (ld1))) / ((-(-35.125)))));
+	li0 = (~(((((MI[(MI[(li0) & 7][(gi0) & 7]) & 7][(li2) & 7]) - (MI[(li1) & 7][(li0) & 7]))) >> ((int)((((li0) | (gi0))) & 31)))));
+	li0 = li1;
+	AL[(((((((long)((((-(((gd0) + (-73.3125))))) > (-120.3125))))) == (((((long)((((unsigned)1) <= ((-(lu0))))))) & (((gl0) << ((long)((AL[(AI[(1) & 63]) & 15]) & 63)))))))) ? (((li0) << ((int)((li1) & 31)))) : (((AI[(AI[(li2) & 63]) & 63]) + (gi1))))) & 15] = gl0;
+	for (i1 = 0; i1 < 14; i1++) {
+		if (((((fmod(AD[(30112) & 31], ld0)) / (3.1875))) <= (((((1e+06) - (gd0))) / ((-(0.5))))))) {
+			gi1 *= (((((unsigned)72861015) | (((unsigned)(((((ll1) + (((long)(__f2i(1.0)))))) < (((((AL[(AI[(i1) & 63]) & 15]) ^ (ll1))) * ((long)(-2172561486575260733)))))))))) > (((unsigned)(__f2i(((ld1) + (-1.5)))))));
+			li1 += __f2i(((pow(AD[(AI[(MI[(i1) & 7][(i1) & 7]) & 63]) & 31], ld0)) * (((AD[(gi0) & 31]) * (0.0)))));
+		}
+		li3 = __f2i(floor(((gd1) * (-40.3125))));
+	}
+	li0 += ((((((lu0) > (lu0))) ? (((li0) * (MI[(255) & 7][(gi1) & 7]))) : (((348619) + (gi0))))) % (((((gi1) ^ (((2) / (((0) & 15) + 1))))) & 15) + 1));
+	for (i2 = 0; i2 < 112; i2++) {
+		gl1 += (long)(hf0(i2, 3));
+		AI[(i2) & 63] += ((((3) | (li3))) | (li3));
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	print_f(gd0);
+	print_f(gd1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 32; __e0++) { __h = __h * 31 + (long)__f2i(AD[__e0] * 1024.0); }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

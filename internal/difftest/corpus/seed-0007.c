@@ -1,0 +1,66 @@
+/* difftest corpus: seed-0007
+   Generator-produced seed program (seed=7 floatfree=false); exercises the
+   cross-backend oracle end to end. No known bug attached. */
+/* difftest generated program, seed=7 floatfree=false */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+double gd0 = 0.5;
+double gd1 = 0.5;
+int AI[64];
+long AL[16];
+double AD[32];
+int MI[8][8];
+
+int __f2i(double d) {
+	if (d != d) { return -1; }
+	if (d > 1000000000.0) { return 1000000000; }
+	if (d < -1000000000.0) { return -1000000000; }
+	return (int)d;
+}
+
+int hf0(int a, int b) {
+	gi1 -= __f2i(((((AD[(MI[(-516791) & 7][(b) & 7]) & 31]) * (gd1))) + (fmod(0.0, 1.0))));
+	return (~(((gi0) & (-2147483647))));
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	double ld0 = 0.25;
+	double ld1 = 0.25;
+	int i0 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	if ((((((((((-(((((((__f2i(AD[(144518) & 31])) - (((int)(ll1))))) >= ((~(((int)(ll0))))))) ? (AL[(-138674) & 15]) : (AL[(AI[(gi1) & 63]) & 15]))))) > (((long)((((((-(li0))) * (((7) >> ((int)((li2) & 31)))))) > ((!(((li3) + (960715))))))))))) ? (2) : (li2))) * (li2))) < (((((((7) - (11065))) % (((((gi1) | (AI[(-731218) & 63]))) & 15) + 1))) > ((((((((((!(1000000007))) & (65535))) != ((-(((int)((unsigned)1))))))) ? (li2) : (gi0))) >> ((int)((((gi1) & (gi1))) & 31)))))))) {
+		AD[(((((((64) * (((-952995) & (li1))))) >= ((-((~(li3))))))) ? (li2) : (__f2i(gd1)))) & 31] -= ((((((0.0) + (ld0))) / (((AD[(gi0) & 31]) / (AD[(255) & 31]))))) / (ceil(((double)(ll0)))));
+	}
+	gi1 = (~(AI[(-342314) & 63]));
+	for (i0 = 0; i0 < 110; i0++) {
+		gl1 += (long)(hf0(i0, __f2i(gd0)));
+		AI[(i0) & 63] += ((int)((((unsigned)1) & ((unsigned)1))));
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	print_f(gd0);
+	print_f(gd1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 32; __e0++) { __h = __h * 31 + (long)__f2i(AD[__e0] * 1024.0); }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

@@ -1,0 +1,55 @@
+/* difftest corpus: seed-0008
+   Generator-produced seed program (seed=8 floatfree=true); exercises the
+   cross-backend oracle end to end. No known bug attached. */
+/* difftest generated program, seed=8 floatfree=true */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+int AI[64];
+long AL[16];
+int MI[8][8];
+
+long hf0(long a, int b) {
+	print_i(gl0);
+	gi0 = ((b) % (((AI[(-414369) & 63]) & 15) + 1));
+	return ((((a) ^ ((long)(0)))) | (AL[(b) & 15]));
+}
+
+long hf1(long a, int b) {
+	gi0 += ((((((((((((gu0) / ((((unsigned)3168256507) & 15) + 1))) % (((((unsigned)(-586320))) & 15) + 1))) <= (gu0))) >> ((int)((((-508523) & (b))) & 31)))) != (AI[(gi0) & 63]))) / (((((854622) | (((gi1) & (-6186))))) & 15) + 1));
+	return gl1;
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	int i0 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	li3 -= ((li2) + (647338));
+	li1 -= AI[(464624) & 63];
+	for (i0 = 0; i0 < 112; i0++) {
+		gl1 += hf1(((AL[(li2) & 15]) >> ((long)((AL[(li1) & 15]) & 63))), i0);
+		AI[(i0) & 63] += (((((((-(lu0))) * (gu0))) != ((unsigned)1))) ? (((MI[(gi0) & 7][(li0) & 7]) + (AI[(AI[(li3) & 63]) & 63]))) : (((((((int)((unsigned)1))) % (((((int)(gu0))) & 15) + 1))) == (((AI[(4096) & 63]) <= (((int)((((long)(255)) * ((long)(-1)))))))))));
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

@@ -1,0 +1,84 @@
+/* difftest corpus: seed-0009
+   Generator-produced seed program (seed=9 floatfree=false); exercises the
+   cross-backend oracle end to end. No known bug attached. */
+/* difftest generated program, seed=9 floatfree=false */
+int gi0 = 3;
+int gi1 = -7;
+unsigned gu0 = 9;
+long gl0 = 1;
+long gl1 = 1023;
+double gd0 = 0.5;
+double gd1 = 0.5;
+int AI[64];
+long AL[16];
+double AD[32];
+int MI[8][8];
+
+int __f2i(double d) {
+	if (d != d) { return -1; }
+	if (d > 1000000000.0) { return 1000000000; }
+	if (d < -1000000000.0) { return -1000000000; }
+	return (int)d;
+}
+
+long hf0(long a, int b) {
+	gi0 -= __f2i(((cos(gd1)) - (-273.15)));
+	return ((long)(__f2i(ceil(-273.15))));
+}
+
+double hf1(double a, int b) {
+	int i0 = 0;
+	gi1 += AI[(-109987) & 63];
+	for (i0 = 0; i0 < 14; i0++) {
+		print_i((long)(((__f2i(gd0)) | (((AI[(b) & 63]) & (MI[(i0) & 7][(b) & 7]))))));
+	}
+	return ((pow(AD[(90128) & 31], -273.15)) - (sqrt(AD[(gi1) & 31])));
+}
+
+int main() {
+	int li0 = 1;
+	int li1 = 2;
+	int li2 = 5;
+	int li3 = -3;
+	unsigned lu0 = 77;
+	long ll0 = 11;
+	long ll1 = -13;
+	double ld0 = 0.25;
+	double ld1 = 0.25;
+	int i1 = 0;
+	long __h = 0;
+	int __e0;
+	int __e1;
+	li3 = 1;
+	print_i((long)(((li1) + (((-379055) >> ((int)((601990) & 31)))))));
+	li2 *= li0;
+	gl0 += hf0(((gl0) + (gl1)), li2);
+	AD[(((((-2147483647) & (939816))) << ((int)((li2) & 31)))) & 31] = fmod((-(fabs(gd1))), ((exp(ld0)) - ((-(ld1)))));
+	gi0 += ((((((ll1) * (((long)((unsigned)1914144558))))) == (((((AL[(gi0) & 15]) + ((long)(-5426363539777464347)))) + (AL[(880945) & 15]))))) ? ((((-(((li0) % (((li3) & 15) + 1))))) > (((__f2i(3.14159265)) + (__f2i(gd0)))))) : (((gi0) - ((~(li1))))));
+	for (i1 = 0; i1 < 134; i1++) {
+		gl1 += hf0(((gl1) & (ll1)), i1);
+		AI[(i1) & 63] += (~(((((fmod(((ld0) / (-115.125)), ((gd0) / (AD[(li0) & 31])))) != (pow(((double)(ll1)), (-(ld0)))))) ? (gi1) : (7))));
+	}
+	{
+		int* __p = (int*)malloc(774 * sizeof(int));
+		int __k;
+		for (__k = 0; __k < 774; __k++) { __p[__k] = __k * 6; }
+		for (__k = 0; __k < 774; __k += 17) { gl0 = gl0 * 31 + (long)__p[__k]; }
+		free(__p);
+	}
+	print_i((long)(gi0));
+	print_i((long)(gi1));
+	print_i((long)(gu0));
+	print_i(gl0);
+	print_i(gl1);
+	print_f(gd0);
+	print_f(gd1);
+	for (__e0 = 0; __e0 < 64; __e0++) { __h = __h * 31 + (long)AI[__e0]; }
+	for (__e0 = 0; __e0 < 16; __e0++) { __h = __h * 31 + AL[__e0]; }
+	for (__e0 = 0; __e0 < 32; __e0++) { __h = __h * 31 + (long)__f2i(AD[__e0] * 1024.0); }
+	for (__e0 = 0; __e0 < 8; __e0++) {
+		for (__e1 = 0; __e1 < 8; __e1++) { __h = __h * 31 + (long)MI[__e0][__e1]; }
+	}
+	print_i(__h);
+	return (int)(__h & 127);
+}

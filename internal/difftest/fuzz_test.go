@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"testing"
+
+	"wasmbench/internal/ir"
+)
+
+// FuzzDiffBackends is the main differential target: one generator seed →
+// every backend family through the default oracle. The explicit seeds are
+// the corpus seed programs (1–10) plus every seed that historically found
+// a compiler bug (2: switch-fallthrough aliasing, 201/254/298: rematconst
+// use-before-write, 212: jsvm Infinity binding).
+//
+// Run with: go test ./internal/difftest -fuzz FuzzDiffBackends
+func FuzzDiffBackends(f *testing.F) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		f.Add(seed, seed%2 == 0)
+	}
+	for _, s := range []uint64{2, 201, 212, 254, 298} {
+		f.Add(s, false)
+		f.Add(s, true)
+	}
+	orc := DefaultOracle()
+	f.Fuzz(func(t *testing.T, seed uint64, floatFree bool) {
+		rep, err := orc.CheckSeed(seed, GenOptions{FloatFree: floatFree})
+		if err != nil {
+			t.Fatalf("seed %d floatfree=%v: compile: %v", seed, floatFree, err)
+		}
+		if !rep.OK() {
+			t.Errorf("seed %d floatfree=%v:\n%s", seed, floatFree, rep.Summary())
+		}
+	})
+}
+
+// FuzzDiffOptLevels is the metamorphic cross-level target: float-free
+// programs (value-safe under every level, including -Ofast) must produce
+// identical observable output at all eight optimization levels on the
+// reference backend.
+//
+// Run with: go test ./internal/difftest -fuzz FuzzDiffOptLevels
+func FuzzDiffOptLevels(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(uint64(201)) // rematconst regression fired on the xlevel check
+	orc := &Oracle{
+		Families:   []string{"x86"},
+		CrossLevel: true,
+		Levels: []ir.OptLevel{
+			ir.O0, ir.O1, ir.O2, ir.O3, ir.O4, ir.Os, ir.Oz, ir.Ofast,
+		},
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rep, err := orc.CheckSeed(seed, GenOptions{FloatFree: true})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		if !rep.OK() {
+			t.Errorf("seed %d:\n%s", seed, rep.Summary())
+		}
+	})
+}

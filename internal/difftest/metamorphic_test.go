@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/codegen"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/jsvm"
+	"wasmbench/internal/wasmvm"
+)
+
+// TestKernelOptInvariance is the metamorphic optimizer-invariance check
+// over the real benchmark suite: for every kernel, the -O0 and -O3
+// artifacts must produce identical observable output (print events + exit)
+// on every backend, and all backends must agree with each other. This
+// closes the gap where only wasmvm-vs-wasmvm metrics were compared for
+// the suite: a miscompile that shifted *results* rather than cycles was
+// previously invisible.
+func TestKernelOptInvariance(t *testing.T) {
+	kernels := benchsuite.All()
+	if raceEnabled && len(kernels) > 8 {
+		kernels = kernels[:8] // full sweep runs in difftest-smoke without -race
+	}
+	levels := []ir.OptLevel{ir.O0, ir.O3}
+	for _, b := range kernels {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			type observed struct {
+				exit int32
+				out  []string
+			}
+			var ref *observed
+			refFrom := ""
+			for _, lv := range levels {
+				art, err := compiler.Compile(b.Source, compiler.Options{
+					Opt:        lv,
+					Defines:    b.Defines(benchsuite.XS),
+					HeapLimit:  b.HeapLimitBytes(benchsuite.XS),
+					ModuleName: b.Name,
+				})
+				if err != nil {
+					t.Fatalf("compile %v: %v", lv, err)
+				}
+				run := func(label string, res *compiler.Result, err error) {
+					if err != nil {
+						t.Fatalf("%s@%v: %v", label, lv, err)
+					}
+					cur := &observed{exit: res.Exit, out: res.OutputStrings()}
+					if ref == nil {
+						ref, refFrom = cur, label+"@"+lv.String()
+						return
+					}
+					if ref.exit != cur.exit || !reflect.DeepEqual(ref.out, cur.out) {
+						t.Errorf("%s@%v disagrees with %s: %s", label, lv, refFrom,
+							diffObservable(ref.exit, cur.exit, ref.out, cur.out))
+					}
+				}
+				resX, err := compiler.RunX86(art, codegen.DefaultX86Config())
+				run("x86", resX, err)
+				resW, err := compiler.RunWasm(art, wasmvm.DefaultConfig())
+				run("wasm", resW, err)
+				resJ, err := compiler.RunJS(art, jsvm.DefaultConfig())
+				run("js", resJ, err)
+			}
+		})
+	}
+}

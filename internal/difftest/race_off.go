@@ -1,0 +1,9 @@
+//go:build !race
+
+package difftest
+
+// raceEnabled reports whether the race detector is active. The
+// differential smoke tests size themselves down under -race (the detector
+// costs ~7× on this workload); `make difftest-smoke` runs the full fixed
+// seed range without it.
+const raceEnabled = false

@@ -1,0 +1,372 @@
+package difftest
+
+// Greedy structural test-case minimizer. Given a program whose oracle
+// check fails, Shrink repeatedly tries semantic-shrinking edits — deleting
+// statements, splicing loop/branch bodies into their parent, gutting
+// helpers, and replacing expressions with literals or their own operands —
+// keeping an edit only when the failure still reproduces. Every edit works
+// on a fresh Clone, so candidate programs that no longer compile (e.g. a
+// deleted helper that is still called) are simply rejected by the
+// predicate rather than corrupting the current best program.
+
+// Shrink minimizes prog while repro keeps returning true. repro must
+// return true for prog itself (callers check this; Shrink just assumes
+// it). maxAttempts bounds the number of repro invocations — each one
+// typically compiles and runs the candidate on several backends, so this
+// budget is what keeps minimization fast. The argument is never mutated.
+func Shrink(prog *Prog, repro func(*Prog) bool, maxAttempts int) *Prog {
+	cur := prog.Clone()
+	attempts := 0
+	try := func(cand *Prog) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		attempts++
+		if repro(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for {
+		progress := false
+		if shrinkDeleteStmts(&cur, try) {
+			progress = true
+		}
+		if shrinkUnwrap(&cur, try) {
+			progress = true
+		}
+		if shrinkHelpers(&cur, try) {
+			progress = true
+		}
+		if shrinkExprs(&cur, try) {
+			progress = true
+		}
+		if !progress || attempts >= maxAttempts {
+			return cur
+		}
+	}
+}
+
+// bodyLists enumerates every addressable statement list in deterministic
+// order. Clones have identical structure, so index k addresses the same
+// list in a clone as in the original.
+func bodyLists(p *Prog) []*[]stmt {
+	var out []*[]stmt
+	var walk func(b *[]stmt)
+	walk = func(b *[]stmt) {
+		out = append(out, b)
+		for _, s := range *b {
+			switch st := s.(type) {
+			case *sIf:
+				walk(&st.then)
+				walk(&st.els)
+			case *sFor:
+				walk(&st.body)
+			case *sWhile:
+				walk(&st.body)
+			case *sSwitch:
+				for i := range st.cases {
+					walk(&st.cases[i].body)
+				}
+				walk(&st.def)
+			}
+		}
+	}
+	for _, h := range p.helpers {
+		walk(&h.body)
+	}
+	walk(&p.main)
+	return out
+}
+
+// shrinkDeleteStmts deletes one statement at a time, rescanning after
+// every success (a deletion changes the list shape).
+func shrinkDeleteStmts(cur **Prog, try func(*Prog) bool) bool {
+	progress := false
+	for {
+		again := false
+		lists := bodyLists(*cur)
+	scan:
+		for bi := range lists {
+			for si := len(*lists[bi]) - 1; si >= 0; si-- {
+				cand := (*cur).Clone()
+				cl := *bodyLists(cand)[bi]
+				cl = append(cl[:si:si], cl[si+1:]...)
+				*bodyLists(cand)[bi] = cl
+				if try(cand) {
+					progress, again = true, true
+					break scan
+				}
+			}
+		}
+		if !again {
+			return progress
+		}
+	}
+}
+
+// shrinkUnwrap replaces a compound statement with its inner body: if→then
+// (or else), loops→body, switch→one arm. Loop variables referenced by a
+// spliced body stay declared because renderLoopVarDecls derives
+// declarations from variable uses, not just surviving loop headers.
+func shrinkUnwrap(cur **Prog, try func(*Prog) bool) bool {
+	progress := false
+	for {
+		again := false
+		lists := bodyLists(*cur)
+	scan:
+		for bi := range lists {
+			for si := range *lists[bi] {
+				var inners [][]stmt
+				switch st := (*lists[bi])[si].(type) {
+				case *sIf:
+					inners = [][]stmt{st.then, st.els}
+				case *sFor:
+					inners = [][]stmt{st.body}
+				case *sWhile:
+					inners = [][]stmt{st.body}
+				case *sSwitch:
+					for _, cs := range st.cases {
+						inners = append(inners, cs.body)
+					}
+					inners = append(inners, st.def)
+				default:
+					continue
+				}
+				for vi, inner := range inners {
+					if len(inner) == 0 {
+						continue // plain deletion handles the empty case
+					}
+					_ = vi
+					cand := (*cur).Clone()
+					cl := *bodyLists(cand)[bi]
+					// Re-derive the variant body on the clone.
+					var repl []stmt
+					switch st := cl[si].(type) {
+					case *sIf:
+						repl = [][]stmt{st.then, st.els}[vi]
+					case *sFor:
+						repl = st.body
+					case *sWhile:
+						repl = st.body
+					case *sSwitch:
+						var all [][]stmt
+						for _, cs := range st.cases {
+							all = append(all, cs.body)
+						}
+						all = append(all, st.def)
+						repl = all[vi]
+					}
+					spliced := append([]stmt{}, cl[:si]...)
+					spliced = append(spliced, repl...)
+					spliced = append(spliced, cl[si+1:]...)
+					*bodyLists(cand)[bi] = spliced
+					if try(cand) {
+						progress, again = true, true
+						break scan
+					}
+				}
+			}
+		}
+		if !again {
+			return progress
+		}
+	}
+}
+
+// shrinkHelpers guts helper functions (empty body, literal result) and
+// tries dropping them outright. Dropping a helper that is still called
+// makes the candidate fail to compile, which the predicate rejects.
+func shrinkHelpers(cur **Prog, try func(*Prog) bool) bool {
+	progress := false
+	for hi := len((*cur).helpers) - 1; hi >= 0; hi-- {
+		drop := (*cur).Clone()
+		drop.helpers = append(drop.helpers[:hi:hi], drop.helpers[hi+1:]...)
+		if try(drop) {
+			progress = true
+			continue
+		}
+		h := (*cur).helpers[hi]
+		if len(h.body) > 0 || !isLitOne(h.result) {
+			gut := (*cur).Clone()
+			gh := gut.helpers[hi]
+			gh.body = nil
+			gh.result = litOne(gh.ret)
+			if try(gut) {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
+func litOne(t typ) expr {
+	if t == tDouble {
+		return &eLit{ty: t, f: 1}
+	}
+	return &eLit{ty: t, i: 1}
+}
+
+func isLitOne(e expr) bool {
+	l, ok := e.(*eLit)
+	return ok && ((l.ty == tDouble && l.f == 1) || (l.ty != tDouble && l.i == 1))
+}
+
+// exprSlot is one rewritable expression position.
+type exprSlot struct {
+	get func() expr
+	set func(expr)
+}
+
+// exprSlots enumerates every expression position in deterministic order,
+// parents before children.
+func exprSlots(p *Prog) []exprSlot {
+	var out []exprSlot
+	var walkE func(get func() expr, set func(expr))
+	walkE = func(get func() expr, set func(expr)) {
+		out = append(out, exprSlot{get, set})
+		switch x := get().(type) {
+		case *eIdx:
+			walkE(func() expr { return x.i }, func(e expr) { x.i = e })
+			if x.j != nil {
+				walkE(func() expr { return x.j }, func(e expr) { x.j = e })
+			}
+		case *eBin:
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+			walkE(func() expr { return x.y }, func(e expr) { x.y = e })
+		case *eCmp:
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+			walkE(func() expr { return x.y }, func(e expr) { x.y = e })
+		case *eUn:
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+		case *eCast:
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+		case *eF2I:
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+		case *eCall:
+			for i := range x.args {
+				i := i
+				walkE(func() expr { return x.args[i] }, func(e expr) { x.args[i] = e })
+			}
+		case *eCond:
+			walkE(func() expr { return x.c }, func(e expr) { x.c = e })
+			walkE(func() expr { return x.x }, func(e expr) { x.x = e })
+			walkE(func() expr { return x.y }, func(e expr) { x.y = e })
+		}
+	}
+	var walkS func(body []stmt)
+	walkS = func(body []stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *sAssign:
+				if st.idx != nil {
+					walkE(func() expr { return st.idx }, func(e expr) { st.idx = e })
+				}
+				if st.idx2 != nil {
+					walkE(func() expr { return st.idx2 }, func(e expr) { st.idx2 = e })
+				}
+				walkE(func() expr { return st.rhs }, func(e expr) { st.rhs = e })
+			case *sIf:
+				walkE(func() expr { return st.cond }, func(e expr) { st.cond = e })
+				walkS(st.then)
+				walkS(st.els)
+			case *sFor:
+				walkS(st.body)
+			case *sWhile:
+				walkS(st.body)
+			case *sSwitch:
+				walkE(func() expr { return st.tag }, func(e expr) { st.tag = e })
+				for i := range st.cases {
+					walkS(st.cases[i].body)
+				}
+				walkS(st.def)
+			case *sBreakIf:
+				walkE(func() expr { return st.cond }, func(e expr) { st.cond = e })
+			case *sPrint:
+				walkE(func() expr { return st.x }, func(e expr) { st.x = e })
+			case *sCall:
+				for i := range st.call.args {
+					i := i
+					walkE(func() expr { return st.call.args[i] }, func(e expr) { st.call.args[i] = e })
+				}
+			}
+		}
+	}
+	for _, h := range p.helpers {
+		walkS(h.body)
+		walkE(func() expr { return h.result }, func(e expr) { h.result = e })
+	}
+	walkS(p.main)
+	return out
+}
+
+// shrinkExprs replaces expressions with smaller same-typed ones: the
+// literal 0, the literal 1, or one of the expression's own operands.
+func shrinkExprs(cur **Prog, try func(*Prog) bool) bool {
+	progress := false
+	n := len(exprSlots(*cur))
+	for k := 0; k < n; k++ {
+		slots := exprSlots(*cur)
+		if k >= len(slots) {
+			break
+		}
+		e := slots[k].get()
+		for _, cand := range replacements(e) {
+			c := (*cur).Clone()
+			cs := exprSlots(c)
+			if k >= len(cs) {
+				break
+			}
+			cs[k].set(cand)
+			if try(c) {
+				progress = true
+				// Slot count may have changed (children vanished); the
+				// re-enumeration at the top of the loop resyncs.
+				break
+			}
+		}
+	}
+	return progress
+}
+
+// replacements yields same-typed smaller candidates for e, simplest first.
+func replacements(e expr) []expr {
+	t := e.t()
+	var out []expr
+	if l, ok := e.(*eLit); ok {
+		// Already a literal: only offer shrinking the value itself.
+		if t == tDouble {
+			if l.f != 0 {
+				out = append(out, &eLit{ty: t, f: 0})
+			}
+			if l.f != 1 && l.f != 0 {
+				out = append(out, &eLit{ty: t, f: 1})
+			}
+		} else {
+			if l.i != 0 {
+				out = append(out, &eLit{ty: t})
+			}
+			if l.i != 1 && l.i != 0 {
+				out = append(out, &eLit{ty: t, i: 1})
+			}
+		}
+		return out
+	}
+	if t == tDouble {
+		out = append(out, &eLit{ty: t, f: 0}, &eLit{ty: t, f: 1})
+	} else {
+		out = append(out, &eLit{ty: t}, &eLit{ty: t, i: 1})
+	}
+	switch x := e.(type) {
+	case *eBin:
+		out = append(out, x.x.clone(), x.y.clone())
+	case *eCond:
+		out = append(out, x.x.clone(), x.y.clone())
+	case *eUn:
+		if x.x.t() == t {
+			out = append(out, x.x.clone())
+		}
+	}
+	return out
+}

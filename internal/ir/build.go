@@ -616,7 +616,11 @@ func (b *builder) switchStmt(st *minic.SwitchStmt, frame *uint32) ([]Stmt, error
 	for i, cs := range st.Cases {
 		full := append([]Stmt(nil), bodies[i]...)
 		for j := i + 1; j < len(st.Cases) && !terminated(full); j++ {
-			full = append(full, bodies[j]...)
+			// Deep-copy the absorbed case: sharing its nodes with the case
+			// that owns them would let in-place passes rewrite one tree
+			// position and corrupt the other (e.g. double-remapped call
+			// indices in globalopt).
+			full = append(full, cloneStmts(bodies[j])...)
 		}
 		if cs.IsDefault {
 			sw.Default = full

@@ -457,7 +457,10 @@ func foldControl(p *Program, f *Func) {
 }
 
 func foldStmts(body []Stmt) []Stmt {
-	out := body[:0]
+	// Fresh slice: the const-If and Seq-flatten cases can append more
+	// statements than have been consumed, so building into body[:0] would
+	// overwrite entries not yet read (duplicating some, dropping others).
+	out := make([]Stmt, 0, len(body))
 	for _, s := range body {
 		switch st := s.(type) {
 		case *If:

@@ -343,9 +343,36 @@ func RematConst(p *Program) {
 				}
 			}
 		})
+		// A single static constant write only defines the local at uses the
+		// write dominates. Params carry an implicit entry write and plain
+		// locals read zero until their first store, so a use ordered before
+		// the write (earlier statement, or an earlier iteration of a loop
+		// enclosing the write) must not be rewritten. Structured control flow
+		// makes a positional check exact: accept only writes that are
+		// top-level statements of the body, and only when every use of the
+		// local sits in a strictly later top-level statement.
+		writePos := make([]int, len(f.Locals))
+		for i := range writePos {
+			writePos[i] = -1
+		}
+		for pos, s := range f.Body {
+			if sl, ok := s.(*SetLocal); ok && writes[sl.Local] == 1 && constVal[sl.Local] != nil {
+				writePos[sl.Local] = pos
+			}
+		}
+		for pos, s := range f.Body {
+			usePos := pos
+			walkExprs([]Stmt{s}, func(e Expr) {
+				if gl, ok := e.(*GetLocal); ok && gl.Local < len(writePos) &&
+					writePos[gl.Local] >= 0 && usePos <= writePos[gl.Local] {
+					writePos[gl.Local] = -1 // use not dominated by the write
+				}
+			})
+		}
 		mapStmtsExprs(f.Body, func(e Expr) Expr {
 			if gl, ok := e.(*GetLocal); ok && gl.Local < len(writes) &&
-				writes[gl.Local] == 1 && constVal[gl.Local] != nil {
+				writes[gl.Local] == 1 && constVal[gl.Local] != nil &&
+				writePos[gl.Local] >= 0 {
 				c := *constVal[gl.Local]
 				return &c
 			}

@@ -649,6 +649,14 @@ func (vm *VM) installHost() {
 		return Bool(math.IsNaN(args[0].ToNumber())), nil
 	})
 
+	// ECMA-262 global value properties. Compiled code spells non-finite f64
+	// constants as Infinity / -Infinity / NaN; without these bindings the
+	// identifiers read as undefined (NaN after ToNumber), which silently
+	// flips comparisons against them.
+	vm.SetGlobal("Infinity", Num(math.Inf(1)))
+	vm.SetGlobal("NaN", Num(math.NaN()))
+	vm.SetGlobal("undefined", Undefined)
+
 	// The print channel used by compiled Cheerp-style programs (the study's
 	// output comparison across backends).
 	vm.hostFuncs["print_i"] = vm.NewNative("print_i", func(vm *VM, _ Value, args []Value) (Value, error) {

@@ -49,12 +49,16 @@ const (
 	// nanoseconds and A the worker index that ran it.
 	KindCellStart
 	KindCellDone
+	// KindDivergence marks one cross-backend disagreement found by the
+	// differential oracle (internal/difftest). Name is the program label
+	// with the optimization level; A counts the divergence.
+	KindDivergence
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"call-enter", "call-exit", "tier-up", "gc-cycle", "mem-grow",
-	"compile-pass", "cell-start", "cell-done",
+	"compile-pass", "cell-start", "cell-done", "divergence",
 }
 
 // String returns the kind's short name.
