@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke difftest-smoke fuzz
+.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke fuzz
 
-check: vet build race bench-smoke difftest-smoke
+check: vet build race bench-smoke difftest-smoke faults-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,12 @@ bench-smoke:
 # any divergence fails CI. (The -race gate above reruns a reduced range.)
 difftest-smoke:
 	$(GO) test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
+
+# Fault drill: a fixed-seed fault plan that fires every injection point at
+# least once and checks the harness retry/degrade/quarantine accounting.
+# Deterministic (same seed ⇒ same counts and outcomes) and race-clean.
+faults-smoke:
+	$(GO) test ./internal/harness -run TestFaultSmoke -count=1 -race
 
 # Open-ended differential fuzzing (not part of check). Override FUZZTIME
 # and FUZZ to steer, e.g. make fuzz FUZZ=FuzzDiffOptLevels FUZZTIME=5m.

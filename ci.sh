@@ -9,3 +9,6 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 # Differential smoke: 200 fixed-seed generated programs + the regression
 # corpus through the cross-backend oracle, without -race (full matrix).
 go test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
+# Fault drill: fixed-seed fault plan covering every injection point, with
+# retry/degrade/quarantine accounting checked; deterministic and race-clean.
+go test ./internal/harness -run TestFaultSmoke -count=1 -race

@@ -21,9 +21,20 @@
 //
 // Use -bench to restrict to a comma-separated benchmark subset and -sizes
 // to restrict input classes (e.g. -sizes XS,M).
+//
+// The -metrics grid run additionally supports a resilience tool kit:
+// -retries/-retry-backoff/-degrade re-attempt failed cells (optionally
+// stepping down the degradation ladder), -deadline and -step-limit bound
+// each attempt in wall-clock and virtual time, -quarantine skips
+// benchmarks that keep failing, -resume checkpoints completed cells to a
+// file and restores them on the next invocation, and -faults/-fault-seed
+// inject a deterministic fault plan for drills. Any cell still failed or
+// quarantined at the end makes benchtab exit nonzero with a failure
+// summary on stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +43,7 @@ import (
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
 	"wasmbench/internal/core"
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/harness"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
@@ -45,6 +57,15 @@ func main() {
 	traceOut := flag.String("trace-out", "", "with -metrics: also write a Chrome trace_event JSON file of the run")
 	workers := flag.Int("workers", 0, "worker pool size for -metrics (0 = default)")
 	compileCache := flag.Bool("compile-cache", true, "share one compiled artifact per unique (source, size, opt, toolchain, target); disable for cold-compile studies")
+	resume := flag.String("resume", "", "with -metrics: checkpoint file; completed cells are restored from it and new successes appended, so an interrupted run picks up where it left off")
+	retries := flag.Int("retries", 0, "with -metrics: re-attempt failed cells up to N times")
+	retryBackoff := flag.Duration("retry-backoff", 0, "with -metrics: base delay before retries (exponential with seeded jitter)")
+	degrade := flag.Bool("degrade", false, "with -metrics: step retries down the degradation ladder (regtier, fusion, opt level)")
+	deadline := flag.Duration("deadline", 0, "with -metrics: wall-clock budget per cell attempt (0 = none)")
+	stepLimit := flag.Uint64("step-limit", 0, "with -metrics: dynamic instruction budget per measurement (0 = profile default)")
+	quarantine := flag.Int("quarantine", 0, "with -metrics: skip a benchmark's remaining cells after N consecutive failures (0 = never)")
+	faultSpec := flag.String("faults", "", "with -metrics: deterministic fault plan, e.g. 'wasm.stall:count=2,stall=100ms;harness.worker-panic:prob=0.05'")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -faults plan and retry jitter")
 	flag.Parse()
 	if *exp == "" && !*metricsFlag && *traceOut == "" {
 		flag.Usage()
@@ -76,7 +97,32 @@ func main() {
 	}
 
 	if *metricsFlag || *traceOut != "" {
-		if err := runMetrics(opts, *workers, *traceOut, *compileCache); err != nil {
+		ropt := harness.RunOptions{
+			Workers:         *workers,
+			DisableCache:    !*compileCache,
+			Retries:         *retries,
+			RetryBackoff:    *retryBackoff,
+			DegradeOnRetry:  *degrade,
+			Deadline:        *deadline,
+			StepLimit:       *stepLimit,
+			QuarantineAfter: *quarantine,
+		}
+		if *faultSpec != "" {
+			rules, err := faultinject.ParseSpec(*faultSpec)
+			if err != nil {
+				fatal(err)
+			}
+			ropt.Faults = faultinject.NewPlan(*faultSeed, rules...)
+		}
+		if *resume != "" {
+			cp, err := harness.OpenCheckpoint(*resume)
+			if err != nil {
+				fatal(err)
+			}
+			defer cp.Close()
+			ropt.Checkpoint = cp
+		}
+		if err := runMetrics(opts, ropt, *traceOut); err != nil {
 			fatal(err)
 		}
 		if *exp == "" {
@@ -184,10 +230,11 @@ func run(id string, opts core.Options) error {
 }
 
 // runMetrics executes the benchmark × language cell grid on desktop Chrome
-// under the instrumented harness and prints the run's wall-time metrics.
-// Sizes default to M alone (the study's reference class) to keep the grid
-// manageable; -sizes widens it. compileCache=false forces cold compiles.
-func runMetrics(opts core.Options, workers int, traceOut string, compileCache bool) error {
+// under the instrumented harness (with whatever resilience options the
+// flags selected) and prints the run's wall-time metrics. Sizes default to
+// M alone (the study's reference class) to keep the grid manageable;
+// -sizes widens it.
+func runMetrics(opts core.Options, ropt harness.RunOptions, traceOut string) error {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = benchsuite.All()
@@ -207,7 +254,6 @@ func runMetrics(opts core.Options, workers int, traceOut string, compileCache bo
 			}
 		}
 	}
-	ropt := harness.RunOptions{Workers: workers, DisableCache: !compileCache}
 	var coll *obsv.Collector
 	if traceOut != "" {
 		coll = &obsv.Collector{}
@@ -215,11 +261,24 @@ func runMetrics(opts core.Options, workers int, traceOut string, compileCache bo
 	}
 	results, metrics := harness.RunCellsWith(cells, ropt)
 	fmt.Println(metrics.Render())
-	if errs := harness.AllErrors(results); len(errs) > 0 {
-		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, "benchtab: cell failed:", e)
+	// Failure summary: any cell still failed or quarantined after the
+	// retry/degrade budget makes the whole run exit nonzero, with one line
+	// per casualty so partial results are still auditable.
+	var failed, quarantined int
+	for _, r := range results {
+		if r.Err == nil {
+			continue
 		}
-		return fmt.Errorf("%d of %d cells failed", len(errs), len(cells))
+		if errors.Is(r.Err, harness.ErrQuarantined) {
+			quarantined++
+		} else {
+			failed++
+		}
+		fmt.Fprintln(os.Stderr, "benchtab: cell failed:", r.Err)
+	}
+	if failed+quarantined > 0 {
+		return fmt.Errorf("%d of %d cells failed (%d quarantined) after retries",
+			failed+quarantined, len(cells), quarantined)
 	}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

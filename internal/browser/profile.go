@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"wasmbench/internal/compiler"
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/jsvm"
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasmvm"
@@ -50,6 +51,22 @@ type Profile struct {
 	// WasmMemOverhead is the module/devtools overhead added to the Wasm
 	// memory metric, in bytes.
 	WasmMemOverhead uint64
+	// TabCapPages models the platform's per-tab linear-memory budget in
+	// 64 KiB pages (mobile browsers kill tabs that outgrow it, PAPER.md
+	// §memory; JS heaps stay flat while Wasm memory grows toward the cap).
+	// Advisory: it constrains nothing until ApplyTabCap is called, so
+	// existing measurements are untouched. 0 = no platform cap (desktop).
+	TabCapPages uint32
+}
+
+// ApplyTabCap clamps the Wasm engine's page limit to the platform tab
+// budget, making memory.grow return −1 at the cap exactly as a mobile tab
+// OOM kill would — the harness's degrade ladder and the fault matrix use
+// this as the capacity-exhaustion environment.
+func (p *Profile) ApplyTabCap() {
+	if p.TabCapPages != 0 && (p.Wasm.MaxPages == 0 || p.Wasm.MaxPages > p.TabCapPages) {
+		p.Wasm.MaxPages = p.TabCapPages
+	}
 }
 
 // Name returns e.g. "chrome-desktop".
@@ -181,6 +198,9 @@ func Edge(plat Platform) *Profile {
 // smaller caches, thermal limits; the study's Mi 6).
 func mobileize(p *Profile) {
 	p.ClockGHz = 1.35
+	// ≈300 MB tab budget (the study's Mi 6 class of device); advisory
+	// until ApplyTabCap.
+	p.TabCapPages = 4800
 	p.Wasm.BasicCost = p.Wasm.BasicCost.Scale(1.6)
 	p.Wasm.OptCost = p.Wasm.OptCost.Scale(1.6)
 	p.JS.InterpCost = p.JS.InterpCost.Scale(1.6)
@@ -211,6 +231,25 @@ type Measurement struct {
 	Result   *compiler.Result
 }
 
+// MeasureOptions overrides engine parameters for one measurement without
+// mutating the profile. The zero value changes nothing, so measurements
+// through it are identical to the plain Measure methods — which is what
+// lets the harness's degradation ladder and fault plans ride through the
+// same code path the zero-fault sweep uses.
+type MeasureOptions struct {
+	// DisableRegTier / DisableFusion step the Wasm VM down its dispatch
+	// optimizations (results and metrics are unchanged by construction).
+	DisableRegTier bool
+	DisableFusion  bool
+	// DisableJIT pins the JS engine to the interpreter tier.
+	DisableJIT bool
+	// StepLimit bounds dynamic instructions/steps for the run (a virtual-
+	// cycle budget; 0 keeps the profile's setting).
+	StepLimit uint64
+	// Faults arms a fault plan on the engine for this run.
+	Faults *faultinject.Plan
+}
+
 // MeasureWasm loads a minimal page with the artifact's Wasm module and
 // measures one run of main (§3.3's instrumentation brackets the program,
 // excluding page setup, but instantiation — which the timer in the JS
@@ -223,6 +262,28 @@ func (p *Profile) MeasureWasm(art *compiler.Artifact) (*Measurement, error) {
 func (p *Profile) MeasureWasmMode(art *compiler.Artifact, mode wasmvm.TierMode) (*Measurement, error) {
 	cfg := p.Wasm
 	cfg.Mode = mode
+	return p.measureWasmCfg(art, cfg, MeasureOptions{})
+}
+
+// MeasureWasmWith measures under per-run engine overrides (deadlines,
+// degradation rungs, fault plans).
+func (p *Profile) MeasureWasmWith(art *compiler.Artifact, opts MeasureOptions) (*Measurement, error) {
+	return p.measureWasmCfg(art, p.Wasm, opts)
+}
+
+func (p *Profile) measureWasmCfg(art *compiler.Artifact, cfg wasmvm.Config, opts MeasureOptions) (*Measurement, error) {
+	if opts.DisableRegTier {
+		cfg.DisableRegTier = true
+	}
+	if opts.DisableFusion {
+		cfg.DisableFusion = true
+	}
+	if opts.StepLimit != 0 {
+		cfg.StepLimit = opts.StepLimit
+	}
+	if opts.Faults != nil {
+		cfg.Faults = opts.Faults
+	}
 	if art.Opts.Toolchain == compiler.Emscripten {
 		cfg.GrowGranularityPages = 256
 	}
@@ -241,7 +302,23 @@ func (p *Profile) MeasureWasmMode(art *compiler.Artifact, mode wasmvm.TierMode) 
 
 // MeasureJS runs the artifact's compiled JavaScript.
 func (p *Profile) MeasureJS(art *compiler.Artifact) (*Measurement, error) {
-	res, err := compiler.RunJS(art, p.JS)
+	return p.MeasureJSWith(art, MeasureOptions{})
+}
+
+// MeasureJSWith measures the compiled JavaScript under per-run engine
+// overrides.
+func (p *Profile) MeasureJSWith(art *compiler.Artifact, opts MeasureOptions) (*Measurement, error) {
+	cfg := p.JS
+	if opts.DisableJIT {
+		cfg.JITEnabled = false
+	}
+	if opts.StepLimit != 0 {
+		cfg.StepLimit = opts.StepLimit
+	}
+	if opts.Faults != nil {
+		cfg.Faults = opts.Faults
+	}
+	res, err := compiler.RunJS(art, cfg)
 	if err != nil {
 		return nil, err
 	}

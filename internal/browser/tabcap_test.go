@@ -1,0 +1,89 @@
+package browser
+
+import (
+	"testing"
+
+	"wasmbench/internal/wasm"
+	"wasmbench/internal/wasmvm"
+)
+
+// growCapModule is a minimal module exporting grow(n) = memory.grow(n).
+func growCapModule() *wasm.Module {
+	m := &wasm.Module{}
+	tI_I := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Mem = &wasm.MemType{Min: 1}
+	m.Funcs = append(m.Funcs, wasm.Function{Type: tI_I, Name: "grow", Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, A: 0}, {Op: wasm.OpMemoryGrow}, {Op: wasm.OpEnd},
+	}})
+	m.Exports = append(m.Exports, wasm.Export{Name: "grow", Kind: wasm.ExportFunc, Idx: 0})
+	return m
+}
+
+// TestTabCapAdvisoryUntilApplied pins the compatibility contract: mobile
+// profiles carry the ≈300 MB tab budget but existing measurements are
+// untouched until ApplyTabCap opts in; desktop profiles carry no cap.
+func TestTabCapAdvisoryUntilApplied(t *testing.T) {
+	for _, mk := range []func(Platform) *Profile{Chrome, Firefox, Edge} {
+		d := mk(Desktop)
+		if d.TabCapPages != 0 {
+			t.Errorf("%s: desktop TabCapPages = %d, want 0", d.Name(), d.TabCapPages)
+		}
+		preCap := d.Wasm.MaxPages
+		d.ApplyTabCap()
+		if d.Wasm.MaxPages != preCap {
+			t.Errorf("%s: ApplyTabCap changed a capless desktop profile", d.Name())
+		}
+
+		m := mk(Mobile)
+		if m.TabCapPages != 4800 {
+			t.Errorf("%s: TabCapPages = %d, want 4800 (≈300 MB)", m.Name(), m.TabCapPages)
+		}
+		if m.Wasm.MaxPages == m.TabCapPages {
+			t.Errorf("%s: cap applied before ApplyTabCap", m.Name())
+		}
+		m.ApplyTabCap()
+		if m.Wasm.MaxPages != m.TabCapPages {
+			t.Errorf("%s: MaxPages = %d after ApplyTabCap, want %d",
+				m.Name(), m.Wasm.MaxPages, m.TabCapPages)
+		}
+	}
+}
+
+// TestTabCapGrowDeniedAtBudget runs a real module under the capped mobile
+// engine configuration: growing to exactly the tab budget succeeds,
+// growing past it fails with −1 and leaves the size unchanged — the
+// spec-correct surface of a mobile tab OOM kill.
+func TestTabCapGrowDeniedAtBudget(t *testing.T) {
+	p := Chrome(Mobile)
+	p.ApplyTabCap()
+	cfg := p.Wasm
+	cfg.GrowGranularityPages = 1
+	vm, err := wasmvm.New(growCapModule(), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Instantiate(); err != nil {
+		t.Fatal(err)
+	}
+	grow := func(n int32) int32 {
+		res, err := vm.Call("grow", wasmvm.I32(n))
+		if err != nil {
+			t.Fatalf("grow(%d): %v", n, err)
+		}
+		return wasmvm.AsI32(res[0])
+	}
+	// Fill to exactly the 4800-page budget.
+	if r := grow(int32(p.TabCapPages) - 1); r != 1 {
+		t.Fatalf("grow to budget returned %d, want old size 1", r)
+	}
+	if got := vm.Memory().Pages(); got != p.TabCapPages {
+		t.Fatalf("pages = %d, want %d", got, p.TabCapPages)
+	}
+	// One page past the budget must fail without resizing.
+	if r := grow(1); r != -1 {
+		t.Errorf("grow past tab budget = %d, want -1", r)
+	}
+	if got := vm.Memory().Pages(); got != p.TabCapPages {
+		t.Errorf("failed grow resized memory: %d pages", got)
+	}
+}

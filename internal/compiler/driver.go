@@ -19,6 +19,7 @@ import (
 	"strconv"
 
 	"wasmbench/internal/codegen"
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/minic"
 	"wasmbench/internal/obsv"
@@ -58,6 +59,10 @@ type Options struct {
 	// Tracer receives KindCompilePass events for every pipeline stage and
 	// optimization pass, with deterministic node-count work estimates.
 	Tracer obsv.Tracer
+	// Faults arms deterministic fault injection (transient optimization-
+	// pipeline failure). nil is inert. Excluded from Fingerprint, so armed
+	// plans do not perturb artifact-cache keys.
+	Faults *faultinject.Plan
 }
 
 // Target is a code generation target.
@@ -180,6 +185,16 @@ func Compile(src string, opts Options) (*Artifact, error) {
 		hook = func(name string, before, after int) {
 			clock.stage(name, before, before, after)
 		}
+	}
+	if opts.Faults != nil && opts.Faults.Fire(faultinject.CompilerPass, opts.ModuleName) {
+		// Transient optimization-pipeline failure: a retry advances the
+		// sequence number and can succeed.
+		if opts.Tracer != nil {
+			opts.Tracer.Emit(obsv.Event{Kind: obsv.KindFault, TS: clock.ts,
+				Name: string(faultinject.CompilerPass), Track: "compile"})
+		}
+		return nil, faultinject.Errorf(faultinject.CompilerPass,
+			"optimization pipeline failed for %q at -O%d", opts.ModuleName, opts.Opt)
 	}
 	ir.OptimizeWithHook(prog, opts.Opt, hook)
 	if err := prog.Validate(); err != nil {

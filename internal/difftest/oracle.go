@@ -233,11 +233,26 @@ func (o *Oracle) Check(name, src string) (*Report, error) {
 	return rep, nil
 }
 
+// safeRun executes one backend run with panic isolation: a VM bug that
+// panics on a generated program becomes an Outcome error (and therefore a
+// trap divergence against the healthy backends) instead of killing the
+// whole fuzzing process and losing the session's corpus progress.
+func safeRun(run func() (*compiler.Result, error)) (res *compiler.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("difftest: backend panic: %v", p)
+		}
+	}()
+	return run()
+}
+
 // runMatrix executes one artifact on every selected backend variant.
 func (o *Oracle) runMatrix(art *compiler.Artifact, tc compiler.Toolchain) []Outcome {
 	var outs []Outcome
 	if o.wantFamily("x86") {
-		res, err := compiler.RunX86(art, codegen.DefaultX86Config())
+		res, err := safeRun(func() (*compiler.Result, error) {
+			return compiler.RunX86(art, codegen.DefaultX86Config())
+		})
 		outs = append(outs, mkOutcome("x86", "x86", res, err))
 	}
 	if o.wantFamily("wasm") {
@@ -246,13 +261,17 @@ func (o *Oracle) runMatrix(art *compiler.Artifact, tc compiler.Toolchain) []Outc
 			if tc == compiler.Emscripten {
 				cfg.GrowGranularityPages = 256
 			}
-			res, err := compiler.RunWasm(art, cfg)
+			res, err := safeRun(func() (*compiler.Result, error) {
+				return compiler.RunWasm(art, cfg)
+			})
 			outs = append(outs, mkOutcome("wasm/"+v.name, "wasm", res, err))
 		}
 	}
 	if o.wantFamily("js") {
 		for _, v := range jsVariants() {
-			res, err := compiler.RunJS(art, v.cfg)
+			res, err := safeRun(func() (*compiler.Result, error) {
+				return compiler.RunJS(art, v.cfg)
+			})
 			outs = append(outs, mkOutcome("js/"+v.name, "js", res, err))
 		}
 	}

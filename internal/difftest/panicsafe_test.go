@@ -1,0 +1,58 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/ir"
+)
+
+// TestSafeRunRecoversPanic: a panicking backend run must surface as an
+// error, never escape as a panic (which would kill the fuzzing process
+// and lose corpus progress).
+func TestSafeRunRecoversPanic(t *testing.T) {
+	res, err := safeRun(func() (*compiler.Result, error) {
+		panic("index out of range [42]")
+	})
+	if res != nil {
+		t.Errorf("panicking run returned a result: %+v", res)
+	}
+	if err == nil || !strings.Contains(err.Error(), "backend panic") ||
+		!strings.Contains(err.Error(), "index out of range [42]") {
+		t.Errorf("panic not converted to backend-panic error: %v", err)
+	}
+
+	// A healthy run passes through untouched.
+	want := &compiler.Result{Exit: 7}
+	res, err = safeRun(func() (*compiler.Result, error) { return want, nil })
+	if res != want || err != nil {
+		t.Errorf("healthy run perturbed: %v, %v", res, err)
+	}
+}
+
+// TestPanickingBackendBecomesTrapDivergence: when one backend of a matrix
+// panics, the oracle reports a trap divergence against the healthy
+// reference rather than crashing.
+func TestPanickingBackendBecomesTrapDivergence(t *testing.T) {
+	outs := []Outcome{
+		{Backend: "x86", Family: "x86", Exit: 0, Output: []string{"ok"}},
+		{Backend: "wasm/both+fuse+reg", Family: "wasm", Err: mustPanicErr(t)},
+	}
+	divs := compareOutcomes("panicprog", ir.O2, compiler.Cheerp, outs)
+	if len(divs) != 1 || divs[0].Field != "trap" {
+		t.Fatalf("want one trap divergence, got %v", divs)
+	}
+	if !strings.Contains(divs[0].Detail, "backend panic") {
+		t.Errorf("divergence detail should carry the panic: %s", divs[0].Detail)
+	}
+}
+
+func mustPanicErr(t *testing.T) error {
+	t.Helper()
+	_, err := safeRun(func() (*compiler.Result, error) { panic("nil map write") })
+	if err == nil {
+		t.Fatal("safeRun swallowed the panic entirely")
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"wasmbench/internal/compiler"
+	"wasmbench/internal/faultinject"
 )
 
 // CacheStats are an ArtifactCache's lookup counters. Hits resolve
@@ -51,6 +52,15 @@ func NewArtifactCache() *ArtifactCache {
 // fingerprint. hit reports whether this call avoided a compile (a cache
 // hit or a dedup wait on another goroutine's in-flight compile).
 func (ac *ArtifactCache) CompileCell(c Cell) (art *compiler.Artifact, hit bool, err error) {
+	return ac.compileCell(c, nil)
+}
+
+// compileCell is CompileCell with an optional fault plan threaded into the
+// toolchain. The plan never enters the cache key (Fingerprint hashes only
+// the compilation inputs), and injected failures are never cached: the
+// entry is removed before waiters are released, so a retry recompiles
+// instead of replaying a transient fault forever.
+func (ac *ArtifactCache) compileCell(c Cell, faults *faultinject.Plan) (art *compiler.Artifact, hit bool, err error) {
 	key := c.Fingerprint()
 	ac.mu.Lock()
 	if e, ok := ac.entries[key]; ok {
@@ -70,7 +80,14 @@ func (ac *ArtifactCache) CompileCell(c Cell) (art *compiler.Artifact, hit bool, 
 	ac.stats.Misses++
 	ac.mu.Unlock()
 
-	e.art, e.err = CompileCell(c)
+	opts := cellOptions(c)
+	opts.Faults = faults
+	e.art, e.err = compiler.Compile(c.Bench.Source, opts)
+	if e.err != nil && faultinject.IsInjected(e.err) {
+		ac.mu.Lock()
+		delete(ac.entries, key)
+		ac.mu.Unlock()
+	}
 	close(e.ready)
 	return e.art, false, e.err
 }

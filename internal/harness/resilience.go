@@ -1,0 +1,285 @@
+package harness
+
+// This file is the harness's resilience layer: per-cell budgets (virtual
+// step limit + wall-clock deadline), panic recovery in workers, bounded
+// retry with seeded exponential backoff, a graceful-degradation ladder
+// (regtier → fusion → opt level progressively disabled, mirroring real
+// engines tiering down), per-benchmark quarantine, and the fault-plan
+// plumbing that lets internal/faultinject exercise all of it
+// deterministically. The paper's methodology needs sweeps that survive
+// hostile conditions — mobile tab OOM kills, wedged cells, transient
+// toolchain failures — without losing the rest of the table.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wasmbench/internal/browser"
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/faultinject"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/obsv"
+)
+
+// Resilience errors.
+var (
+	// ErrCellDeadline reports that a cell exceeded RunOptions.Deadline and
+	// was abandoned (its goroutine exits on its own; see runAttemptGuarded).
+	ErrCellDeadline = errors.New("harness: cell deadline exceeded")
+	// ErrQuarantined reports a cell skipped because its benchmark
+	// accumulated RunOptions.QuarantineAfter consecutive failures.
+	ErrQuarantined = errors.New("harness: benchmark quarantined")
+)
+
+// degradeRungs is the graceful-degradation ladder for a cell language, in
+// the order attempts descend it. The wasm rungs only change dispatch
+// machinery (register tier, fusion), so a degraded result is identical to
+// the full-configuration result by construction; the final O0 rung trades
+// optimization for survival and is visibly recorded in the metrics.
+func degradeRungs(lang string) []string {
+	if lang == "js" {
+		return []string{"nojit", "O0"}
+	}
+	return []string{"noreg", "noreg+nofuse", "O0"}
+}
+
+// backoffDelay is the seeded exponential backoff before retry attempt
+// (1-based): base·2^(attempt−1) plus up to 100% deterministic jitter from
+// the fault-plan seed, so a fixed seed replays the identical schedule.
+func backoffDelay(base time.Duration, seed uint64, label string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << uint(shift)
+	return d + time.Duration(float64(d)*faultinject.Jitter01(seed, label, attempt))
+}
+
+// quarantine tracks consecutive failures per benchmark across the worker
+// pool. After `after` consecutive failures, further cells of that
+// benchmark are skipped with ErrQuarantined; one success resets the count.
+type quarantine struct {
+	mu    chan struct{} // 1-buffered semaphore (avoids embedding sync.Mutex in a value copied by tests)
+	after int
+	fails map[string]int
+}
+
+func newQuarantine(after int) *quarantine {
+	if after <= 0 {
+		return nil
+	}
+	q := &quarantine{mu: make(chan struct{}, 1), after: after, fails: make(map[string]int)}
+	q.mu <- struct{}{}
+	return q
+}
+
+func (q *quarantine) blocked(bench string) bool {
+	if q == nil {
+		return false
+	}
+	<-q.mu
+	n := q.fails[bench]
+	q.mu <- struct{}{}
+	return n >= q.after
+}
+
+func (q *quarantine) report(bench string, failed bool) {
+	if q == nil {
+		return
+	}
+	<-q.mu
+	if failed {
+		q.fails[bench]++
+	} else {
+		q.fails[bench] = 0
+	}
+	q.mu <- struct{}{}
+}
+
+// attemptInfo carries one attempt's wall-time split.
+type attemptInfo struct {
+	compile time.Duration
+	measure time.Duration
+	hit     bool
+}
+
+// runAttempt executes one attempt of a cell at a degradation rung, with an
+// optional per-cell fault plan threaded through the toolchain and both
+// engines. With rung == "" and a nil plan this is exactly the pre-
+// resilience execution path.
+func runAttempt(c Cell, cache *ArtifactCache, opt RunOptions, rung string, plan *faultinject.Plan) (CellResult, attemptInfo) {
+	var info attemptInfo
+	if plan != nil && plan.Fire(faultinject.CompilerCache, c.Bench.Name) {
+		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size,
+			faultinject.Errorf(faultinject.CompilerCache, "artifact cache unavailable"))}, info
+	}
+
+	cc := c
+	mo := browser.MeasureOptions{StepLimit: opt.StepLimit, Faults: plan}
+	switch rung {
+	case "noreg":
+		mo.DisableRegTier = true
+	case "noreg+nofuse":
+		mo.DisableRegTier, mo.DisableFusion = true, true
+	case "nojit":
+		mo.DisableJIT = true
+	case "O0":
+		cc.Level = ir.O0
+		if cc.Lang == "js" {
+			mo.DisableJIT = true
+		} else {
+			mo.DisableRegTier, mo.DisableFusion = true, true
+		}
+	}
+
+	t0 := time.Now()
+	var art *compiler.Artifact
+	var err error
+	if cache != nil {
+		art, info.hit, err = cache.compileCell(cc, plan)
+	} else {
+		opts := cellOptions(cc)
+		opts.Faults = plan
+		art, err = compiler.Compile(cc.Bench.Source, opts)
+	}
+	info.compile = time.Since(t0)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}, info
+	}
+
+	t1 := time.Now()
+	var m *browser.Measurement
+	if cc.Lang == "js" {
+		m, err = cc.Profile.MeasureJSWith(art, mo)
+	} else {
+		m, err = cc.Profile.MeasureWasmWith(art, mo)
+	}
+	info.measure = time.Since(t1)
+	if err != nil {
+		err = fmt.Errorf("%s/%v/%s: %w", c.Bench.Name, c.Size, c.Lang, err)
+	}
+	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, info
+}
+
+// runAttemptGuarded wraps runAttempt with panic recovery and, when a
+// deadline is set, a wall-clock budget. The attempt runs in a child
+// goroutine that communicates over a 1-buffered channel: on timeout the
+// worker abandons it — the child's eventual send never blocks, so the
+// goroutine always exits, and closing the cancel channel aborts any
+// injected stall it is sleeping in.
+func runAttemptGuarded(c Cell, opt RunOptions, cache *ArtifactCache, rung, label string) (CellResult, attemptInfo) {
+	run := func(cancel <-chan struct{}) (res CellResult, info attemptInfo) {
+		defer func() {
+			if p := recover(); p != nil {
+				if err, ok := p.(error); ok && faultinject.IsInjected(err) {
+					res = CellResult{Cell: c, Err: fmt.Errorf("%s: worker panic: %w", label, err)}
+				} else {
+					res = CellResult{Cell: c, Err: fmt.Errorf("%s: worker panic: %v", label, p)}
+				}
+			}
+		}()
+		plan := opt.Faults.Cell(label, cancel)
+		if plan.Fire(faultinject.HarnessPanic, "worker") {
+			panic(faultinject.Errorf(faultinject.HarnessPanic, "injected worker panic"))
+		}
+		return runAttempt(c, cache, opt, rung, plan)
+	}
+
+	if opt.Deadline <= 0 {
+		return run(nil)
+	}
+
+	type attemptResult struct {
+		res  CellResult
+		info attemptInfo
+	}
+	ch := make(chan attemptResult, 1)
+	cancel := make(chan struct{})
+	go func() {
+		res, info := run(cancel)
+		ch <- attemptResult{res, info}
+	}()
+	timer := time.NewTimer(opt.Deadline)
+	defer timer.Stop()
+	select {
+	case ar := <-ch:
+		return ar.res, ar.info
+	case <-timer.C:
+		close(cancel)
+		return CellResult{Cell: c, Err: fmt.Errorf("%s: %w after %v", label, ErrCellDeadline, opt.Deadline)},
+			attemptInfo{}
+	}
+}
+
+// cellOutcome summarizes a cell's resilient execution for the run metrics.
+type cellOutcome struct {
+	compile     time.Duration
+	measure     time.Duration
+	hit         bool
+	attempts    int
+	degraded    string
+	quarantined bool
+}
+
+// runCellResilient drives one cell through quarantine check, the attempt/
+// retry loop with seeded backoff, and the degradation ladder, emitting the
+// robustness trace events as recoveries happen.
+func runCellResilient(c Cell, opt RunOptions, cache *ArtifactCache, quar *quarantine, runStart time.Time) (CellResult, cellOutcome) {
+	label := c.Label()
+	wallTS := func() float64 { return float64(time.Since(runStart)) }
+
+	if quar.blocked(c.Bench.Name) {
+		if opt.Tracer != nil {
+			opt.Tracer.Emit(obsv.Event{Kind: obsv.KindQuarantine, TS: wallTS(),
+				Name: label, Track: "harness", A: float64(opt.QuarantineAfter)})
+		}
+		return CellResult{Cell: c, Err: fmt.Errorf("%s: %w", label, ErrQuarantined)},
+			cellOutcome{quarantined: true}
+	}
+
+	seed := opt.Faults.Seed()
+	var res CellResult
+	var out cellOutcome
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if attempt > 0 {
+			d := backoffDelay(opt.RetryBackoff, seed, label, attempt)
+			if opt.Tracer != nil {
+				opt.Tracer.Emit(obsv.Event{Kind: obsv.KindRetry, TS: wallTS(),
+					Name: label, Track: "harness",
+					A: float64(attempt + 1), B: float64(d) / float64(time.Millisecond)})
+			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		rung := ""
+		if opt.DegradeOnRetry && attempt > 0 {
+			rungs := degradeRungs(c.Lang)
+			ri := attempt - 1
+			if ri >= len(rungs) {
+				ri = len(rungs) - 1
+			}
+			rung = rungs[ri]
+			if opt.Tracer != nil {
+				opt.Tracer.Emit(obsv.Event{Kind: obsv.KindDegrade, TS: wallTS(),
+					Name: label, Track: rung, A: float64(attempt + 1)})
+			}
+		}
+		var info attemptInfo
+		res, info = runAttemptGuarded(c, opt, cache, rung, label)
+		out.attempts = attempt + 1
+		out.compile += info.compile
+		out.measure += info.measure
+		out.hit = out.hit || info.hit
+		if res.Err == nil {
+			out.degraded = rung
+			break
+		}
+	}
+	quar.report(c.Bench.Name, res.Err != nil)
+	return res, out
+}

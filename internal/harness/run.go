@@ -9,6 +9,7 @@ import (
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
 	"wasmbench/internal/compiler"
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
 )
@@ -81,30 +82,8 @@ func RunCell(c Cell) CellResult {
 // harness metrics report. A non-nil cache deduplicates the compile step;
 // hit reports that the artifact came from it without compiling here.
 func runCellTimed(c Cell, cache *ArtifactCache) (res CellResult, compile, measure time.Duration, hit bool) {
-	t0 := time.Now()
-	var art *compiler.Artifact
-	var err error
-	if cache != nil {
-		art, hit, err = cache.CompileCell(c)
-	} else {
-		art, err = CompileCell(c)
-	}
-	compile = time.Since(t0)
-	if err != nil {
-		return CellResult{Cell: c, Err: fmt.Errorf("%s/%v: %w", c.Bench.Name, c.Size, err)}, compile, 0, hit
-	}
-	t1 := time.Now()
-	var m *browser.Measurement
-	if c.Lang == "js" {
-		m, err = c.Profile.MeasureJS(art)
-	} else {
-		m, err = c.Profile.MeasureWasm(art)
-	}
-	measure = time.Since(t1)
-	if err != nil {
-		err = fmt.Errorf("%s/%v/%s: %w", c.Bench.Name, c.Size, c.Lang, err)
-	}
-	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, compile, measure, hit
+	r, info := runAttempt(c, cache, RunOptions{}, "", nil)
+	return r, info.compile, info.measure, info.hit
 }
 
 // RunOptions configures a parallel harness run.
@@ -130,6 +109,38 @@ type RunOptions struct {
 	// opt-out for compile-time measurement studies. Measurements are
 	// unaffected either way; only wall-clock compile time changes.
 	DisableCache bool
+
+	// --- Resilience (all zero values preserve the pre-resilience
+	// behavior exactly; see resilience.go) ---
+
+	// Deadline is the wall-clock budget per cell attempt. When exceeded,
+	// the attempt is abandoned with ErrCellDeadline; its goroutine exits on
+	// its own (the result channel is buffered) and any injected stall it is
+	// sleeping in is cancelled. 0 means no deadline.
+	Deadline time.Duration
+	// StepLimit bounds each measurement's dynamic instruction count (a
+	// virtual-cycle budget against runaway cells). 0 keeps profile limits.
+	StepLimit uint64
+	// Retries is how many times a failed cell is re-attempted (0 = one
+	// attempt only).
+	Retries int
+	// RetryBackoff is the base delay before retry k: base·2^(k−1) plus
+	// deterministic jitter seeded from the fault plan. 0 retries instantly.
+	RetryBackoff time.Duration
+	// DegradeOnRetry steps retries down the degradation ladder
+	// (wasm: noreg → noreg+nofuse → O0; js: nojit → O0) instead of
+	// repeating the identical configuration.
+	DegradeOnRetry bool
+	// QuarantineAfter skips further cells of a benchmark after that many
+	// consecutive failures (counting retries exhausted, not attempts).
+	// 0 disables quarantine.
+	QuarantineAfter int
+	// Faults is the deterministic fault-injection plan threaded through
+	// the toolchain and both engines. nil (the default) is fully inert.
+	Faults *faultinject.Plan
+	// Checkpoint, when set, restores previously completed cells instead of
+	// re-running them and records each new success as it finishes.
+	Checkpoint *Checkpoint
 }
 
 // DefaultWorkers returns the harness's default pool size.
@@ -186,13 +197,40 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 	if cache != nil {
 		cacheBase = cache.Stats()
 	}
+	var faultBase int
+	if opt.Faults != nil {
+		faultBase = opt.Faults.TotalFired()
+	}
+	quar := newQuarantine(opt.QuarantineAfter)
+
+	// Restore checkpointed cells before enqueueing: resumed cells never
+	// reach a worker, so a resumed run measures only what is missing.
+	resumed := make([]bool, len(cells))
+	if opt.Checkpoint != nil {
+		for i, c := range cells {
+			if r, ok := opt.Checkpoint.Lookup(c); ok {
+				out[i] = r
+				resumed[i] = true
+				metrics.Cells[i] = obsv.CellMetric{Label: c.Label(), Resumed: true}
+				if r.Meas != nil && r.Meas.Result != nil {
+					metrics.Cells[i].TierUps = r.Meas.Result.TierUps
+					metrics.Cells[i].BasicCycles = r.Meas.Result.WasmStats.BasicCycles
+					metrics.Cells[i].OptCycles = r.Meas.Result.WasmStats.OptCycles
+				}
+			}
+		}
+	}
 
 	// The index channel is pre-filled and buffered so the sender never
 	// blocks: workers pull until the channel drains, whatever the pool
 	// size.
 	idx := make(chan int, len(cells))
+	pending := 0
 	for i := range cells {
-		idx <- i
+		if !resumed[i] {
+			idx <- i
+			pending++
+		}
 	}
 	close(idx)
 
@@ -219,19 +257,22 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 						TS: float64(cellStart), Name: c.Label(),
 						Track: "harness", A: float64(worker), B: float64(depth)})
 				}
-				r, compile, measure, hit := runCellTimed(c, cache)
+				r, oc := runCellResilient(c, opt, cache, quar, start)
 				wall := time.Since(start) - cellStart
 				out[i] = r
 				cm := obsv.CellMetric{
-					Label:      c.Label(),
-					Worker:     worker,
-					QueueDepth: depth,
-					Start:      cellStart,
-					Compile:    compile,
-					Measure:    measure,
-					Wall:       wall,
-					Failed:     r.Err != nil,
-					CacheHit:   hit,
+					Label:       c.Label(),
+					Worker:      worker,
+					QueueDepth:  depth,
+					Start:       cellStart,
+					Compile:     oc.compile,
+					Measure:     oc.measure,
+					Wall:        wall,
+					Failed:      r.Err != nil,
+					CacheHit:    oc.hit,
+					Attempts:    oc.attempts,
+					Degraded:    oc.degraded,
+					Quarantined: oc.quarantined,
 				}
 				if r.Meas != nil && r.Meas.Result != nil {
 					cm.TierUps = r.Meas.Result.TierUps
@@ -239,17 +280,23 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					cm.OptCycles = r.Meas.Result.WasmStats.OptCycles
 				}
 				metrics.Cells[i] = cm
+				if r.Err == nil && opt.Checkpoint != nil {
+					// Checkpoint write failures are non-fatal: the sweep's
+					// results are still valid, only resumability suffers.
+					_ = opt.Checkpoint.Record(r)
+				}
 				if opt.Tracer != nil {
 					opt.Tracer.Emit(obsv.Event{Kind: obsv.KindCellDone,
 						TS: float64(cellStart + wall), Dur: float64(wall),
 						Name: c.Label(), Track: "harness", A: float64(worker)})
 				}
 				if opt.OnProgress != nil {
+					// The lock is held across the callback so calls are
+					// serialized, as the OnProgress contract documents.
 					mu.Lock()
 					done++
-					n := done
+					opt.OnProgress(done, pending, r)
 					mu.Unlock()
-					opt.OnProgress(n, len(cells), r)
 				}
 			}
 		}(w)
@@ -262,6 +309,23 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		metrics.CacheHits = s.Hits - cacheBase.Hits
 		metrics.CacheMisses = s.Misses - cacheBase.Misses
 		metrics.CacheDedupWaits = s.DedupWaits - cacheBase.DedupWaits
+	}
+	// Aggregate robustness counters from the per-cell metrics (after
+	// wg.Wait, so no extra synchronization is needed). All remain zero on
+	// a fault-free run, keeping Render's output byte-identical.
+	if opt.Faults != nil {
+		metrics.FaultsInjected = opt.Faults.TotalFired() - faultBase
+	}
+	for _, cm := range metrics.Cells {
+		if cm.Attempts > 1 {
+			metrics.Retries += cm.Attempts - 1
+		}
+		if cm.Degraded != "" {
+			metrics.Degraded++
+		}
+		if cm.Quarantined {
+			metrics.Quarantined++
+		}
 	}
 	return out, metrics
 }

@@ -31,6 +31,9 @@ type compiledFunc struct {
 	nNodes   int
 	hot      uint64
 	tieredUp bool
+	// jitBlocked pins the function to the interpreter tier after an
+	// injected JIT compile failure (faultinject.JSJITCompile).
+	jitBlocked bool
 
 	// Profiling accumulators, maintained only while vm.profiling is set.
 	calls       uint64

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
 )
 
@@ -145,6 +146,10 @@ type Config struct {
 	// Profile enables per-function virtual-cycle profiles (also implied by
 	// a non-nil Tracer).
 	Profile bool
+	// Faults arms deterministic fault injection (JIT compile failure
+	// pinning a function to the interpreter, heap-limit OOM). nil — the
+	// default — is completely inert.
+	Faults *faultinject.Plan
 }
 
 // DefaultConfig returns a neutral engine configuration.
@@ -233,6 +238,8 @@ type VM struct {
 
 	tracer    obsv.Tracer
 	profiling bool
+	// faults is the armed fault plan (nil = inert; see Config.Faults).
+	faults *faultinject.Plan
 	// allFuncs registers every compiled function (in compile order) for
 	// profile export.
 	allFuncs []*compiledFunc
@@ -244,7 +251,15 @@ type VM struct {
 var (
 	ErrJSStepLimit = errors.New("jsvm: step limit exceeded")
 	ErrJSDepth     = errors.New("jsvm: maximum call stack size exceeded")
+	// ErrJSOOM reports an injected heap-limit allocation failure — the
+	// analogue of a mobile tab OOM kill (PAPER.md §memory).
+	ErrJSOOM = errors.New("jsvm: out of memory (heap limit)")
 )
+
+// oomPanic is the sentinel carried by an injected allocation failure:
+// alloc sites cannot return errors, so the failure unwinds as a panic and
+// the Run/CallFunction entry points convert it to ErrJSOOM.
+type oomPanic struct{}
 
 // jsThrow carries a thrown JavaScript value through Go error returns.
 type jsThrow struct{ v Value }
@@ -272,7 +287,11 @@ func New(cfg Config) *VM {
 	vm.tracer = cfg.Tracer
 	vm.profiling = cfg.Profile || cfg.Tracer != nil
 	vm.NowFn = func() float64 { return vm.cycles / 1e6 }
+	// Host bindings allocate before any recoverOOM-guarded entry point
+	// exists; engine-boot allocations are not eligible for the js.heap-oom
+	// injection point (and must not consume its sequence numbers).
 	vm.installHost()
+	vm.faults = cfg.Faults
 	return vm
 }
 
@@ -328,8 +347,12 @@ func (vm *VM) PeakExternalBytes() uint64 { return vm.externalPeak }
 
 // alloc registers a new object with the GC.
 func (vm *VM) alloc(o *Object) *Object {
-	vm.objects = append(vm.objects, o)
 	sz := o.heapSize()
+	if vm.faults != nil && vm.faults.HeapOOM("alloc", vm.heapLive+vm.external+sz) {
+		vm.emitFault(faultinject.JSHeapOOM)
+		panic(oomPanic{})
+	}
+	vm.objects = append(vm.objects, o)
 	vm.heapLive += sz
 	if vm.heapLive > vm.heapPeak {
 		vm.heapPeak = vm.heapLive
@@ -341,6 +364,10 @@ func (vm *VM) alloc(o *Object) *Object {
 
 // allocBuffer attaches external backing-store bytes to an ArrayBuffer.
 func (vm *VM) allocBuffer(o *Object, n int) {
+	if vm.faults != nil && vm.faults.HeapOOM("buffer", vm.heapLive+vm.external+uint64(n)) {
+		vm.emitFault(faultinject.JSHeapOOM)
+		panic(oomPanic{})
+	}
 	o.Buf = make([]byte, n)
 	vm.external += uint64(n)
 	if vm.external > vm.externalPeak {
@@ -401,7 +428,8 @@ type hostBinding struct {
 
 // Run parses and executes a program. It may be called multiple times; each
 // call compiles a fresh top-level scope that shares the host bindings.
-func (vm *VM) Run(src string) (Value, error) {
+func (vm *VM) Run(src string) (_ Value, err error) {
+	defer vm.recoverOOM(&err)
 	vm.cycles += vm.cfg.ParsePerByte * float64(len(src))
 	body, err := jsParse(src)
 	if err != nil {
@@ -503,11 +531,32 @@ func (vm *VM) Profile() []obsv.FuncProfile {
 }
 
 // CallFunction invokes a JS function value with arguments.
-func (vm *VM) CallFunction(fn Value, args []Value) (Value, error) {
+func (vm *VM) CallFunction(fn Value, args []Value) (_ Value, err error) {
 	if fn.Kind != KindObject || fn.Obj.Kind != ObjFunction {
 		return Undefined, fmt.Errorf("jsvm: not a function: %s", fn.ToString())
 	}
+	defer vm.recoverOOM(&err)
 	return vm.callFuncObj(fn.Obj, Undefined, args)
+}
+
+// recoverOOM converts an injected-OOM panic unwinding through an engine
+// entry point into ErrJSOOM; every other panic is re-raised.
+func (vm *VM) recoverOOM(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(oomPanic); ok {
+			*err = ErrJSOOM
+			return
+		}
+		panic(r)
+	}
+}
+
+// emitFault records an injected-fault trace event at the current clock.
+func (vm *VM) emitFault(pt faultinject.Point) {
+	if vm.tracer != nil {
+		vm.tracer.Emit(obsv.Event{Kind: obsv.KindFault, TS: vm.cycles,
+			Name: string(pt), Track: "js"})
+	}
 }
 
 func (vm *VM) callFuncObj(o *Object, this Value, args []Value) (Value, error) {
@@ -569,7 +618,14 @@ func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
 	if cf.tieredUp {
 		return &vm.cfg.JITCost
 	}
-	if vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
+	if vm.cfg.JITEnabled && !cf.jitBlocked && cf.hot >= vm.cfg.TierUpThreshold {
+		if vm.faults != nil && vm.faults.Fire(faultinject.JSJITCompile, cf.name) {
+			// Injected JIT compile failure: pin the code object to the
+			// interpreter tier for the rest of its life (a permanent deopt).
+			cf.jitBlocked = true
+			vm.emitFault(faultinject.JSJITCompile)
+			return &vm.cfg.InterpCost
+		}
 		vm.tierUp(cf)
 		return &vm.cfg.JITCost
 	}
@@ -593,8 +649,13 @@ func (vm *VM) tierUp(cf *compiledFunc) {
 func (vm *VM) bumpLoop(e *env) {
 	cf := e.fn
 	cf.hot++
-	if !cf.tieredUp && vm.cfg.JITEnabled && cf.hot >= vm.cfg.TierUpThreshold {
-		vm.tierUp(cf)
+	if !cf.tieredUp && vm.cfg.JITEnabled && !cf.jitBlocked && cf.hot >= vm.cfg.TierUpThreshold {
+		if vm.faults != nil && vm.faults.Fire(faultinject.JSJITCompile, cf.name) {
+			cf.jitBlocked = true
+			vm.emitFault(faultinject.JSJITCompile)
+		} else {
+			vm.tierUp(cf)
+		}
 	}
 	if cf.tieredUp {
 		e.cost = &vm.cfg.JITCost

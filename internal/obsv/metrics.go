@@ -33,6 +33,19 @@ type CellMetric struct {
 	TierUps     int
 	BasicCycles float64
 	OptCycles   float64
+	// Attempts is how many times the harness ran the cell (1 = first try
+	// succeeded; retries and degradation rungs each add one).
+	Attempts int
+	// Degraded names the degradation-ladder rung that finally produced the
+	// cell's result ("noreg", "noreg+nofuse", "nojit", "O0"); "" when the
+	// cell ran at full configuration.
+	Degraded string
+	// Quarantined reports the cell was skipped because its benchmark
+	// exceeded the consecutive-failure quarantine threshold.
+	Quarantined bool
+	// Resumed reports the cell's result was restored from a checkpoint
+	// file instead of being executed (Attempts is 0 for such cells).
+	Resumed bool
 }
 
 // RunMetrics aggregates one RunCells invocation's schedule.
@@ -49,6 +62,16 @@ type RunMetrics struct {
 	CacheHits       int
 	CacheMisses     int
 	CacheDedupWaits int
+	// Robustness counters (all zero on a fault-free run, keeping Render's
+	// output byte-identical to a harness without the resilience layer):
+	// FaultsInjected totals fault-plan firings observed by the run,
+	// Retries counts re-executions of failed cells, Degraded counts cells
+	// whose result came from a degradation rung, and Quarantined counts
+	// cells skipped after their benchmark tripped the quarantine threshold.
+	FaultsInjected int
+	Retries        int
+	Degraded       int
+	Quarantined    int
 }
 
 // Utilization returns busy-time / (workers × span): 1.0 means every
@@ -85,8 +108,19 @@ func (m *RunMetrics) Render() string {
 		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache", "tierups", "opt%")
 	for _, c := range m.Cells {
 		status := ""
-		if c.Failed {
+		if c.Quarantined {
+			status = "  QUARANTINED"
+		} else if c.Failed {
 			status = "  FAILED"
+		}
+		if c.Attempts > 1 {
+			status += fmt.Sprintf("  retries:%d", c.Attempts-1)
+		}
+		if c.Degraded != "" {
+			status += "  degraded:" + c.Degraded
+		}
+		if c.Resumed {
+			status += "  resumed"
 		}
 		cacheCol := "-"
 		if c.CacheHit {
@@ -108,6 +142,10 @@ func (m *RunMetrics) Render() string {
 	if m.CacheEnabled {
 		fmt.Fprintf(&b, "compile cache: %d hits  %d misses  %d dedup-waits\n",
 			m.CacheHits, m.CacheMisses, m.CacheDedupWaits)
+	}
+	if m.FaultsInjected > 0 || m.Retries > 0 || m.Degraded > 0 || m.Quarantined > 0 {
+		fmt.Fprintf(&b, "robustness: %d faults injected  %d retries  %d degraded  %d quarantined\n",
+			m.FaultsInjected, m.Retries, m.Degraded, m.Quarantined)
 	}
 	return b.String()
 }

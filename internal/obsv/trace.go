@@ -53,12 +53,28 @@ const (
 	// differential oracle (internal/difftest). Name is the program label
 	// with the optimization level; A counts the divergence.
 	KindDivergence
+	// KindFault marks one injected fault firing (internal/faultinject).
+	// Name is the injection point, Track the emitting layer.
+	KindFault
+	// KindRetry marks one harness retry of a failed cell. Name is the cell
+	// label; A is the attempt number being started (1-based), B the seeded
+	// backoff in milliseconds that preceded it.
+	KindRetry
+	// KindDegrade marks the harness re-running a cell one rung down the
+	// graceful-degradation ladder. Name is the cell label; Track carries
+	// the rung ("noreg", "noreg+nofuse", "nojit", "O0").
+	KindDegrade
+	// KindQuarantine marks a benchmark being quarantined after N
+	// consecutive failures. Name is the cell label; A is the consecutive
+	// failure count that tripped it.
+	KindQuarantine
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"call-enter", "call-exit", "tier-up", "gc-cycle", "mem-grow",
 	"compile-pass", "cell-start", "cell-done", "divergence",
+	"fault", "retry", "degrade", "quarantine",
 }
 
 // String returns the kind's short name.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 )
@@ -95,6 +96,10 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 		return nil, ErrCallDepth
 	}
 	defer func() { vm.depth-- }()
+
+	if vm.faults != nil && vm.faults.Stall(cf.name) {
+		vm.emitFault(faultinject.WasmStall, vm.cycles)
+	}
 
 	cf.hotness++
 	costs := vm.maybeTierUp(cf)
@@ -420,7 +425,16 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 			vm.stack = append(vm.stack, uint64(mem.Pages()))
 		case wasm.OpMemoryGrow:
 			d := uint32(vm.stack[len(vm.stack)-1])
-			r := mem.Grow(d)
+			var r int32
+			if vm.faults != nil && vm.faults.DenyGrow(cf.name, mem.Pages(), d) {
+				// Injected denial behaves exactly like a natural capacity
+				// failure: grow returns −1, memory is untouched, the JS
+				// boundary charge still applies.
+				r = -1
+				vm.emitFault(faultinject.WasmGrowDeny, cycles)
+			} else {
+				r = mem.Grow(d)
+			}
 			vm.stack[len(vm.stack)-1] = uint64(uint32(r))
 			cycles += vm.cfg.GrowBoundaryCost
 			if vm.tracer != nil {
@@ -455,6 +469,16 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 	res := make([]uint64, nr)
 	copy(res, vm.stack[len(vm.stack)-nr:])
 	return res, nil
+}
+
+// emitFault records an injected-fault trace event at the given clock value
+// (fault events exist only in fault-plan runs, so the zero-fault trace is
+// untouched).
+func (vm *VM) emitFault(pt faultinject.Point, ts float64) {
+	if vm.tracer != nil {
+		vm.tracer.Emit(obsv.Event{Kind: obsv.KindFault, TS: ts,
+			Name: string(pt), Track: "wasm"})
+	}
 }
 
 // branch applies a resolved branch target: truncate the operand stack to the

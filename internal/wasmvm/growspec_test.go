@@ -1,0 +1,164 @@
+package wasmvm
+
+import (
+	"testing"
+
+	"wasmbench/internal/faultinject"
+	"wasmbench/internal/wasm"
+)
+
+// growSpecModule builds a module for memory.grow spec tests: a one-shot
+// grow, a hot grow loop (so the register tier OSRs into it and executes
+// grow from a register body), and store/load probes to verify failed grows
+// leave memory untouched.
+func growSpecModule() *wasm.Module {
+	m := &wasm.Module{}
+	tI_I := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	tII_I := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Mem = &wasm.MemType{Min: 1}
+
+	// grow(n) = memory.grow(n)
+	m.Funcs = append(m.Funcs, wasm.Function{Type: tI_I, Name: "grow", Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, A: 0}, {Op: wasm.OpMemoryGrow}, {Op: wasm.OpEnd},
+	}})
+	// growmany(n): n iterations of memory.grow(1), returning how many
+	// returned -1. The loop back edge makes it hot enough to tier up.
+	m.Funcs = append(m.Funcs, wasm.Function{Type: tI_I, Name: "growmany",
+		Locals: []wasm.ValType{wasm.I32, wasm.I32}, // local1 = i, local2 = failures
+		Body: []wasm.Instr{
+			{Op: wasm.OpBlock, BlockType: wasm.BlockNone},
+			{Op: wasm.OpLoop, BlockType: wasm.BlockNone},
+			{Op: wasm.OpLocalGet, A: 1}, {Op: wasm.OpLocalGet, A: 0}, {Op: wasm.OpI32GeS},
+			{Op: wasm.OpBrIf, A: 1},
+			// failures += (memory.grow(1) == -1)
+			{Op: wasm.OpI32Const, Val: 1}, {Op: wasm.OpMemoryGrow},
+			{Op: wasm.OpI32Const, Val: -1}, {Op: wasm.OpI32Eq},
+			{Op: wasm.OpLocalGet, A: 2}, {Op: wasm.OpI32Add}, {Op: wasm.OpLocalSet, A: 2},
+			{Op: wasm.OpLocalGet, A: 1}, {Op: wasm.OpI32Const, Val: 1},
+			{Op: wasm.OpI32Add}, {Op: wasm.OpLocalSet, A: 1},
+			{Op: wasm.OpBr, A: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, A: 2},
+			{Op: wasm.OpEnd},
+		}})
+	// poke(addr, v): store v at addr, return v
+	m.Funcs = append(m.Funcs, wasm.Function{Type: tII_I, Name: "poke", Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, A: 0}, {Op: wasm.OpLocalGet, A: 1},
+		{Op: wasm.OpI32Store, A: 2},
+		{Op: wasm.OpLocalGet, A: 1}, {Op: wasm.OpEnd},
+	}})
+	// peek(addr) = load addr
+	m.Funcs = append(m.Funcs, wasm.Function{Type: tI_I, Name: "peek", Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, A: 0}, {Op: wasm.OpI32Load, A: 2}, {Op: wasm.OpEnd},
+	}})
+	for i, name := range []string{"grow", "growmany", "poke", "peek"} {
+		m.Exports = append(m.Exports, wasm.Export{Name: name, Kind: wasm.ExportFunc, Idx: uint32(i)})
+	}
+	return m
+}
+
+// growTierConfigs returns the three execution tiers the spec tests sweep:
+// the plain stack interpreter, the superinstruction-fused interpreter, and
+// the register tier (hot threshold lowered so the grow loop tiers up).
+func growTierConfigs() map[string]Config {
+	stack := DefaultConfig()
+	stack.DisableRegTier = true
+	stack.DisableFusion = true
+	fused := DefaultConfig()
+	fused.DisableRegTier = true
+	reg := DefaultConfig()
+	reg.TierUpThreshold = 50
+	return map[string]Config{"stack": stack, "fused": fused, "register": reg}
+}
+
+// TestFailedGrowSpecAcrossTiers verifies the Wasm spec semantics of a
+// failed memory.grow — returns −1 and leaves memory (size and contents)
+// unchanged — in all three execution tiers, with the page cap supplied by
+// the engine configuration as a browser tab budget would.
+func TestFailedGrowSpecAcrossTiers(t *testing.T) {
+	var sentinel uint32 = 0xCAFEBABE
+	const iters = 200000
+	for name, cfg := range growTierConfigs() {
+		cfg.MaxPages = 4
+		t.Run(name, func(t *testing.T) {
+			vm, err := New(growSpecModule(), 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Instantiate(); err != nil {
+				t.Fatal(err)
+			}
+			call1(t, vm, "poke", I32(16), I32(int32(sentinel)))
+
+			// 1→2→3→4 pages succeed; every further grow must return -1.
+			fails := AsI32(call1(t, vm, "growmany", I32(iters)))
+			if fails != iters-3 {
+				t.Errorf("failed grows = %d, want %d", fails, iters-3)
+			}
+			if p := vm.Memory().Pages(); p != 4 {
+				t.Errorf("pages = %d, want 4 (failed grows must not resize)", p)
+			}
+			if got := uint32(call1(t, vm, "peek", I32(16))); got != sentinel {
+				t.Errorf("memory corrupted by failed grow: %#x", got)
+			}
+			// One more one-shot failure for good measure.
+			if r := AsI32(call1(t, vm, "grow", I32(1))); r != -1 {
+				t.Errorf("grow at cap = %d, want -1", r)
+			}
+			if name == "register" && vm.RegTranslated() == 0 {
+				t.Error("register tier never engaged; loop ran interpreted")
+			}
+			if name == "register" && vm.Stats().OptCycles == 0 {
+				t.Error("no cycles charged in the optimized tier")
+			}
+		})
+	}
+}
+
+// TestInjectedGrowDenialAcrossTiers verifies that a fault-injected grow
+// denial is indistinguishable from a capacity failure in every tier:
+// −1 result, size and contents untouched — and that the next grow (the
+// transient fault having passed) succeeds normally.
+func TestInjectedGrowDenialAcrossTiers(t *testing.T) {
+	var sentinel uint32 = 0xFEEDF00D
+	for name, cfg := range growTierConfigs() {
+		t.Run(name, func(t *testing.T) {
+			plan := faultinject.NewPlan(21, faultinject.Rule{
+				Point: faultinject.WasmGrowDeny, Count: 1,
+			})
+			cfg := cfg
+			cfg.Faults = plan
+			vm, err := New(growSpecModule(), 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Instantiate(); err != nil {
+				t.Fatal(err)
+			}
+			call1(t, vm, "poke", I32(32), I32(int32(sentinel)))
+
+			// Capacity is plentiful, but the injected rule denies the first
+			// grow.
+			if r := AsI32(call1(t, vm, "grow", I32(2))); r != -1 {
+				t.Errorf("injected denial returned %d, want -1", r)
+			}
+			if p := vm.Memory().Pages(); p != 1 {
+				t.Errorf("pages after denial = %d, want 1", p)
+			}
+			if got := uint32(call1(t, vm, "peek", I32(32))); got != sentinel {
+				t.Errorf("memory corrupted by injected denial: %#x", got)
+			}
+			// The transient fault has passed; the same request now succeeds.
+			if r := AsI32(call1(t, vm, "grow", I32(2))); r != 1 {
+				t.Errorf("post-fault grow returned %d, want old size 1", r)
+			}
+			if p := vm.Memory().Pages(); p != 3 {
+				t.Errorf("pages after recovery = %d, want 3", p)
+			}
+			if n := plan.Counts()[faultinject.WasmGrowDeny]; n != 1 {
+				t.Errorf("denial fired %d times, want 1", n)
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package wasmvm
 
-import "wasmbench/internal/wasm"
+import (
+	"wasmbench/internal/faultinject"
+	"wasmbench/internal/wasm"
+)
 
 // This file implements the register-form translation behind the optimizing
 // tier. The idea mirrors what LiftOff-vs-TurboFan means for dispatch cost
@@ -112,6 +115,13 @@ type rop struct {
 func (vm *VM) regBody(cf *compiledFunc) []rop {
 	if !cf.regTried {
 		cf.regTried = true
+		if vm.faults != nil && vm.faults.Fire(faultinject.WasmRegTranslate, cf.name) {
+			// Injected translation failure: regCode stays nil, so the stack
+			// loop serves the function permanently — the same fallback as a
+			// natural conservative bail, with identical metrics.
+			vm.emitFault(faultinject.WasmRegTranslate, vm.cycles)
+			return nil
+		}
 		cf.regCode = translateReg(vm.module, cf, &vm.cfg.OptCost)
 		if cf.regCode != nil {
 			vm.regBuilt++

@@ -3,6 +3,7 @@ package wasmvm
 import (
 	"errors"
 
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
 )
 
@@ -127,7 +128,13 @@ func (vm *VM) runReg(fi int, cf *compiledFunc, localBase, stackBase, pc int) ([]
 			frame[in.rd] = uint64(mem.Pages())
 		case rMemGrow:
 			d := uint32(frame[in.r1])
-			g := mem.Grow(d)
+			var g int32
+			if vm.faults != nil && vm.faults.DenyGrow(cf.name, mem.Pages(), d) {
+				g = -1
+				vm.emitFault(faultinject.WasmGrowDeny, cycles)
+			} else {
+				g = mem.Grow(d)
+			}
 			frame[in.rd] = uint64(uint32(g))
 			cycles += vm.cfg.GrowBoundaryCost
 			if vm.tracer != nil {

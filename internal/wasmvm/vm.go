@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasm"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// Profile enables per-function virtual-cycle profiles (also implied by
 	// a non-nil Tracer).
 	Profile bool
+	// Faults arms deterministic fault injection (memory.grow denial,
+	// register-tier translation failure, artificial stalls). nil — the
+	// default — is completely inert: every injection site is guarded by a
+	// single nil check and the execution path is byte-identical to a build
+	// without fault injection.
+	Faults *faultinject.Plan
 }
 
 // DefaultConfig returns a neutral configuration with the baseline tier cost
@@ -223,6 +230,8 @@ type VM struct {
 	tracer    obsv.Tracer
 	profiling bool
 	profs     []funcProf
+	// faults is the armed fault plan (nil = inert; see Config.Faults).
+	faults *faultinject.Plan
 	// childCycles accumulates callee cycles for the frame currently being
 	// profiled, so selfCycles = total − children.
 	childCycles float64
@@ -262,6 +271,7 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 	}
 	vm := &VM{module: m, cfg: cfg, binSize: binarySize}
 	vm.tracer = cfg.Tracer
+	vm.faults = cfg.Faults
 	vm.profiling = cfg.Profile || cfg.Tracer != nil
 	vm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
