@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke fuzz
+.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke telemetry-smoke fuzz
 
-check: vet build race bench-smoke difftest-smoke faults-smoke
+check: vet build race bench-smoke difftest-smoke faults-smoke telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +23,7 @@ race:
 # (superinstruction fusion and the register-form optimizing tier), and the
 # parallel harness grid (compile cache on/off).
 bench:
-	$(GO) test -bench Interp -benchtime 5x -run xxx ./internal/obsv/
+	$(GO) test -bench 'Interp|RegistryCounter' -benchtime 5x -run xxx ./internal/obsv/
 	$(GO) test -bench 'Dispatch|RegTier' -benchtime 30x -run xxx ./internal/wasmvm/
 	$(GO) test -bench RunCellsMultiProfile -benchtime 5x -run xxx ./internal/harness/
 
@@ -43,6 +43,14 @@ difftest-smoke:
 # Deterministic (same seed ⇒ same counts and outcomes) and race-clean.
 faults-smoke:
 	$(GO) test ./internal/harness -run TestFaultSmoke -count=1 -race
+
+# Telemetry smoke: an in-process telemetry server over a real 4-cell sweep,
+# with all five endpoints (/metrics, /debug/trace, /debug/profile,
+# /debug/cells, /healthz) scraped and checked for well-formedness, plus the
+# zero-overhead proof for disabled telemetry.
+telemetry-smoke:
+	$(GO) test ./internal/telemetry -run TestTelemetrySmoke -count=1
+	$(GO) test ./internal/obsv -run 'TestNilTelemetryAllocationFree|TestInstrumentsPreserveVirtualMetrics' -count=1
 
 # Open-ended differential fuzzing (not part of check). Override FUZZTIME
 # and FUZZ to steer, e.g. make fuzz FUZZ=FuzzDiffOptLevels FUZZTIME=5m.

@@ -12,3 +12,7 @@ go test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' 
 # Fault drill: fixed-seed fault plan covering every injection point, with
 # retry/degrade/quarantine accounting checked; deterministic and race-clean.
 go test ./internal/harness -run TestFaultSmoke -count=1 -race
+# Telemetry smoke: in-process server over a real sweep, all five endpoints
+# well-formed, plus the disabled-telemetry zero-overhead proof.
+go test ./internal/telemetry -run TestTelemetrySmoke -count=1
+go test ./internal/obsv -run 'TestNilTelemetryAllocationFree|TestInstrumentsPreserveVirtualMetrics' -count=1

@@ -38,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
@@ -47,6 +49,7 @@ import (
 	"wasmbench/internal/harness"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +69,9 @@ func main() {
 	quarantine := flag.Int("quarantine", 0, "with -metrics: skip a benchmark's remaining cells after N consecutive failures (0 = never)")
 	faultSpec := flag.String("faults", "", "with -metrics: deterministic fault plan, e.g. 'wasm.stall:count=2,stall=100ms;harness.worker-panic:prob=0.05'")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -faults plan and retry jitter")
+	telemetryAddr := flag.String("telemetry", "", "with -metrics: serve live telemetry on this address during the sweep (/metrics, /debug/trace, /debug/profile, /debug/cells, /healthz); ':0' picks a free port")
+	telemetrySnap := flag.String("telemetry-snapshot", "", "with -metrics: write a metrics snapshot when the sweep ends ('-' = text to stdout; a path ending in .json gets JSON)")
+	flightCap := flag.Int("flight", 0, "flight-recorder window in events for -telemetry (0 = default 65536)")
 	flag.Parse()
 	if *exp == "" && !*metricsFlag && *traceOut == "" {
 		flag.Usage()
@@ -122,7 +128,8 @@ func main() {
 			defer cp.Close()
 			ropt.Checkpoint = cp
 		}
-		if err := runMetrics(opts, ropt, *traceOut); err != nil {
+		tele := teleConfig{addr: *telemetryAddr, snapshot: *telemetrySnap, flight: *flightCap}
+		if err := runMetrics(opts, ropt, tele, *traceOut); err != nil {
 			fatal(err)
 		}
 		if *exp == "" {
@@ -229,12 +236,23 @@ func run(id string, opts core.Options) error {
 	return nil
 }
 
+// teleConfig carries the live-telemetry flags into runMetrics.
+type teleConfig struct {
+	addr     string // HTTP listen address ("" = no server)
+	snapshot string // snapshot destination ("" = none, "-" = stdout text)
+	flight   int    // flight-recorder capacity (0 = default)
+}
+
+func (t teleConfig) enabled() bool { return t.addr != "" || t.snapshot != "" }
+
 // runMetrics executes the benchmark × language cell grid on desktop Chrome
 // under the instrumented harness (with whatever resilience options the
 // flags selected) and prints the run's wall-time metrics. Sizes default to
 // M alone (the study's reference class) to keep the grid manageable;
-// -sizes widens it.
-func runMetrics(opts core.Options, ropt harness.RunOptions, traceOut string) error {
+// -sizes widens it. With -telemetry the sweep serves live endpoints while
+// it runs; trace and snapshot outputs are flushed even on SIGINT, so an
+// interrupted sweep keeps its partial observability data.
+func runMetrics(opts core.Options, ropt harness.RunOptions, tele teleConfig, traceOut string) error {
 	benches := opts.Benchmarks
 	if benches == nil {
 		benches = benchsuite.All()
@@ -243,13 +261,16 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, traceOut string) err
 	if sizes == nil {
 		sizes = []benchsuite.Size{benchsuite.M}
 	}
+	// One shared profile for the whole grid, so telemetry instruments and
+	// tracers attach in one place (measurements copy the config per run).
+	profile := browser.Chrome(browser.Desktop)
 	var cells []harness.Cell
 	for _, b := range benches {
 		for _, sz := range sizes {
 			for _, lang := range []string{"wasm", "js"} {
 				cells = append(cells, harness.Cell{
 					Bench: b, Size: sz, Level: ir.O2,
-					Lang: lang, Profile: browser.Chrome(browser.Desktop),
+					Lang: lang, Profile: profile,
 				})
 			}
 		}
@@ -259,6 +280,57 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, traceOut string) err
 		coll = &obsv.Collector{}
 		ropt.Tracer = coll
 	}
+
+	var hub *telemetry.Hub
+	if tele.enabled() {
+		hub = telemetry.NewHub(tele.flight)
+		ropt.Telemetry = hub
+		profile.SetInstruments(hub.Registry())
+		profile.SetProfiling(true)
+		// VM events feed the bounded flight ring (newest window) while the
+		// -trace-out collector keeps receiving harness events unchanged.
+		profile.SetTracer(hub.Tracer())
+		if tele.addr != "" {
+			srv, err := telemetry.Start(hub, tele.addr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry: serving http://%s (metrics, debug/trace, debug/profile, debug/cells, healthz)\n", srv.Addr())
+		}
+	}
+
+	// flush writes whatever observability outputs were requested. It is
+	// safe mid-run (collector and registry snapshots are concurrent), and
+	// runs at most once — from the SIGINT handler or the normal exit path.
+	var flushOnce sync.Once
+	flush := func() {
+		flushOnce.Do(func() {
+			if traceOut != "" {
+				if err := writeTrace(traceOut, coll); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtab: trace flush:", err)
+				}
+			}
+			if tele.snapshot != "" {
+				if err := writeSnapshot(tele.snapshot, hub); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtab: telemetry snapshot:", err)
+				}
+			}
+		})
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: %v: flushing partial observability outputs\n", s)
+		flush()
+		os.Exit(130)
+	}()
+
 	results, metrics := harness.RunCellsWith(cells, ropt)
 	fmt.Println(metrics.Render())
 	// Failure summary: any cell still failed or quarantined after the
@@ -276,24 +348,57 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, traceOut string) err
 		}
 		fmt.Fprintln(os.Stderr, "benchtab: cell failed:", r.Err)
 	}
+	flush()
 	if failed+quarantined > 0 {
 		return fmt.Errorf("%d of %d cells failed (%d quarantined) after retries",
 			failed+quarantined, len(cells), quarantined)
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		if err := obsv.WriteChromeTrace(f, coll.Events(), nil); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("trace: %d events -> %s\n", coll.Len(), traceOut)
-	}
 	return nil
+}
+
+// writeTrace exports the collector's events (with an explicit truncation
+// marker if its Limit dropped any) as a Chrome trace file.
+func writeTrace(path string, coll *obsv.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obsv.WriteChromeTrace(f, coll.EventsWithTruncation(), nil); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events -> %s\n", coll.Len(), path)
+	return nil
+}
+
+// writeSnapshot dumps the hub's registry: "-" prints the aligned text
+// table to stdout, a *.json path gets indented JSON, anything else the
+// text table.
+func writeSnapshot(dst string, hub *telemetry.Hub) error {
+	snap := hub.Registry().Snapshot()
+	if dst == "-" {
+		fmt.Print(snap.Text())
+		return nil
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(dst, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		_, err = f.WriteString(snap.Text())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("telemetry snapshot: %d metrics -> %s\n", len(snap.Metrics), dst)
+	}
+	return err
 }
 
 func fatal(err error) {

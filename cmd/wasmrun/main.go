@@ -10,6 +10,7 @@
 //	wasmrun -mode opt prog.wasm        # --no-liftoff
 //	wasmrun -profile prog.wasm         # per-function virtual-cycle profile
 //	wasmrun -trace-out t.json prog.wasm  # Chrome trace_event JSON
+//	wasmrun -telemetry-snapshot - prog.wasm  # metrics snapshot to stdout
 //	wasmrun -no-fuse prog.wasm         # disable the superinstruction tier
 //	                                   # (identical metrics, slower dispatch)
 //	wasmrun -no-regtier prog.wasm      # disable register-form optimized dispatch
@@ -21,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wasmbench/internal/browser"
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 	"wasmbench/internal/wasm"
 	"wasmbench/internal/wasmvm"
 )
@@ -40,6 +43,7 @@ func main() {
 	tierUpThreshold := flag.Uint64("tierup-threshold", 0, "hotness (calls + loop back-edges) before tier-up; 0 keeps the browser profile's default")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	foldedOut := flag.String("folded-out", "", "write folded stacks (flamegraph.pl / speedscope input)")
+	teleSnap := flag.String("telemetry-snapshot", "", "dump a telemetry metrics snapshot after the run ('-' = text to stdout; a path ending in .json gets JSON)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wasmrun [flags] <module.wasm>")
@@ -92,6 +96,11 @@ func main() {
 	if *tierUpThreshold != 0 {
 		cfg.TierUpThreshold = *tierUpThreshold
 	}
+	var reg *telemetry.Registry
+	if *teleSnap != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Instruments = telemetry.NewVMInstruments(reg)
+	}
 
 	vm, err := wasmvm.New(mod, len(bin), cfg)
 	if err != nil {
@@ -130,7 +139,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := obsv.WriteChromeTrace(f, coll.Events(), vm.Profile()); err != nil {
+		if err := obsv.WriteChromeTrace(f, coll.EventsWithTruncation(), vm.Profile()); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -143,13 +152,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := obsv.WriteFolded(f, coll.Events()); err != nil {
+		if err := obsv.WriteFolded(f, coll.EventsWithTruncation()); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}
+	if *teleSnap != "" {
+		if err := dumpSnapshot(*teleSnap, reg.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpSnapshot writes a registry snapshot: "-" prints the text table to
+// stdout, a *.json path gets indented JSON, anything else the text table.
+func dumpSnapshot(dst string, snap telemetry.Snapshot) error {
+	if dst == "-" {
+		fmt.Print(snap.Text())
+		return nil
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(dst, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		_, err = f.WriteString(snap.Text())
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ import (
 	"wasmbench/internal/faultinject"
 	"wasmbench/internal/jsvm"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 	"wasmbench/internal/wasmvm"
 )
 
@@ -87,6 +88,16 @@ func (p *Profile) SetTracer(t obsv.Tracer) {
 func (p *Profile) SetProfiling(on bool) {
 	p.Wasm.Profile = on
 	p.JS.Profile = on
+}
+
+// SetInstruments attaches live-telemetry instrument bundles to both
+// engines: every VM the profile spawns from then on publishes its
+// counters there. Configs are copied per measurement, so the bundles ride
+// along by pointer; instruments are concurrency-safe and accumulate
+// across all cells measured on the profile.
+func (p *Profile) SetInstruments(r *telemetry.Registry) {
+	p.Wasm.Instruments = telemetry.NewVMInstruments(r)
+	p.JS.Instruments = telemetry.NewJSInstruments(r)
 }
 
 // MSFromCycles converts virtual cycles to milliseconds.

@@ -23,6 +23,7 @@ import (
 	"wasmbench/internal/ir"
 	"wasmbench/internal/minic"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 	"wasmbench/internal/wasm"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	// pipeline failure). nil is inert. Excluded from Fingerprint, so armed
 	// plans do not perturb artifact-cache keys.
 	Faults *faultinject.Plan
+	// Instruments publishes live counters to a telemetry registry (compile
+	// totals, per-pass work histogram). nil is inert; like Tracer it is
+	// excluded from Fingerprint because it never changes the artifact.
+	Instruments *telemetry.CompilerInstruments
 }
 
 // Target is a code generation target.
@@ -129,10 +134,14 @@ func wantTarget(opts Options, t Target) bool {
 // the same compilation always produces the same trace.
 type passClock struct {
 	tracer obsv.Tracer
+	inst   *telemetry.CompilerInstruments
 	ts     float64
 }
 
 func (c *passClock) stage(name string, work, before, after int) {
+	if c.inst != nil {
+		c.inst.PassWork.Observe(float64(work))
+	}
 	if c.tracer == nil {
 		return
 	}
@@ -152,7 +161,7 @@ func Compile(src string, opts Options) (*Artifact, error) {
 	for k, v := range opts.Defines {
 		defines[k] = v
 	}
-	clock := &passClock{tracer: opts.Tracer}
+	clock := &passClock{tracer: opts.Tracer, inst: opts.Instruments}
 
 	full := runtimeSource + "\n" + src
 	file, err := minic.ParseSource(full, defines)
@@ -246,6 +255,9 @@ func Compile(src string, opts Options) (*Artifact, error) {
 		}
 		art.X86 = xp
 		clock.stage("codegen-x86", xp.StaticInstrCount(), xp.StaticInstrCount(), xp.StaticInstrCount())
+	}
+	if opts.Instruments != nil {
+		opts.Instruments.Compiles.Inc()
 	}
 	return art, nil
 }

@@ -14,8 +14,8 @@ import (
 // equal fingerprints produce identical artifacts; the harness compile
 // cache keys on this.
 //
-// Tracer is deliberately excluded: it observes compilation but never
-// changes its output.
+// Tracer and Instruments are deliberately excluded: they observe
+// compilation but never change its output.
 func Fingerprint(src string, opts Options) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "src:%d:", len(src))

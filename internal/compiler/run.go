@@ -6,6 +6,7 @@ import (
 
 	"wasmbench/internal/codegen"
 	"wasmbench/internal/jsvm"
+	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasmvm"
 )
 
@@ -30,6 +31,10 @@ type Result struct {
 	GrowOps   int
 	GCs       int
 	TierUps   int
+	// Profiles carries the VM's per-function virtual-cycle profiles when
+	// profiling was enabled (Config.Profile or a non-nil Tracer); nil
+	// otherwise. The harness merges these into the live telemetry hub.
+	Profiles []obsv.FuncProfile
 }
 
 // memChecksum is FNV-1a over a byte slice (inlined to avoid allocating a
@@ -127,6 +132,7 @@ func RunWasm(art *Artifact, cfg wasmvm.Config) (*Result, error) {
 	r.Steps = r.WasmStats.Steps
 	r.GrowOps = r.WasmStats.GrowOps
 	r.TierUps = r.WasmStats.TierUps
+	r.Profiles = vm.Profile()
 	if len(res) == 1 {
 		r.Exit = wasmvm.AsI32(res[0])
 	}
@@ -150,6 +156,7 @@ func RunJS(art *Artifact, cfg jsvm.Config) (*Result, error) {
 		ExternalBytes: vm.PeakExternalBytes(),
 		GCs:           vm.GCCount(),
 		TierUps:       vm.TierUps(),
+		Profiles:      vm.Profile(),
 	}
 	for _, o := range vm.Output {
 		r.Output = append(r.Output, codegen.OutputEvent{Kind: o.Kind, I: o.I, F: o.F, S: o.S})

@@ -5,6 +5,7 @@ import (
 
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/faultinject"
+	"wasmbench/internal/telemetry"
 )
 
 // CacheStats are an ArtifactCache's lookup counters. Hits resolve
@@ -35,6 +36,11 @@ type ArtifactCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	stats   CacheStats
+	// inst mirrors the stats counters onto live telemetry instruments and
+	// compInst threads pass-level compiler instruments into cache-miss
+	// compiles (nil = none; see SetInstruments).
+	inst     *telemetry.CacheInstruments
+	compInst *telemetry.CompilerInstruments
 }
 
 type cacheEntry struct {
@@ -67,9 +73,15 @@ func (ac *ArtifactCache) compileCell(c Cell, faults *faultinject.Plan) (art *com
 		select {
 		case <-e.ready:
 			ac.stats.Hits++
+			if ac.inst != nil {
+				ac.inst.Hits.Inc()
+			}
 			ac.mu.Unlock()
 		default:
 			ac.stats.DedupWaits++
+			if ac.inst != nil {
+				ac.inst.DedupWaits.Inc()
+			}
 			ac.mu.Unlock()
 			<-e.ready
 		}
@@ -78,10 +90,15 @@ func (ac *ArtifactCache) compileCell(c Cell, faults *faultinject.Plan) (art *com
 	e := &cacheEntry{ready: make(chan struct{})}
 	ac.entries[key] = e
 	ac.stats.Misses++
+	if ac.inst != nil {
+		ac.inst.Misses.Inc()
+	}
+	compInst := ac.compInst
 	ac.mu.Unlock()
 
 	opts := cellOptions(c)
 	opts.Faults = faults
+	opts.Instruments = compInst
 	e.art, e.err = compiler.Compile(c.Bench.Source, opts)
 	if e.err != nil && faultinject.IsInjected(e.err) {
 		ac.mu.Lock()
@@ -90,6 +107,17 @@ func (ac *ArtifactCache) compileCell(c Cell, faults *faultinject.Plan) (art *com
 	}
 	close(e.ready)
 	return e.art, false, e.err
+}
+
+// SetInstruments mirrors future lookup counters onto live telemetry
+// instruments and threads compiler pass instruments into cache-miss
+// compiles (nil detaches either). The internal stats are unaffected, and
+// neither bundle enters the cache key.
+func (ac *ArtifactCache) SetInstruments(inst *telemetry.CacheInstruments, compInst *telemetry.CompilerInstruments) {
+	ac.mu.Lock()
+	ac.inst = inst
+	ac.compInst = compInst
+	ac.mu.Unlock()
 }
 
 // Stats returns a snapshot of the lookup counters.

@@ -20,6 +20,7 @@ import (
 	"wasmbench/internal/faultinject"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 )
 
 // Resilience errors.
@@ -144,6 +145,11 @@ func runAttempt(c Cell, cache *ArtifactCache, opt RunOptions, rung string, plan 
 	} else {
 		opts := cellOptions(cc)
 		opts.Faults = plan
+		if opt.Telemetry != nil {
+			// Get-or-create against the registry: cheap, and cold compiles
+			// stay visible on /metrics even with the cache disabled.
+			opts.Instruments = telemetry.NewCompilerInstruments(opt.Telemetry.Registry())
+		}
 		art, err = compiler.Compile(cc.Bench.Source, opts)
 	}
 	info.compile = time.Since(t0)

@@ -12,6 +12,7 @@ import (
 	"wasmbench/internal/faultinject"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 )
 
 // Cell is one measurement cell: a benchmark compiled with a configuration
@@ -141,6 +142,14 @@ type RunOptions struct {
 	// Checkpoint, when set, restores previously completed cells instead of
 	// re-running them and records each new success as it finishes.
 	Checkpoint *Checkpoint
+	// Telemetry, when set, publishes the run live: harness instruments
+	// (cell latency histograms, queue-depth gauge, robustness counters) on
+	// the hub's registry, an in-flight cell table as the hub's "cells"
+	// provider, merged VM profiles, harness trace events teed into the
+	// hub's flight recorder, and a flight dump frozen on every cell
+	// failure. nil (the default) changes nothing: results and metrics are
+	// byte-identical with telemetry on or off.
+	Telemetry *telemetry.Hub
 }
 
 // DefaultWorkers returns the harness's default pool size.
@@ -203,6 +212,14 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 	}
 	quar := newQuarantine(opt.QuarantineAfter)
 
+	start := time.Now()
+	// Arm live telemetry (nil hub → nil tracker; every hook is then a
+	// no-op) and tee harness trace events into the hub's flight recorder.
+	rt := newRunTelemetry(opt.Telemetry, cells, workers, cache, opt.Faults, start)
+	if rt != nil {
+		opt.Tracer = obsv.Multi(opt.Tracer, opt.Telemetry.Tracer())
+	}
+
 	// Restore checkpointed cells before enqueueing: resumed cells never
 	// reach a worker, so a resumed run measures only what is missing.
 	resumed := make([]bool, len(cells))
@@ -211,6 +228,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 			if r, ok := opt.Checkpoint.Lookup(c); ok {
 				out[i] = r
 				resumed[i] = true
+				rt.resumed(i)
 				metrics.Cells[i] = obsv.CellMetric{Label: c.Label(), Resumed: true}
 				if r.Meas != nil && r.Meas.Result != nil {
 					metrics.Cells[i].TierUps = r.Meas.Result.TierUps
@@ -233,12 +251,12 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		}
 	}
 	close(idx)
+	rt.enqueued(pending)
 
 	var (
-		mu    sync.Mutex
-		done  int
-		wg    sync.WaitGroup
-		start = time.Now()
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -257,6 +275,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 						TS: float64(cellStart), Name: c.Label(),
 						Track: "harness", A: float64(worker), B: float64(depth)})
 				}
+				rt.cellStart(i, worker)
 				r, oc := runCellResilient(c, opt, cache, quar, start)
 				wall := time.Since(start) - cellStart
 				out[i] = r
@@ -280,6 +299,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					cm.OptCycles = r.Meas.Result.WasmStats.OptCycles
 				}
 				metrics.Cells[i] = cm
+				rt.cellDone(i, r, cm)
 				if r.Err == nil && opt.Checkpoint != nil {
 					// Checkpoint write failures are non-fatal: the sweep's
 					// results are still valid, only resumability suffers.

@@ -1,0 +1,235 @@
+package harness
+
+// This file wires one RunCellsWith invocation into a telemetry.Hub: live
+// harness instruments (cell latency histograms, queue depth, robustness
+// counters), a mutex-protected per-cell state table published as the
+// hub's "cells" JSON provider (the workers' own metrics.Cells writes are
+// index-disjoint and lock-free, so /debug/cells reads this copy instead),
+// failure dumps of the flight-recorder window, and live-profile merging.
+// A nil Hub (the default) makes every hook a no-op.
+
+import (
+	"sync"
+	"time"
+
+	"wasmbench/internal/faultinject"
+	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
+)
+
+// CellState is the live, JSON-facing view of one cell in an in-flight
+// sweep, served at /debug/cells while workers are still running.
+type CellState struct {
+	Label  string `json:"label"`
+	Status string `json:"status"` // pending, running, ok, failed, quarantined, resumed
+	Worker int    `json:"worker"`
+	// Wall-clock split in milliseconds (0 until the cell finishes).
+	WallMs    float64 `json:"wall_ms"`
+	CompileMs float64 `json:"compile_ms"`
+	MeasureMs float64 `json:"measure_ms"`
+	// Cycles is the measurement's virtual-cycle total; TierUps the VM tier
+	// promotions it observed.
+	Cycles   float64 `json:"cycles,omitempty"`
+	TierUps  int     `json:"tier_ups,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+	Degraded string  `json:"degraded,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+}
+
+// SweepState is the /debug/cells payload: run-level aggregates plus the
+// per-cell table.
+type SweepState struct {
+	Workers     int         `json:"workers"`
+	Total       int         `json:"total"`
+	Done        int         `json:"done"`
+	Running     int         `json:"running"`
+	Failed      int         `json:"failed"`
+	Resumed     int         `json:"resumed"`
+	Retries     int         `json:"retries"`
+	Degraded    int         `json:"degraded"`
+	Quarantined int         `json:"quarantined"`
+	Faults      int         `json:"faults_injected"`
+	QueueDepth  int         `json:"queue_depth"`
+	Cache       CacheStats  `json:"cache"`
+	ElapsedMs   float64     `json:"elapsed_ms"`
+	Cells       []CellState `json:"cells"`
+}
+
+// runTelemetry tracks one run's live state. A nil *runTelemetry is inert,
+// so RunCellsWith calls its hooks unconditionally.
+type runTelemetry struct {
+	hub   *telemetry.Hub
+	inst  *telemetry.HarnessInstruments
+	cache *ArtifactCache
+	plan  *faultinject.Plan
+	start time.Time
+
+	mu         sync.Mutex
+	state      SweepState
+	faultsSeen int
+}
+
+// newRunTelemetry arms the hub for one run (nil hub → nil tracker). It
+// registers the harness instruments, publishes the "cells" provider, and
+// threads cache instruments into the artifact cache.
+func newRunTelemetry(hub *telemetry.Hub, cells []Cell, workers int, cache *ArtifactCache, plan *faultinject.Plan, start time.Time) *runTelemetry {
+	if hub == nil {
+		return nil
+	}
+	rt := &runTelemetry{
+		hub:   hub,
+		inst:  telemetry.NewHarnessInstruments(hub.Registry()),
+		cache: cache,
+		plan:  plan,
+		start: start,
+	}
+	if plan != nil {
+		rt.faultsSeen = plan.TotalFired()
+	}
+	rt.state = SweepState{
+		Workers: workers,
+		Total:   len(cells),
+		Cells:   make([]CellState, len(cells)),
+	}
+	for i, c := range cells {
+		rt.state.Cells[i] = CellState{Label: c.Label(), Status: "pending"}
+	}
+	if cache != nil {
+		cache.SetInstruments(telemetry.NewCacheInstruments(hub.Registry()),
+			telemetry.NewCompilerInstruments(hub.Registry()))
+	}
+	hub.Publish("cells", rt.snapshot)
+	return rt
+}
+
+// snapshot is the "cells" provider: a deep copy safe to marshal after the
+// call returns.
+func (rt *runTelemetry) snapshot() any {
+	rt.mu.Lock()
+	s := rt.state
+	s.Cells = append([]CellState(nil), rt.state.Cells...)
+	rt.mu.Unlock()
+	if rt.cache != nil {
+		s.Cache = rt.cache.Stats()
+	}
+	s.ElapsedMs = float64(time.Since(rt.start)) / float64(time.Millisecond)
+	return s
+}
+
+// resumed records a checkpoint-restored cell.
+func (rt *runTelemetry) resumed(i int) {
+	if rt == nil {
+		return
+	}
+	rt.inst.Checkpoints.Inc()
+	rt.mu.Lock()
+	rt.state.Cells[i].Status = "resumed"
+	rt.state.Resumed++
+	rt.state.Done++
+	rt.mu.Unlock()
+}
+
+// enqueued sets the initial queue-depth gauge.
+func (rt *runTelemetry) enqueued(pending int) {
+	if rt == nil {
+		return
+	}
+	rt.inst.QueueDepth.Set(float64(pending))
+	rt.mu.Lock()
+	rt.state.QueueDepth = pending
+	rt.mu.Unlock()
+}
+
+// cellStart marks a cell claimed by a worker.
+func (rt *runTelemetry) cellStart(i, worker int) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	cs := &rt.state.Cells[i]
+	cs.Status = "running"
+	cs.Worker = worker
+	rt.state.Running++
+	rt.state.QueueDepth--
+	depth := rt.state.QueueDepth
+	rt.mu.Unlock()
+	rt.inst.QueueDepth.Set(float64(depth))
+}
+
+// cellDone folds one finished cell into the live state, observes the
+// latency histograms, and freezes a flight dump on failure.
+func (rt *runTelemetry) cellDone(i int, r CellResult, cm obsv.CellMetric) {
+	if rt == nil {
+		return
+	}
+	rt.inst.CellsDone.Inc()
+	rt.inst.CellWall.Observe(cm.Wall.Seconds())
+	rt.inst.CellCompile.Observe(cm.Compile.Seconds())
+	rt.inst.CellMeasure.Observe(cm.Measure.Seconds())
+	if cm.Attempts > 1 {
+		rt.inst.Retries.Add(float64(cm.Attempts - 1))
+	}
+	if cm.Degraded != "" {
+		rt.inst.Degraded.Inc()
+	}
+	if cm.Quarantined {
+		rt.inst.Quarantined.Inc()
+	}
+
+	cs := CellState{
+		Label:     cm.Label,
+		Status:    "ok",
+		Worker:    cm.Worker,
+		WallMs:    float64(cm.Wall) / float64(time.Millisecond),
+		CompileMs: float64(cm.Compile) / float64(time.Millisecond),
+		MeasureMs: float64(cm.Measure) / float64(time.Millisecond),
+		TierUps:   cm.TierUps,
+		Attempts:  cm.Attempts,
+		Degraded:  cm.Degraded,
+		CacheHit:  cm.CacheHit,
+	}
+	switch {
+	case cm.Quarantined:
+		cs.Status = "quarantined"
+	case cm.Failed:
+		cs.Status = "failed"
+	}
+	if r.Meas != nil && r.Meas.Result != nil {
+		cs.Cycles = r.Meas.Result.Cycles
+		rt.inst.CellCycles.Observe(r.Meas.Result.Cycles)
+		rt.hub.MergeProfiles(r.Meas.Result.Profiles)
+	}
+
+	rt.mu.Lock()
+	rt.state.Cells[i] = cs
+	rt.state.Running--
+	rt.state.Done++
+	if cm.Failed {
+		rt.state.Failed++
+	}
+	if cm.Attempts > 1 {
+		rt.state.Retries += cm.Attempts - 1
+	}
+	if cm.Degraded != "" {
+		rt.state.Degraded++
+	}
+	if cm.Quarantined {
+		rt.state.Quarantined++
+	}
+	if rt.plan != nil {
+		cur := rt.plan.TotalFired()
+		if d := cur - rt.faultsSeen; d > 0 {
+			rt.inst.Faults.Add(float64(d))
+			rt.state.Faults += d
+		}
+		rt.faultsSeen = cur
+	}
+	rt.mu.Unlock()
+
+	if r.Err != nil {
+		// Freeze the trace window that led up to the failure before newer
+		// events overwrite it; /debug/trace?which=failure serves it.
+		rt.inst.FlightFailures.Inc()
+		rt.hub.DumpFlight(cm.Label + ": " + r.Err.Error())
+	}
+}

@@ -58,6 +58,10 @@ func (vm *VM) gc() {
 			Dur: charge, Track: "js",
 			A: float64(freedHeap + freedExt), B: float64(len(live))})
 	}
+	if vm.inst != nil {
+		vm.inst.GCCycles.Inc()
+		vm.inst.GCFreedBytes.Add(float64(freedHeap + freedExt))
+	}
 	vm.objects = live
 	if freedHeap > vm.heapLive {
 		freedHeap = vm.heapLive

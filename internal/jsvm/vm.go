@@ -6,6 +6,7 @@ import (
 
 	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 )
 
 // JSClass buckets evaluation steps for virtual-cycle accounting.
@@ -150,6 +151,12 @@ type Config struct {
 	// pinning a function to the interpreter, heap-limit OOM). nil — the
 	// default — is completely inert.
 	Faults *faultinject.Plan
+	// Instruments publishes live counters to a telemetry registry (JIT
+	// compiles, deopts, GC cycles and freed bytes, steps/cycles flushed at
+	// Run/CallFunction boundaries). nil (the default) is inert under the
+	// same discipline as Tracer/Faults, and instruments never feed back
+	// into the virtual clock.
+	Instruments *telemetry.JSInstruments
 }
 
 // DefaultConfig returns a neutral engine configuration.
@@ -215,6 +222,7 @@ type VM struct {
 	allocSince   uint64
 	gcCount      int
 	tierUps      int
+	deopts       int
 	epoch        uint32
 
 	envStack []*env
@@ -240,6 +248,12 @@ type VM struct {
 	profiling bool
 	// faults is the armed fault plan (nil = inert; see Config.Faults).
 	faults *faultinject.Plan
+	// inst is the live-telemetry bundle (nil = inert); lastFlushSteps and
+	// lastFlushCycles snapshot the bulk counters at the previous flush so
+	// each engine entry publishes only its delta.
+	inst            *telemetry.JSInstruments
+	lastFlushSteps  uint64
+	lastFlushCycles float64
 	// allFuncs registers every compiled function (in compile order) for
 	// profile export.
 	allFuncs []*compiledFunc
@@ -292,6 +306,7 @@ func New(cfg Config) *VM {
 	// injection point (and must not consume its sequence numbers).
 	vm.installHost()
 	vm.faults = cfg.Faults
+	vm.inst = cfg.Instruments
 	return vm
 }
 
@@ -331,6 +346,11 @@ func (vm *VM) GCCount() int { return vm.gcCount }
 // TierUps returns how many function code objects were promoted to the
 // optimizing JIT tier (0 whenever JITEnabled is false).
 func (vm *VM) TierUps() int { return vm.tierUps }
+
+// Deopts returns how many code objects were pinned back to the
+// interpreter tier for good (today only injected JIT-compile failures
+// cause this permanent deopt).
+func (vm *VM) Deopts() int { return vm.deopts }
 
 // HeapBytes returns the current JS-heap bytes (excluding ArrayBuffer
 // backing stores) plus the engine baseline.
@@ -430,6 +450,7 @@ type hostBinding struct {
 // call compiles a fresh top-level scope that shares the host bindings.
 func (vm *VM) Run(src string) (_ Value, err error) {
 	defer vm.recoverOOM(&err)
+	defer vm.flushInstruments()
 	vm.cycles += vm.cfg.ParsePerByte * float64(len(src))
 	body, err := jsParse(src)
 	if err != nil {
@@ -536,6 +557,7 @@ func (vm *VM) CallFunction(fn Value, args []Value) (_ Value, err error) {
 		return Undefined, fmt.Errorf("jsvm: not a function: %s", fn.ToString())
 	}
 	defer vm.recoverOOM(&err)
+	defer vm.flushInstruments()
 	return vm.callFuncObj(fn.Obj, Undefined, args)
 }
 
@@ -549,6 +571,31 @@ func (vm *VM) recoverOOM(err *error) {
 		}
 		panic(r)
 	}
+}
+
+// noteDeopt counts one permanent deopt (engine stat + live instrument).
+func (vm *VM) noteDeopt() {
+	vm.deopts++
+	if vm.inst != nil {
+		vm.inst.Deopts.Inc()
+	}
+}
+
+// flushInstruments publishes the bulk counters accumulated since the last
+// flush (steps, cycles, peak heap) to the instrument bundle. Called once
+// per engine entry (Run/CallFunction) so evaluation itself never carries
+// telemetry writes; rare events (tier-up, deopt, GC) publish at their own
+// hook sites.
+func (vm *VM) flushInstruments() {
+	if vm.inst == nil {
+		return
+	}
+	vm.inst.Runs.Inc()
+	vm.inst.Steps.Add(float64(vm.steps - vm.lastFlushSteps))
+	vm.inst.Cycles.Add(vm.cycles - vm.lastFlushCycles)
+	vm.inst.PeakHeap.SetMax(float64(vm.PeakHeapBytes()))
+	vm.lastFlushSteps = vm.steps
+	vm.lastFlushCycles = vm.cycles
 }
 
 // emitFault records an injected-fault trace event at the current clock.
@@ -623,6 +670,7 @@ func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
 			// Injected JIT compile failure: pin the code object to the
 			// interpreter tier for the rest of its life (a permanent deopt).
 			cf.jitBlocked = true
+			vm.noteDeopt()
 			vm.emitFault(faultinject.JSJITCompile)
 			return &vm.cfg.InterpCost
 		}
@@ -637,6 +685,9 @@ func (vm *VM) tierCosts(cf *compiledFunc) *JSCostTable {
 func (vm *VM) tierUp(cf *compiledFunc) {
 	cf.tieredUp = true
 	vm.tierUps++
+	if vm.inst != nil {
+		vm.inst.JITCompiles.Inc()
+	}
 	vm.cycles += vm.cfg.CompilePerNode * float64(cf.nNodes)
 	if vm.tracer != nil {
 		vm.tracer.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: vm.cycles,
@@ -652,6 +703,7 @@ func (vm *VM) bumpLoop(e *env) {
 	if !cf.tieredUp && vm.cfg.JITEnabled && !cf.jitBlocked && cf.hot >= vm.cfg.TierUpThreshold {
 		if vm.faults != nil && vm.faults.Fire(faultinject.JSJITCompile, cf.name) {
 			cf.jitBlocked = true
+			vm.noteDeopt()
 			vm.emitFault(faultinject.JSJITCompile)
 		} else {
 			vm.tierUp(cf)

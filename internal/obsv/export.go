@@ -107,6 +107,10 @@ func WriteChromeTrace(w io.Writer, events []Event, profiles []FuncProfile) error
 		case KindFault, KindRetry, KindDegrade, KindQuarantine:
 			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"args":{"a":%s,"b":%s}}`,
 				jstr(e.Kind.String()+" "+e.Name), jstr(e.Kind.String()), tid, ts, jnum(e.A), jnum(e.B)))
+		case KindTruncation:
+			// Global (s:"g") instant so the loss is visible on every track.
+			emit(fmt.Sprintf(`{"name":%s,"cat":"truncation","ph":"i","s":"g","pid":1,"tid":%d,"ts":%s,"args":{"events_lost":%s}}`,
+				jstr(fmt.Sprintf("TRUNCATED: %.0f events lost (%s)", e.A, e.Name)), tid, ts, jnum(e.A)))
 		}
 	}
 	// Per-function profile slices: consecutive spans sized by total cycles.
@@ -164,6 +168,13 @@ func WriteFolded(w io.Writer, events []Event) error {
 		}
 		walk(prefix, trees[t])
 	}
+	// Truncation markers become a synthetic stack weighted by the number of
+	// lost events, so flame graphs show the hole instead of hiding it.
+	for _, e := range events {
+		if e.Kind == KindTruncation {
+			fmt.Fprintf(&b, "[TRUNCATED: %s] %.0f\n", e.Name, e.A)
+		}
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -183,5 +194,10 @@ func CompilePassTable(events []Event) string {
 		totalWork += e.Dur
 	}
 	fmt.Fprintf(&b, "%-28s %12.0f\n", "total", totalWork)
+	for _, e := range events {
+		if e.Kind == KindTruncation {
+			fmt.Fprintf(&b, "TRUNCATED: %.0f events lost (%s)\n", e.A, e.Name)
+		}
+	}
 	return b.String()
 }

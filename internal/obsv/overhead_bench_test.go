@@ -21,6 +21,7 @@ import (
 	"wasmbench/internal/compiler"
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 	"wasmbench/internal/wasm"
 	"wasmbench/internal/wasmvm"
 )
@@ -95,6 +96,104 @@ func BenchmarkInterpTraced(b *testing.B) {
 		coll := &obsv.Collector{}
 		cfg.Tracer = coll
 		runOnce(b, mod, size, cfg)
+	}
+}
+
+// BenchmarkInterpInstrumented measures the live-telemetry configuration:
+// VM instruments attached to a registry (bulk counters flush per exported
+// call; rare events update at their hook sites). The contract is that this
+// stays within noise of Baseline — the dispatch loop carries no telemetry
+// writes.
+func BenchmarkInterpInstrumented(b *testing.B) {
+	mod, size := buildModule(b)
+	cfg := wasmvm.DefaultConfig()
+	cfg.Instruments = telemetry.NewVMInstruments(telemetry.NewRegistry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce(b, mod, size, cfg)
+	}
+}
+
+// BenchmarkRegistryCounterAdd is the raw instrument hot path: one striped
+// float add per op, contended across GOMAXPROCS goroutines (the shape of
+// per-call cycle flushes from a worker pool).
+func BenchmarkRegistryCounterAdd(b *testing.B) {
+	c := telemetry.NewRegistry().Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1.5)
+		}
+	})
+	if c.Value() <= 0 {
+		b.Fatal("counter lost updates")
+	}
+}
+
+// TestNilTelemetryAllocationFree proves the disabled telemetry path adds
+// zero allocations: every hook the VMs, toolchain, and harness call on nil
+// instruments must not allocate (they reduce to one branch).
+func TestNilTelemetryAllocationFree(t *testing.T) {
+	var (
+		vmInst   *telemetry.VMInstruments
+		c        *telemetry.Counter
+		g        *telemetry.Gauge
+		h        *telemetry.Histogram
+		f        *telemetry.FlightRecorder
+		hub      *telemetry.Hub
+		sinkT    obsv.Tracer
+		sinkR    *telemetry.Registry
+		sinkProf []obsv.FuncProfile
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact calls instrumented code makes, on the disabled path.
+		c.Inc()
+		c.Add(123.5)
+		g.Set(1)
+		g.SetMax(2)
+		h.Observe(0.5)
+		f.Emit(obsv.Event{Kind: obsv.KindTierUp})
+		sinkT = hub.Tracer()
+		sinkR = hub.Registry()
+		sinkProf = hub.Profiles()
+		if vmInst != nil { // the hook-site guard itself
+			vmInst.TierUps.Inc()
+		}
+	})
+	_, _, _ = sinkT, sinkR, sinkProf
+	if allocs != 0 {
+		t.Fatalf("nil-telemetry hooks allocate %v times per run, want 0", allocs)
+	}
+}
+
+// TestInstrumentsPreserveVirtualMetrics is the whole-VM form of the same
+// contract: attaching instruments must leave every virtual metric
+// byte-identical — instruments observe the clock, they never feed it.
+func TestInstrumentsPreserveVirtualMetrics(t *testing.T) {
+	mod, size := buildModule(t)
+	off := runOnce(t, mod, size, wasmvm.DefaultConfig())
+
+	reg := telemetry.NewRegistry()
+	cfg := wasmvm.DefaultConfig()
+	cfg.Instruments = telemetry.NewVMInstruments(reg)
+	on := runOnce(t, mod, size, cfg)
+
+	if off.Cycles() != on.Cycles() {
+		t.Fatalf("instruments changed virtual time: %v vs %v", off.Cycles(), on.Cycles())
+	}
+	if off.Stats() != on.Stats() {
+		t.Fatalf("instruments changed stats:\noff %+v\non  %+v", off.Stats(), on.Stats())
+	}
+	// And the instruments saw the run they watched.
+	snap := reg.Snapshot()
+	vals := map[string]float64{}
+	for _, m := range snap.Metrics {
+		vals[m.Name] = m.Value
+	}
+	if got := vals["wasm_steps_total"]; got != float64(on.Stats().Steps) {
+		t.Fatalf("wasm_steps_total = %v, VM counted %d", got, on.Stats().Steps)
+	}
+	if got := vals["wasm_runs_total"]; got != 1 {
+		t.Fatalf("wasm_runs_total = %v, want 1", got)
 	}
 }
 

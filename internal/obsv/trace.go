@@ -68,13 +68,19 @@ const (
 	// consecutive failures. Name is the cell label; A is the consecutive
 	// failure count that tripped it.
 	KindQuarantine
+	// KindTruncation is a synthetic marker inserted by exporters where a
+	// bounded buffer lost events: after the last stored event for a
+	// Collector (which keeps the *oldest* events once Limit is reached)
+	// or before the first for a flight recorder (which keeps the
+	// *newest*). Name describes the loss; A is the number of events lost.
+	KindTruncation
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"call-enter", "call-exit", "tier-up", "gc-cycle", "mem-grow",
 	"compile-pass", "cell-start", "cell-done", "divergence",
-	"fault", "retry", "degrade", "quarantine",
+	"fault", "retry", "degrade", "quarantine", "truncation",
 }
 
 // String returns the kind's short name.
@@ -110,8 +116,20 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// TruncationEvent builds the synthetic marker for lost events. The
+// timestamp ts should place the marker where the loss happened: the last
+// stored event's TS for a keep-oldest Collector, the first retained
+// event's TS for a keep-newest flight recorder.
+func TruncationEvent(lost int, note string, ts float64) Event {
+	return Event{Kind: KindTruncation, TS: ts, Name: note, A: float64(lost)}
+}
+
 // Collector is the standard Tracer: an in-memory, mutex-protected event
-// buffer. The zero value is ready to use.
+// buffer. With a Limit set it keeps the *oldest* events and counts the
+// newest in Dropped() — the right shape for "how did the run begin". Its
+// complement is telemetry.FlightRecorder, a bounded ring keeping the
+// *newest* events for "what just happened". Exporters surface the loss
+// either way via EventsWithTruncation. The zero value is ready to use.
 type Collector struct {
 	mu     sync.Mutex
 	events []Event
@@ -153,6 +171,25 @@ func (c *Collector) Dropped() int {
 	return c.dropped
 }
 
+// EventsWithTruncation returns the stored events followed by a synthetic
+// KindTruncation marker when the Limit discarded any — so exporters show
+// where the record stops instead of silently ending. With nothing
+// dropped it is identical to Events.
+func (c *Collector) EventsWithTruncation() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]Event(nil), c.events...)
+	if c.dropped > 0 {
+		var ts float64
+		if n := len(out); n > 0 {
+			ts = out[n-1].TS
+		}
+		out = append(out, TruncationEvent(c.dropped,
+			"collector limit reached: newest events dropped", ts))
+	}
+	return out
+}
+
 // Reset discards all collected events.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -185,6 +222,34 @@ func WithTrack(t Tracer, prefix string) Tracer {
 		return nil
 	}
 	return trackTracer{inner: t, prefix: prefix}
+}
+
+// multiTracer fans one event stream out to several tracers.
+type multiTracer struct{ tracers []Tracer }
+
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m.tracers {
+		t.Emit(e)
+	}
+}
+
+// Multi tees events to every non-nil tracer. Nil entries are dropped; if
+// none (or one) remain, Multi returns nil (or that tracer) so the
+// disabled fast path and single-tracer dispatch stay unwrapped.
+func Multi(tracers ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiTracer{tracers: kept}
 }
 
 // FilterKinds returns the subset of events whose kind is in kinds,

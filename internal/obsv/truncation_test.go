@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEventsWithTruncation checks the keep-oldest drop semantics are
+// surfaced, not silent: a limited collector's export carries an explicit
+// marker where the record stops.
+func TestEventsWithTruncation(t *testing.T) {
+	c := &Collector{Limit: 2}
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Kind: KindCallEnter, TS: float64(i * 10), Name: "f"})
+	}
+	if c.Len() != 2 || c.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/3", c.Len(), c.Dropped())
+	}
+	// Events() is the raw view, unchanged.
+	if got := c.Events(); len(got) != 2 {
+		t.Fatalf("Events() = %d events, want 2", len(got))
+	}
+	got := c.EventsWithTruncation()
+	if len(got) != 3 {
+		t.Fatalf("EventsWithTruncation = %d events, want 2 + marker", len(got))
+	}
+	mark := got[2]
+	if mark.Kind != KindTruncation || mark.A != 3 {
+		t.Fatalf("marker = %+v, want KindTruncation with A=3", mark)
+	}
+	// Keep-oldest: the marker sits at the END, timestamped at the last
+	// stored event (the loss happened after it).
+	if mark.TS != got[1].TS {
+		t.Fatalf("marker TS = %v, want %v (end of stored record)", mark.TS, got[1].TS)
+	}
+
+	// Nothing dropped → identical to Events.
+	c2 := &Collector{}
+	c2.Emit(Event{Kind: KindCallEnter, TS: 1})
+	if got := c2.EventsWithTruncation(); len(got) != 1 {
+		t.Fatalf("unlimited collector grew a marker: %+v", got)
+	}
+}
+
+// TestTruncationInExporters checks every exporter renders the marker.
+func TestTruncationInExporters(t *testing.T) {
+	events := []Event{
+		{Kind: KindCallEnter, TS: 0, Name: "main", Track: "wasm"},
+		{Kind: KindCallExit, TS: 100, Name: "main", Track: "wasm"},
+		TruncationEvent(7, "collector limit reached: newest events dropped", 100),
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), "TRUNCATED: 7 events lost") {
+		t.Fatalf("Chrome trace missing truncation instant:\n%s", chrome.String())
+	}
+	if !strings.Contains(chrome.String(), `"events_lost":7`) {
+		t.Fatalf("Chrome trace missing events_lost arg:\n%s", chrome.String())
+	}
+
+	var folded bytes.Buffer
+	if err := WriteFolded(&folded, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(folded.String(), "[TRUNCATED:") {
+		t.Fatalf("folded output missing truncation line:\n%s", folded.String())
+	}
+
+	passes := []Event{
+		{Kind: KindCompilePass, TS: 0, Dur: 10, Name: "parse", Track: "compile"},
+		TruncationEvent(3, "collector limit reached", 10),
+	}
+	table := CompilePassTable(passes)
+	if !strings.Contains(table, "TRUNCATED: 3 events lost") {
+		t.Fatalf("pass table missing truncation note:\n%s", table)
+	}
+}
+
+// TestMulti checks the tracer tee: fan-out to all targets, nil filtering,
+// and unwrapping down to nil/single.
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing must be nil (preserves the disabled fast path)")
+	}
+	a := &Collector{}
+	if got := Multi(nil, a, nil); got != Tracer(a) {
+		t.Fatalf("Multi with one live tracer = %T, want the tracer itself", got)
+	}
+	b := &Collector{}
+	m := Multi(a, b)
+	m.Emit(Event{Kind: KindCallEnter, TS: 1, Name: "x"})
+	m.Emit(Event{Kind: KindCallExit, TS: 2, Name: "x"})
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("tee delivered %d/%d events, want 2/2", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+
+	"wasmbench/internal/obsv"
+)
+
+// FlightRecorder is a bounded obsv.Tracer that keeps the *newest* events:
+// a fixed-capacity ring where each arrival past capacity overwrites the
+// oldest record. This is the complement of obsv.Collector's Limit, which
+// keeps the oldest events and counts the rest in Dropped() — a collector
+// answers "how did the run begin", a flight recorder answers "what just
+// happened", which is what you want when a cell fails mid-sweep or when a
+// live /debug/trace scrape asks for the current window.
+//
+// Emit is mutex-protected (like Collector) and safe for concurrent use
+// from the harness worker pool and the VMs it runs. Snapshot can be taken
+// at any instant, including while events are still arriving.
+type FlightRecorder struct {
+	mu          sync.Mutex
+	buf         []obsv.Event
+	next        int // ring cursor: index of the slot the next event lands in
+	wrapped     bool
+	overwritten uint64
+}
+
+// DefaultFlightCapacity is the event window kept when no explicit
+// capacity is configured (≈ a few seconds of VM events on a busy sweep).
+const DefaultFlightCapacity = 65536
+
+// NewFlightRecorder returns a recorder keeping the newest capacity events
+// (capacity <= 0 selects DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]obsv.Event, 0, capacity)}
+}
+
+// Emit stores the event, overwriting the oldest once the ring is full.
+func (f *FlightRecorder) Emit(e obsv.Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.next] = e
+		f.overwritten++
+		f.wrapped = true
+	}
+	f.next++
+	if f.next == cap(f.buf) {
+		f.next = 0
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the current window in arrival order (oldest retained
+// event first) plus how many older events have been overwritten so far.
+func (f *FlightRecorder) Snapshot() (events []obsv.Event, overwritten uint64) {
+	if f == nil {
+		return nil, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.wrapped {
+		return append([]obsv.Event(nil), f.buf...), f.overwritten
+	}
+	events = make([]obsv.Event, 0, len(f.buf))
+	events = append(events, f.buf[f.next:]...)
+	events = append(events, f.buf[:f.next]...)
+	return events, f.overwritten
+}
+
+// Len returns the number of events currently held.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.buf)
+}
+
+// Overwritten returns how many events have been displaced by newer ones.
+func (f *FlightRecorder) Overwritten() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.overwritten
+}
+
+// Reset discards the window (capacity is kept).
+func (f *FlightRecorder) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf = f.buf[:0]
+	f.next = 0
+	f.wrapped = false
+	f.overwritten = 0
+	f.mu.Unlock()
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"wasmbench/internal/obsv"
+)
+
+func ev(i int) obsv.Event {
+	return obsv.Event{Kind: obsv.KindCallEnter, TS: float64(i), A: float64(i)}
+}
+
+// TestFlightKeepsNewest is the core contract: the ring keeps the newest
+// events, the exact complement of obsv.Collector's keep-oldest Limit.
+func TestFlightKeepsNewest(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Emit(ev(i))
+	}
+	events, overwritten := f.Snapshot()
+	if overwritten != 6 {
+		t.Fatalf("overwritten = %d, want 6", overwritten)
+	}
+	if len(events) != 4 {
+		t.Fatalf("window holds %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := float64(6 + i); e.TS != want {
+			t.Fatalf("events[%d].TS = %v, want %v (window must be newest, in order)", i, e.TS, want)
+		}
+	}
+
+	// Contrast with the collector on the same stream: Limit keeps the oldest.
+	c := &obsv.Collector{Limit: 4}
+	for i := 0; i < 10; i++ {
+		c.Emit(ev(i))
+	}
+	kept := c.Events()
+	if len(kept) != 4 || kept[0].TS != 0 || kept[3].TS != 3 {
+		t.Fatalf("collector kept %v..%v of %d, want oldest 0..3",
+			kept[0].TS, kept[len(kept)-1].TS, len(kept))
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("collector dropped = %d, want 6", c.Dropped())
+	}
+}
+
+func TestFlightPartialWindow(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		f.Emit(ev(i))
+	}
+	events, overwritten := f.Snapshot()
+	if overwritten != 0 || len(events) != 3 {
+		t.Fatalf("partial window: %d events, %d overwritten", len(events), overwritten)
+	}
+	if f.Len() != 3 || f.Cap() != 8 {
+		t.Fatalf("Len/Cap = %d/%d, want 3/8", f.Len(), f.Cap())
+	}
+}
+
+func TestFlightReset(t *testing.T) {
+	f := NewFlightRecorder(2)
+	for i := 0; i < 5; i++ {
+		f.Emit(ev(i))
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Overwritten() != 0 {
+		t.Fatalf("after Reset: Len=%d Overwritten=%d", f.Len(), f.Overwritten())
+	}
+	f.Emit(ev(9))
+	events, _ := f.Snapshot()
+	if len(events) != 1 || events[0].TS != 9 {
+		t.Fatalf("post-reset window = %+v", events)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Emit(ev(1))
+	if events, over := f.Snapshot(); events != nil || over != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+	if f.Len() != 0 || f.Cap() != 0 || f.Overwritten() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	f.Reset()
+
+	var h *Hub
+	if h.Tracer() != nil || h.Registry() != nil {
+		t.Fatal("nil hub handed out live surfaces")
+	}
+	h.DumpFlight("x")
+	h.MergeProfiles([]obsv.FuncProfile{{Name: "f"}})
+	h.Publish("p", func() any { return nil })
+	if d, n := h.LastDump(); d != nil || n != 0 {
+		t.Fatal("nil hub recorded a dump")
+	}
+}
+
+// TestFlightConcurrent checks the ring under parallel emitters (data-race
+// coverage via -race; the count invariant holds regardless of interleaving).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				f.Emit(ev(i))
+			}
+		}()
+	}
+	wg.Wait()
+	events, overwritten := f.Snapshot()
+	if len(events) != 64 {
+		t.Fatalf("full ring holds %d, want 64", len(events))
+	}
+	if got, want := uint64(len(events))+overwritten, uint64(goroutines*perG); got != want {
+		t.Fatalf("held+overwritten = %d, want %d", got, want)
+	}
+}
+
+// TestHubDumpFreezesWindow verifies a failure dump is immune to later
+// traffic — the whole point of freezing it.
+func TestHubDumpFreezesWindow(t *testing.T) {
+	h := NewHub(4)
+	for i := 0; i < 6; i++ {
+		h.Flight.Emit(ev(i))
+	}
+	h.DumpFlight("cell X failed")
+	for i := 100; i < 110; i++ {
+		h.Flight.Emit(ev(i)) // would overwrite the live window completely
+	}
+	dump, n := h.LastDump()
+	if n != 1 || dump == nil {
+		t.Fatalf("dumps = %d, dump = %v", n, dump)
+	}
+	if dump.Reason != "cell X failed" || dump.Overwritten != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if len(dump.Events) != 4 || dump.Events[0].TS != 2 || dump.Events[3].TS != 5 {
+		t.Fatalf("dump window = %+v, want TS 2..5", dump.Events)
+	}
+}
+
+func TestHubMergeProfiles(t *testing.T) {
+	h := NewHub(4)
+	h.MergeProfiles([]obsv.FuncProfile{
+		{Track: "wasm", Name: "f", Calls: 1, SelfCycles: 10, TotalCycles: 15},
+		{Track: "wasm", Name: "g", Calls: 2, SelfCycles: 5, TotalCycles: 5},
+	})
+	h.MergeProfiles([]obsv.FuncProfile{
+		{Track: "wasm", Name: "f", Calls: 3, SelfCycles: 30, TotalCycles: 45},
+		{Track: "js", Name: "f", Calls: 1, SelfCycles: 100, TotalCycles: 100},
+	})
+	ps := h.Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("merged %d profiles, want 3", len(ps))
+	}
+	// Sorted by self cycles descending: js/f (100), wasm/f (40), wasm/g (5).
+	if ps[0].Track != "js" || ps[0].SelfCycles != 100 {
+		t.Fatalf("profiles[0] = %+v", ps[0])
+	}
+	if ps[1].Name != "f" || ps[1].Calls != 4 || ps[1].SelfCycles != 40 || ps[1].TotalCycles != 60 {
+		t.Fatalf("merged wasm/f = %+v", ps[1])
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wasmbench/internal/obsv"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	hub := NewHub(8)
+	hub.Reg.Counter("wasm_steps_total", "steps").Add(42)
+	hub.Flight.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: 1, Name: "main", Track: "wasm"})
+	hub.MergeProfiles([]obsv.FuncProfile{{Track: "wasm", Name: "main", Calls: 1, SelfCycles: 99.6}})
+	hub.Publish("cells", func() any { return map[string]int{"done": 3} })
+	h := Handler(hub)
+
+	rec, body := get(t, h, "/healthz")
+	if rec.Code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "wasm_steps_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	rec, body = get(t, h, "/debug/trace")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace = %d", rec.Code)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/debug/trace not valid JSON: %v\n%s", err, body)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("/debug/trace has no events")
+	}
+
+	rec, body = get(t, h, "/debug/profile")
+	if rec.Code != 200 || !strings.Contains(body, "wasm;main 100") {
+		t.Fatalf("/debug/profile = %d %q (want folded 'wasm;main 100')", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/debug/cells")
+	if rec.Code != 200 || !strings.Contains(body, `"done": 3`) {
+		t.Fatalf("/debug/cells = %d %q", rec.Code, body)
+	}
+
+	// Unknown provider: 404 listing what exists.
+	rec, body = get(t, h, "/debug/nonesuch")
+	if rec.Code != 404 || !strings.Contains(body, "cells") {
+		t.Fatalf("/debug/nonesuch = %d %q", rec.Code, body)
+	}
+}
+
+// TestHandlerFailureDump covers /debug/trace?which=failure: 404 before any
+// dump, then the frozen window — with a truncation marker when the ring
+// had overwritten events — after one fires.
+func TestHandlerFailureDump(t *testing.T) {
+	hub := NewHub(2)
+	h := Handler(hub)
+
+	rec, _ := get(t, h, "/debug/trace?which=failure")
+	if rec.Code != 404 {
+		t.Fatalf("failure trace before dump = %d, want 404", rec.Code)
+	}
+
+	for i := 0; i < 5; i++ {
+		hub.Flight.Emit(obsv.Event{Kind: obsv.KindCallEnter, TS: float64(i)})
+	}
+	hub.DumpFlight("cell boom")
+	rec, body := get(t, h, "/debug/trace?which=failure")
+	if rec.Code != 200 {
+		t.Fatalf("failure trace = %d", rec.Code)
+	}
+	if !strings.Contains(body, "TRUNCATED") || !strings.Contains(body, "cell boom") {
+		t.Fatalf("failure trace missing truncation marker or reason:\n%s", body)
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	hub := NewHub(8)
+	hub.Reg.Gauge("up", "").Set(1)
+	srv, err := Start(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("Start did not bind an address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,155 @@
+// In-process smoke test of the whole telemetry stack: a real (small) sweep
+// under the harness with a live server attached, every endpoint scraped and
+// checked for well-formedness. This is what `make telemetry-smoke` runs.
+//
+// The package is telemetry_test (not telemetry) because it drives
+// internal/harness, which itself imports telemetry.
+package telemetry_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+	"wasmbench/internal/harness"
+	"wasmbench/internal/ir"
+	"wasmbench/internal/telemetry"
+)
+
+func scrape(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestTelemetrySmoke runs a 4-cell sweep with profiling VMs wired into a
+// hub, serves it over HTTP, and asserts all five endpoints are well-formed
+// and reflect the sweep that just ran.
+func TestTelemetrySmoke(t *testing.T) {
+	b, err := benchsuite.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(1024)
+	profile := browser.Chrome(browser.Desktop)
+	profile.SetInstruments(hub.Registry())
+	profile.SetTracer(hub.Tracer())
+	profile.SetProfiling(true)
+
+	srv, err := telemetry.Start(hub, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The server is live before the sweep starts: a scrape must already
+	// succeed (it just sees zero cells done).
+	if code, _ := scrape(t, srv.Addr(), "/healthz"); code != 200 {
+		t.Fatalf("pre-sweep /healthz = %d", code)
+	}
+
+	var cells []harness.Cell
+	for _, sz := range []benchsuite.Size{benchsuite.XS, benchsuite.S} {
+		for _, lang := range []string{"wasm", "js"} {
+			cells = append(cells, harness.Cell{
+				Bench: b, Size: sz, Level: ir.O2, Lang: lang, Profile: profile,
+			})
+		}
+	}
+	results, _ := harness.RunCellsWith(cells, harness.RunOptions{Workers: 2, Telemetry: hub})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("sweep cell failed: %v", r.Err)
+		}
+	}
+
+	// /metrics: Prometheus text with every layer's family present.
+	code, body := scrape(t, srv.Addr(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE wasm_steps_total counter",
+		"# TYPE js_steps_total counter",
+		"# TYPE compiler_compiles_total counter",
+		"# TYPE harness_cell_wall_seconds histogram",
+		`harness_cells_done_total 4`,
+		`wasm_tier_cycles_total{tier="basic"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	// /debug/trace: valid Chrome trace JSON with VM events from the sweep.
+	code, body = scrape(t, srv.Addr(), "/debug/trace")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/debug/trace invalid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("/debug/trace captured no events from the sweep")
+	}
+
+	// /debug/profile: folded stacks, each line "track;func cycles".
+	code, body = scrape(t, srv.Addr(), "/debug/profile")
+	if code != 200 || body == "" {
+		t.Fatalf("/debug/profile = %d, %d bytes", code, len(body))
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("folded line %q has no count", line)
+		}
+		if _, err := strconv.ParseInt(line[i+1:], 10, 64); err != nil {
+			t.Fatalf("folded line %q: bad count: %v", line, err)
+		}
+	}
+
+	// /debug/cells: the harness's sweep state, all cells accounted for.
+	code, body = scrape(t, srv.Addr(), "/debug/cells")
+	if code != 200 {
+		t.Fatalf("/debug/cells = %d", code)
+	}
+	var state struct {
+		Total int `json:"total"`
+		Done  int `json:"done"`
+		Cells []struct {
+			Label  string `json:"label"`
+			Status string `json:"status"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(body), &state); err != nil {
+		t.Fatalf("/debug/cells invalid JSON: %v\n%s", err, body)
+	}
+	if state.Total != 4 || state.Done != 4 || len(state.Cells) != 4 {
+		t.Fatalf("/debug/cells total=%d done=%d cells=%d, want 4/4/4",
+			state.Total, state.Done, len(state.Cells))
+	}
+	for _, c := range state.Cells {
+		if c.Status != "ok" {
+			t.Fatalf("cell %s status %q, want ok", c.Label, c.Status)
+		}
+	}
+}

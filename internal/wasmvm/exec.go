@@ -60,6 +60,9 @@ func (vm *VM) maybeTierUp(cf *compiledFunc) *CostTable {
 		cf.tieredUp = true
 		cf.tier = TierOptOnly
 		vm.stats.TierUps++
+		if vm.inst != nil {
+			vm.inst.TierUps.Inc()
+		}
 		vm.cycles += vm.cfg.CompileOptPerInstr * float64(len(cf.code))
 		if vm.tracer != nil {
 			vm.tracer.Emit(obsv.Event{Kind: obsv.KindTierUp, TS: vm.cycles,
@@ -440,6 +443,12 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 			if vm.tracer != nil {
 				vm.tracer.Emit(obsv.Event{Kind: obsv.KindMemGrow, TS: cycles,
 					Name: cf.name, Track: "wasm", A: float64(d), B: float64(r)})
+			}
+			if vm.inst != nil {
+				vm.inst.MemGrowOps.Inc()
+				if r >= 0 {
+					vm.inst.MemGrowPages.Add(float64(mem.Pages() - uint32(r)))
+				}
 			}
 
 		default:

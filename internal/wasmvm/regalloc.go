@@ -125,6 +125,9 @@ func (vm *VM) regBody(cf *compiledFunc) []rop {
 		cf.regCode = translateReg(vm.module, cf, &vm.cfg.OptCost)
 		if cf.regCode != nil {
 			vm.regBuilt++
+			if vm.inst != nil {
+				vm.inst.RegTranslated.Inc()
+			}
 		}
 	}
 	return cf.regCode

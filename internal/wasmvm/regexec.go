@@ -141,6 +141,12 @@ func (vm *VM) runReg(fi int, cf *compiledFunc, localBase, stackBase, pc int) ([]
 				vm.tracer.Emit(obsv.Event{Kind: obsv.KindMemGrow, TS: cycles,
 					Name: cf.name, Track: "wasm", A: float64(d), B: float64(g)})
 			}
+			if vm.inst != nil {
+				vm.inst.MemGrowOps.Inc()
+				if g >= 0 {
+					vm.inst.MemGrowPages.Add(float64(mem.Pages() - uint32(g)))
+				}
+			}
 
 		case rCall:
 			np := int(in.r1)

@@ -17,6 +17,7 @@ import (
 
 	"wasmbench/internal/faultinject"
 	"wasmbench/internal/obsv"
+	"wasmbench/internal/telemetry"
 	"wasmbench/internal/wasm"
 )
 
@@ -95,6 +96,14 @@ type Config struct {
 	// single nil check and the execution path is byte-identical to a build
 	// without fault injection.
 	Faults *faultinject.Plan
+	// Instruments publishes live counters to a telemetry registry: per-tier
+	// cycles, steps, tier-ups, memory grows, fusion and register-tier
+	// totals. nil (the default) is inert under the same discipline as
+	// Tracer/Faults: rare events cost one branch, and bulk counters are
+	// flushed only at exported Call boundaries, so the dispatch loop itself
+	// never touches an instrument. Instruments never feed back into the
+	// virtual clock — runs are byte-identical with or without them.
+	Instruments *telemetry.VMInstruments
 }
 
 // DefaultConfig returns a neutral configuration with the baseline tier cost
@@ -230,6 +239,11 @@ type VM struct {
 	tracer    obsv.Tracer
 	profiling bool
 	profs     []funcProf
+	// inst is the live-telemetry bundle (nil = inert); lastFlush is the
+	// Stats snapshot at the previous instrument flush, so each exported
+	// Call publishes only its delta.
+	inst      *telemetry.VMInstruments
+	lastFlush Stats
 	// faults is the armed fault plan (nil = inert; see Config.Faults).
 	faults *faultinject.Plan
 	// childCycles accumulates callee cycles for the frame currently being
@@ -272,6 +286,7 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 	vm := &VM{module: m, cfg: cfg, binSize: binarySize}
 	vm.tracer = cfg.Tracer
 	vm.faults = cfg.Faults
+	vm.inst = cfg.Instruments
 	vm.profiling = cfg.Profile || cfg.Tracer != nil
 	vm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
@@ -291,6 +306,9 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 		for i := range vm.funcs {
 			vm.fused += fuseFunc(vm.funcs[i].code)
 		}
+	}
+	if vm.inst != nil {
+		vm.inst.FusedPairs.Add(float64(vm.fused))
 	}
 	vm.regEnabled = !cfg.DisableRegTier && cfg.StepLimit == 0
 	vm.imports = make([]HostFunc, len(m.Imports))
@@ -402,7 +420,9 @@ func (vm *VM) Call(name string, args ...uint64) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("wasmvm: no exported function %q", name)
 	}
-	return vm.callIndex(idx, args)
+	res, err := vm.callIndex(idx, args)
+	vm.flushInstruments()
+	return res, err
 }
 
 // CallIndex invokes a function by combined index space position.
@@ -410,7 +430,27 @@ func (vm *VM) CallIndex(idx uint32, args ...uint64) ([]uint64, error) {
 	if !vm.inited {
 		return nil, errors.New("wasmvm: module not instantiated")
 	}
-	return vm.callIndex(idx, args)
+	res, err := vm.callIndex(idx, args)
+	vm.flushInstruments()
+	return res, err
+}
+
+// flushInstruments publishes the bulk counters accumulated since the last
+// flush (steps, per-tier cycles, peak memory) to the instrument bundle.
+// Called once per exported call so the dispatch loops never carry
+// telemetry writes; rare events (tier-up, grow, translation) publish at
+// their own hook sites instead.
+func (vm *VM) flushInstruments() {
+	if vm.inst == nil {
+		return
+	}
+	s := vm.Stats()
+	vm.inst.Runs.Inc()
+	vm.inst.Steps.Add(float64(s.Steps - vm.lastFlush.Steps))
+	vm.inst.BasicCycles.Add(s.BasicCycles - vm.lastFlush.BasicCycles)
+	vm.inst.OptCycles.Add(s.OptCycles - vm.lastFlush.OptCycles)
+	vm.inst.PeakMemBytes.SetMax(float64(vm.PeakMemoryBytes()))
+	vm.lastFlush = s
 }
 
 // Cycles returns the accumulated virtual-cycle count.
