@@ -20,11 +20,11 @@ race:
 
 # Performance numbers behind BENCH_perf.json: observability overhead
 # (nil-tracer guard on the interpreter hot path), wasmvm dispatch
-# (superinstruction fusion and the register-form optimizing tier), and the
-# parallel harness grid (compile cache on/off).
+# (superinstruction fusion, the register-form optimizing tier, and the AOT
+# superblock tier), and the parallel harness grid (compile cache on/off).
 bench:
 	$(GO) test -bench 'Interp|RegistryCounter' -benchtime 5x -run xxx ./internal/obsv/
-	$(GO) test -bench 'Dispatch|RegTier' -benchtime 30x -run xxx ./internal/wasmvm/
+	$(GO) test -bench 'Dispatch|RegTier|AOTTier' -benchtime 30x -run xxx ./internal/wasmvm/
 	$(GO) test -bench RunCellsMultiProfile -benchtime 5x -run xxx ./internal/harness/
 
 # One-iteration sweep of every benchmark so a broken -bench path fails CI
@@ -33,8 +33,9 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Differential smoke: 200 generated programs from fixed seeds plus every
-# committed corpus regression, across the full backend matrix. Deterministic;
-# any divergence fails CI. (The -race gate above reruns a reduced range.)
+# committed corpus regression, across the full backend matrix (including the
+# AOT superblock configs). Deterministic; any divergence fails CI. (The
+# -race gate above reruns a reduced range.)
 difftest-smoke:
 	$(GO) test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
 

@@ -7,7 +7,8 @@ go test -race ./...
 # Bench smoke: every benchmark must still run for one iteration.
 go test -run=NONE -bench=. -benchtime=1x ./...
 # Differential smoke: 200 fixed-seed generated programs + the regression
-# corpus through the cross-backend oracle, without -race (full matrix).
+# corpus through the cross-backend oracle, without -race (full matrix,
+# including the AOT superblock configs).
 go test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
 # Fault drill: fixed-seed fault plan covering every injection point, with
 # retry/degrade/quarantine accounting checked; deterministic and race-clean.

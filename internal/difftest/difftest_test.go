@@ -9,8 +9,8 @@ import (
 
 // smokeSeeds is the fixed seed range `make difftest-smoke` sweeps: 100
 // seeds × {float, float-free} = 200 generated programs, every one through
-// the default oracle (x86 + 4 wasmvm configs + 2 jsvm tiers at -O0 and
-// -O3, plus the cross-level check). Under -race the range shrinks so the
+// the default oracle (x86 + 5 wasmvm configs including one AOT-tier
+// config + 2 jsvm tiers at -O0 and -O3, plus the cross-level check). Under -race the range shrinks so the
 // tier-1 `go test -race ./...` gate stays fast; the dedicated
 // difftest-smoke target runs without -race and covers the full range.
 func smokeSeeds() uint64 {
@@ -41,7 +41,7 @@ func TestSmoke(t *testing.T) {
 // TestCorpus replays every committed corpus program — minimized regressions
 // for fixed divergences plus generator seed programs — across the backend
 // matrix with zero tolerance. Without -race the wasm side runs the full
-// 12-config mode×fusion×regtier matrix.
+// 18-config mode×fusion×regtier×aot matrix.
 func TestCorpus(t *testing.T) {
 	entries := Corpus()
 	if len(entries) == 0 {

@@ -61,8 +61,8 @@ type Oracle struct {
 	Levels []ir.OptLevel
 	// Toolchains to compile with; nil = {Cheerp}.
 	Toolchains []compiler.Toolchain
-	// FullWasmMatrix runs all 12 wasmvm mode×fusion×regtier configs
-	// instead of the 4-config smoke subset.
+	// FullWasmMatrix runs all 18 wasmvm mode×fusion×regtier×aot configs
+	// instead of the 5-config smoke subset.
 	FullWasmMatrix bool
 	// Families filters backend families ("wasm", "js", "x86"); nil = all.
 	Families []string
@@ -76,7 +76,7 @@ type Oracle struct {
 }
 
 // DefaultOracle returns the smoke-test oracle: Cheerp at -O0 and -O3,
-// 4-config wasm matrix, cross-level comparison on.
+// 5-config wasm matrix, cross-level comparison on.
 func DefaultOracle() *Oracle {
 	return &Oracle{CrossLevel: true}
 }
@@ -87,24 +87,28 @@ type wasmVariant struct {
 	cfg  wasmvm.Config
 }
 
-// wasmVariants builds the wasmvm config matrix. The tier-up threshold is
-// lowered to 64 so generated hot loops actually cross it (OSR + call
-// tier-up), and the register tier gets exercised.
+// wasmVariants builds the wasmvm config matrix. The tier-up and AOT
+// thresholds are lowered to 64 so generated hot loops actually cross them
+// (OSR + call tier-up), and both optimizing dispatchers — register tier
+// and AOT superblocks — get exercised.
 func wasmVariants(full bool) []wasmVariant {
-	mk := func(mode wasmvm.TierMode, fuse, reg bool) wasmvm.Config {
+	mk := func(mode wasmvm.TierMode, fuse, reg, aot bool) wasmvm.Config {
 		cfg := wasmvm.DefaultConfig()
 		cfg.Mode = mode
 		cfg.TierUpThreshold = 64
 		cfg.DisableFusion = !fuse
 		cfg.DisableRegTier = !reg
+		cfg.DisableAOTTier = !aot
+		cfg.AOTThreshold = 64
 		return cfg
 	}
 	if !full {
 		return []wasmVariant{
-			{"both+fuse+reg", mk(wasmvm.TierBoth, true, true)},
-			{"both-plain", mk(wasmvm.TierBoth, false, false)},
-			{"basic", mk(wasmvm.TierBasicOnly, true, false)},
-			{"opt+reg", mk(wasmvm.TierOptOnly, true, true)},
+			{"both+fuse+reg", mk(wasmvm.TierBoth, true, true, false)},
+			{"both+fuse+reg+aot", mk(wasmvm.TierBoth, true, true, true)},
+			{"both-plain", mk(wasmvm.TierBoth, false, false, false)},
+			{"basic", mk(wasmvm.TierBasicOnly, true, false, false)},
+			{"opt+reg", mk(wasmvm.TierOptOnly, true, true, false)},
 		}
 	}
 	modes := []struct {
@@ -126,7 +130,12 @@ func wasmVariants(full bool) []wasmVariant {
 				} else {
 					n += "-noreg"
 				}
-				out = append(out, wasmVariant{n, mk(md.m, fuse, reg)})
+				out = append(out, wasmVariant{n, mk(md.m, fuse, reg, false)})
+				if reg {
+					// The AOT tier stacks on the register tier only, so
+					// only reg-enabled configs have an +aot variant.
+					out = append(out, wasmVariant{n + "+aot", mk(md.m, fuse, reg, true)})
+				}
 			}
 		}
 	}

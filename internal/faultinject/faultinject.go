@@ -39,6 +39,11 @@ const (
 	// forcing the stack-tier fallback (dispatch speed only — metrics are
 	// unaffected by construction).
 	WasmRegTranslate Point = "wasm.reg-translate"
+	// WasmAOTTranslate fails the AOT superblock compilation of a hot
+	// function, forcing the register-tier fallback (the first rung of the
+	// AOT→register→stack bail ladder; dispatch speed only — metrics are
+	// unaffected by construction).
+	WasmAOTTranslate Point = "wasm.aot-translate"
 	// WasmStall blocks the calling goroutine for Rule.Stall wall-clock time
 	// on function entry — the "wedged cell" the harness deadline must catch.
 	WasmStall Point = "wasm.stall"
@@ -64,7 +69,7 @@ const (
 // AllPoints lists every injection point (the faults-smoke matrix iterates
 // this).
 var AllPoints = []Point{
-	WasmGrowDeny, WasmRegTranslate, WasmStall,
+	WasmGrowDeny, WasmRegTranslate, WasmAOTTranslate, WasmStall,
 	JSJITCompile, JSHeapOOM,
 	CompilerPass, CompilerCache, HarnessPanic,
 }

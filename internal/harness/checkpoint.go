@@ -42,6 +42,7 @@ type checkpointRecord struct {
 	TierUps     int     `json:"tier_ups,omitempty"`
 	BasicCycles float64 `json:"basic_cycles,omitempty"`
 	OptCycles   float64 `json:"opt_cycles,omitempty"`
+	AOTCycles   float64 `json:"aot_cycles,omitempty"`
 }
 
 // Checkpoint is a resumable record of completed cells. Safe for
@@ -108,6 +109,7 @@ func (cp *Checkpoint) Lookup(c Cell) (CellResult, bool) {
 			GrowOps:     rec.GrowOps,
 			BasicCycles: rec.BasicCycles,
 			OptCycles:   rec.OptCycles,
+			AOTCycles:   rec.AOTCycles,
 		},
 	}
 	return CellResult{
@@ -139,6 +141,7 @@ func (cp *Checkpoint) Record(r CellResult) error {
 		TierUps:     mr.TierUps,
 		BasicCycles: mr.WasmStats.BasicCycles,
 		OptCycles:   mr.WasmStats.OptCycles,
+		AOTCycles:   mr.WasmStats.AOTCycles,
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {

@@ -35,6 +35,7 @@ func TestFaultSmoke(t *testing.T) {
 			cell("bicg", benchsuite.XS, "js"),      // js.heap-oom → retry
 			cell("gemm", benchsuite.S, "wasm"),     // wasm.grow-deny (gemm/S grows)
 			cell("3mm", benchsuite.S, "wasm"),      // wasm.reg-translate → stack fallback
+			cell("2mm", benchsuite.S, "wasm"),      // wasm.aot-translate → register fallback
 			cell("mvt", benchsuite.XS, "wasm"),     // compiler.pass → retry+degrade
 			cell("trmm", benchsuite.XS, "wasm"),    // compiler.cache → retry
 			cell("gesummv", benchsuite.XS, "wasm"), // harness.worker-panic → retry
@@ -48,6 +49,10 @@ func TestFaultSmoke(t *testing.T) {
 		{Point: faultinject.JSHeapOOM, Count: 1, Match: "bicg"},
 		{Point: faultinject.WasmGrowDeny, Count: 1, Match: "gemm"},
 		{Point: faultinject.WasmRegTranslate, Count: 1, Match: "3mm"},
+		// First rung of the bail ladder: the denied AOT compile falls back to
+		// the register body, so the cell still succeeds and its metrics are
+		// untouched — only the fault counter records the firing.
+		{Point: faultinject.WasmAOTTranslate, Count: 1, Match: "2mm"},
 		{Point: faultinject.CompilerPass, Count: 1, Match: "mvt"},
 		{Point: faultinject.CompilerCache, Count: 1, Match: "trmm"},
 		{Point: faultinject.HarnessPanic, Count: 1, Match: "gesummv"},

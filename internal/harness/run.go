@@ -234,6 +234,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					metrics.Cells[i].TierUps = r.Meas.Result.TierUps
 					metrics.Cells[i].BasicCycles = r.Meas.Result.WasmStats.BasicCycles
 					metrics.Cells[i].OptCycles = r.Meas.Result.WasmStats.OptCycles
+					metrics.Cells[i].AOTCycles = r.Meas.Result.WasmStats.AOTCycles
 				}
 			}
 		}
@@ -297,6 +298,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					cm.TierUps = r.Meas.Result.TierUps
 					cm.BasicCycles = r.Meas.Result.WasmStats.BasicCycles
 					cm.OptCycles = r.Meas.Result.WasmStats.OptCycles
+					cm.AOTCycles = r.Meas.Result.WasmStats.AOTCycles
 				}
 				metrics.Cells[i] = cm
 				rt.cellDone(i, r, cm)

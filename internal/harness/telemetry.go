@@ -28,12 +28,16 @@ type CellState struct {
 	CompileMs float64 `json:"compile_ms"`
 	MeasureMs float64 `json:"measure_ms"`
 	// Cycles is the measurement's virtual-cycle total; TierUps the VM tier
-	// promotions it observed.
-	Cycles   float64 `json:"cycles,omitempty"`
-	TierUps  int     `json:"tier_ups,omitempty"`
-	Attempts int     `json:"attempts,omitempty"`
-	Degraded string  `json:"degraded,omitempty"`
-	CacheHit bool    `json:"cache_hit,omitempty"`
+	// promotions it observed. The three per-tier fields split the Wasm
+	// instruction cycles by dispatcher (AOTCycles ⊆ OptCycles).
+	Cycles      float64 `json:"cycles,omitempty"`
+	BasicCycles float64 `json:"basic_cycles,omitempty"`
+	OptCycles   float64 `json:"opt_cycles,omitempty"`
+	AOTCycles   float64 `json:"aot_cycles,omitempty"`
+	TierUps     int     `json:"tier_ups,omitempty"`
+	Attempts    int     `json:"attempts,omitempty"`
+	Degraded    string  `json:"degraded,omitempty"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
 }
 
 // SweepState is the /debug/cells payload: run-level aggregates plus the
@@ -177,16 +181,19 @@ func (rt *runTelemetry) cellDone(i int, r CellResult, cm obsv.CellMetric) {
 	}
 
 	cs := CellState{
-		Label:     cm.Label,
-		Status:    "ok",
-		Worker:    cm.Worker,
-		WallMs:    float64(cm.Wall) / float64(time.Millisecond),
-		CompileMs: float64(cm.Compile) / float64(time.Millisecond),
-		MeasureMs: float64(cm.Measure) / float64(time.Millisecond),
-		TierUps:   cm.TierUps,
-		Attempts:  cm.Attempts,
-		Degraded:  cm.Degraded,
-		CacheHit:  cm.CacheHit,
+		Label:       cm.Label,
+		Status:      "ok",
+		Worker:      cm.Worker,
+		WallMs:      float64(cm.Wall) / float64(time.Millisecond),
+		CompileMs:   float64(cm.Compile) / float64(time.Millisecond),
+		MeasureMs:   float64(cm.Measure) / float64(time.Millisecond),
+		BasicCycles: cm.BasicCycles,
+		OptCycles:   cm.OptCycles,
+		AOTCycles:   cm.AOTCycles,
+		TierUps:     cm.TierUps,
+		Attempts:    cm.Attempts,
+		Degraded:    cm.Degraded,
+		CacheHit:    cm.CacheHit,
 	}
 	switch {
 	case cm.Quarantined:

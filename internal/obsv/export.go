@@ -89,7 +89,7 @@ func WriteChromeTrace(w io.Writer, events []Event, profiles []FuncProfile) error
 		case KindCallExit:
 			emit(fmt.Sprintf(`{"name":%s,"cat":"call","ph":"E","pid":1,"tid":%d,"ts":%s}`,
 				jstr(e.Name), tid, ts))
-		case KindTierUp, KindMemGrow:
+		case KindTierUp, KindMemGrow, KindAOTCompile:
 			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"args":{"a":%s,"b":%s}}`,
 				jstr(e.Kind.String()+" "+e.Name), jstr(e.Kind.String()), tid, ts, jnum(e.A), jnum(e.B)))
 		case KindGCCycle:

@@ -29,10 +29,14 @@ type CellMetric struct {
 	// TierUps counts VM tier promotions during the measurement (Wasm
 	// functions or JS code objects), and BasicCycles/OptCycles split the
 	// cell's virtual instruction cycles by the tier that charged them
-	// (Wasm cells only; JS cells report zero).
+	// (Wasm cells only; JS cells report zero). AOTCycles is the portion of
+	// OptCycles charged while the AOT superblock dispatcher ran — a
+	// sub-split, always ≤ OptCycles, so the three render as
+	// basic / (opt − aot) / aot.
 	TierUps     int
 	BasicCycles float64
 	OptCycles   float64
+	AOTCycles   float64
 	// Attempts is how many times the harness ran the cell (1 = first try
 	// succeeded; retries and degradation rungs each add one).
 	Attempts int
@@ -104,8 +108,8 @@ func (m *RunMetrics) CompileShare() float64 {
 // Render returns the per-cell table plus the run summary lines.
 func (m *RunMetrics) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s %5s %7s %5s\n",
-		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache", "tierups", "opt%")
+	fmt.Fprintf(&b, "%-32s %3s %5s %10s %10s %10s %10s %5s %7s %5s %5s\n",
+		"cell", "wkr", "queue", "start", "compile", "measure", "wall", "cache", "tierups", "opt%", "aot%")
 	for _, c := range m.Cells {
 		status := ""
 		if c.Quarantined {
@@ -126,15 +130,19 @@ func (m *RunMetrics) Render() string {
 		if c.CacheHit {
 			cacheCol = "hit"
 		}
-		// Optimized-tier share of the cell's instruction cycles.
-		optCol := "-"
+		// Per-tier share of the cell's instruction cycles: opt% is the
+		// optimizing tier's share, aot% the part of it that ran under the
+		// AOT superblock dispatcher (aot ⊆ opt, matching the wasmrun
+		// basic=/opt=/aot= line and wasm_tier_cycles_total labels).
+		optCol, aotCol := "-", "-"
 		if total := c.BasicCycles + c.OptCycles; total > 0 {
 			optCol = fmt.Sprintf("%.0f", 100*c.OptCycles/total)
+			aotCol = fmt.Sprintf("%.0f", 100*c.AOTCycles/total)
 		}
-		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s %5s %7d %5s%s\n",
+		fmt.Fprintf(&b, "%-32s %3d %5d %10s %10s %10s %10s %5s %7d %5s %5s%s\n",
 			c.Label, c.Worker, c.QueueDepth,
 			fmtDur(c.Start), fmtDur(c.Compile), fmtDur(c.Measure), fmtDur(c.Wall),
-			cacheCol, c.TierUps, optCol, status)
+			cacheCol, c.TierUps, optCol, aotCol, status)
 	}
 	fmt.Fprintf(&b, "cells: %d  workers: %d  span: %s  utilization: %.1f%%  compile-share: %.1f%%\n",
 		len(m.Cells), m.Workers, fmtDur(m.Span),

@@ -74,6 +74,12 @@ const (
 	// or before the first for a flight recorder (which keeps the
 	// *newest*). Name describes the loss; A is the number of events lost.
 	KindTruncation
+	// KindAOTCompile marks a hot function's register body being AOT-compiled
+	// into superblocks of pre-bound closures (wasmvm third tier). Name is
+	// the function; A is the superblock count, B the register-form length.
+	// The compile charges no virtual cycles (like fusion and register
+	// translation, the AOT tier is invisible to the virtual clock).
+	KindAOTCompile
 	numKinds
 )
 
@@ -81,6 +87,7 @@ var kindNames = [numKinds]string{
 	"call-enter", "call-exit", "tier-up", "gc-cycle", "mem-grow",
 	"compile-pass", "cell-start", "cell-done", "divergence",
 	"fault", "retry", "degrade", "quarantine", "truncation",
+	"aot-compile",
 }
 
 // String returns the kind's short name.

@@ -180,6 +180,9 @@ type VMInstruments struct {
 	MemGrowPages  *Counter
 	FusedPairs    *Counter
 	RegTranslated *Counter
+	AOTCycles     *Counter
+	AOTTranslated *Counter
+	Superblocks   *Counter
 	PeakMemBytes  *Gauge
 }
 
@@ -198,6 +201,9 @@ func NewVMInstruments(r *Registry) *VMInstruments {
 		MemGrowPages:  r.Counter("wasm_mem_grow_pages_total", "64 KiB pages granted by successful memory.grow"),
 		FusedPairs:    r.Counter("wasm_fused_pairs_total", "superinstruction pairs formed at module load"),
 		RegTranslated: r.Counter("wasm_reg_translations_total", "function bodies translated to register form"),
+		AOTCycles:     r.Counter(Label("wasm_tier_cycles_total", "tier", "aot"), "virtual cycles charged while the AOT superblock dispatcher ran (sub-split of tier=\"opt\")"),
+		AOTTranslated: r.Counter("wasm_aot_translations_total", "hot function bodies AOT-compiled into superblock closures"),
+		Superblocks:   r.Counter("wasm_aot_superblocks_total", "superblocks built across all AOT compilations"),
 		PeakMemBytes:  r.Gauge("wasm_linear_memory_peak_bytes", "largest linear-memory high-water mark seen (§4.3: Wasm memory never shrinks)"),
 	}
 }

@@ -1,0 +1,43 @@
+package wasmvm
+
+import "testing"
+
+// BenchmarkAOTTier measures wall-clock dispatch on the hot sum loop under
+// the AOT superblock dispatcher against the register tier and the fused
+// stack interpreter. The warm-up call crosses both thresholds (OSR +
+// superblock compile), so every timed iteration runs one indirect call per
+// superblock instead of one switch per instruction; virtual cycles are
+// identical across variants, only host time differs.
+func BenchmarkAOTTier(b *testing.B) {
+	run := func(b *testing.B, disableAOT, disableReg bool) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.AOTThreshold = 100
+		cfg.DisableAOTTier = disableAOT
+		cfg.DisableRegTier = disableReg
+		vm, err := New(buildModule(), 0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+		const n = 100000
+		if _, err := vm.Call("sum", I32(n)); err != nil {
+			b.Fatal(err)
+		}
+		if !disableAOT && !disableReg && vm.AOTTranslated() == 0 {
+			b.Fatal("warm-up did not engage the AOT tier")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := vm.Call("sum", I32(n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(vm.Stats().Steps)/float64(b.N), "steps/op")
+	}
+	b.Run("aot", func(b *testing.B) { run(b, false, false) })
+	b.Run("reg", func(b *testing.B) { run(b, true, false) })
+	b.Run("stack-fused", func(b *testing.B) { run(b, true, true) })
+}

@@ -1,0 +1,462 @@
+package wasmvm
+
+import (
+	"errors"
+	"testing"
+
+	"wasmbench/internal/faultinject"
+	"wasmbench/internal/obsv"
+	"wasmbench/internal/wasm"
+)
+
+// runAOTPair instantiates the module twice — AOT tier enabled and disabled
+// (both with the register tier on) — applies call, and returns both VMs for
+// comparison. The caller's cfg sets the thresholds; the pair differs only
+// in DisableAOTTier, so any divergence is the superblock dispatcher's
+// fault.
+func runAOTPair(t *testing.T, m *wasm.Module, cfg Config, call func(vm *VM) ([]uint64, error)) (aot, reg *VM, ares, rres []uint64, aerr, rerr error) {
+	t.Helper()
+	mk := func(disable bool) (*VM, []uint64, error) {
+		c := cfg
+		c.DisableAOTTier = disable
+		vm, err := New(m, 0, c)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			t.Fatalf("Instantiate: %v", err)
+		}
+		res, err := call(vm)
+		return vm, res, err
+	}
+	aot, ares, aerr = mk(false)
+	reg, rres, rerr = mk(true)
+	return
+}
+
+// stripAOTCompile removes KindAOTCompile events: the compile marker only
+// exists on the AOT side of a pair, and (like KindTierUp's absence in
+// opt-only mode) it is the one permitted stream difference.
+func stripAOTCompile(events []obsv.Event) []obsv.Event {
+	var out []obsv.Event
+	for _, e := range events {
+		if e.Kind != obsv.KindAOTCompile {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestAOTTierTranslates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 100
+	cfg.AOTThreshold = 100
+	vm := newVM(t, cfg)
+	call1(t, vm, "sum", I32(200000))
+	if vm.AOTTranslated() == 0 {
+		t.Fatal("hot loop should have produced an AOT body")
+	}
+	if vm.AOTSuperblocks() == 0 {
+		t.Fatal("AOT body reported zero superblocks")
+	}
+	if vm.Stats().AOTCycles == 0 {
+		t.Fatal("AOT dispatcher charged no cycles")
+	}
+
+	cfg.DisableAOTTier = true
+	vm2 := newVM(t, cfg)
+	call1(t, vm2, "sum", I32(200000))
+	if vm2.AOTTranslated() != 0 {
+		t.Errorf("DisableAOTTier left %d AOT bodies", vm2.AOTTranslated())
+	}
+
+	// The AOT form is built from the register form; without the register
+	// tier there is nothing to compile.
+	cfg = DefaultConfig()
+	cfg.TierUpThreshold = 100
+	cfg.AOTThreshold = 100
+	cfg.DisableRegTier = true
+	vm3 := newVM(t, cfg)
+	call1(t, vm3, "sum", I32(200000))
+	if vm3.AOTTranslated() != 0 {
+		t.Errorf("DisableRegTier should pin the AOT tier off, got %d bodies", vm3.AOTTranslated())
+	}
+
+	// StepLimit disables the register tier and the AOT tier with it.
+	cfg = DefaultConfig()
+	cfg.TierUpThreshold = 100
+	cfg.AOTThreshold = 100
+	cfg.StepLimit = 1 << 40
+	vm4 := newVM(t, cfg)
+	call1(t, vm4, "sum", I32(200000))
+	if vm4.AOTTranslated() != 0 {
+		t.Errorf("StepLimit should disable the AOT tier, got %d bodies", vm4.AOTTranslated())
+	}
+}
+
+// TestAOTEquivalenceMatrix sweeps every exported function of the shared
+// test module across tier modes and fusion settings, comparing the AOT
+// superblock dispatcher against the plain register tier on results,
+// cycles, and the full Stats struct. AOTCycles — the deliberate
+// dispatcher-visible sub-split — is the one field assertEquivalent
+// excludes.
+func TestAOTEquivalenceMatrix(t *testing.T) {
+	calls := []struct {
+		name string
+		args []uint64
+	}{
+		{"add", []uint64{I32(2), I32(40)}},
+		{"sum", []uint64{I32(200000)}}, // crosses both thresholds mid-loop
+		{"fib", []uint64{I32(15)}},
+		{"hypot", []uint64{F64(3), F64(4)}},
+		{"memtest", []uint64{I32(1024)}},
+		{"grow", []uint64{I32(2)}},
+		{"switcher", []uint64{I32(1)}},
+	}
+	for _, mode := range []struct {
+		name string
+		mode TierMode
+	}{{"both", TierBoth}, {"basic", TierBasicOnly}, {"opt", TierOptOnly}} {
+		for _, fuse := range []struct {
+			name    string
+			disable bool
+		}{{"fused", false}, {"unfused", true}} {
+			for _, c := range calls {
+				t.Run(mode.name+"/"+fuse.name+"/"+c.name, func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.Mode = mode.mode
+					cfg.TierUpThreshold = 100
+					cfg.AOTThreshold = 100
+					cfg.DisableFusion = fuse.disable
+					aot, reg, ares, rres, aerr, rerr := runAOTPair(t, buildModule(), cfg,
+						func(vm *VM) ([]uint64, error) { return vm.Call(c.name, c.args...) })
+					assertEquivalent(t, aot, reg, ares, rres, aerr, rerr)
+					// Engagement boundary: hotness grows on calls and on the
+					// *stack* body's back-edges, so the single-call sum loop
+					// reaches the AOT threshold via OSR only in tiering mode,
+					// while the deeply recursive fib crosses it on calls alone
+					// in any register-enabled mode.
+					if mode.mode == TierBoth && c.name == "sum" && aot.AOTTranslated() == 0 {
+						t.Error("hot sum loop should OSR into AOT superblocks")
+					}
+					if mode.mode != TierBasicOnly && c.name == "fib" && aot.AOTTranslated() == 0 {
+						t.Error("hot recursive fib should run AOT superblocks")
+					}
+					if mode.mode == TierBasicOnly && aot.AOTTranslated() != 0 {
+						t.Error("basic-only mode must never AOT-compile")
+					}
+					if s := aot.Stats(); s.AOTCycles > s.OptCycles {
+						t.Errorf("AOTCycles %v exceeds OptCycles %v", s.AOTCycles, s.OptCycles)
+					}
+					if s := reg.Stats(); s.AOTCycles != 0 {
+						t.Errorf("AOT-disabled VM charged AOTCycles %v", s.AOTCycles)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAOTEquivalenceStack closes the ladder: the AOT-enabled VM against
+// the plain stack interpreter (runRegPair toggles DisableRegTier, which
+// pins AOT off with it). Cycles, steps, tallies — everything but the
+// AOTCycles sub-split — must survive the two-tier jump.
+func TestAOTEquivalenceStack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 100
+	cfg.AOTThreshold = 100
+	reg, stack, rres, sres, rerr, serr := runRegPair(t, buildModule(), cfg,
+		func(vm *VM) ([]uint64, error) {
+			if _, err := vm.Call("sum", I32(200000)); err != nil {
+				return nil, err
+			}
+			return vm.Call("fib", I32(14))
+		})
+	assertEquivalent(t, reg, stack, rres, sres, rerr, serr)
+	if reg.AOTTranslated() == 0 {
+		t.Fatal("AOT tier never engaged on the register side")
+	}
+	if stack.AOTTranslated() != 0 {
+		t.Fatal("stack interpreter side must not AOT-compile")
+	}
+}
+
+// TestAOTEquivalenceOSR pins on-stack replacement into superblocks: one
+// call crosses both thresholds mid-loop and must resume in the AOT body at
+// the same pc, and a second call starts in superblock form directly.
+func TestAOTEquivalenceOSR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 500
+	cfg.AOTThreshold = 500
+	aot, reg, ares, rres, aerr, rerr := runAOTPair(t, buildModule(), cfg,
+		func(vm *VM) ([]uint64, error) {
+			if _, err := vm.Call("sum", I32(100000)); err != nil {
+				return nil, err
+			}
+			return vm.Call("sum", I32(1000))
+		})
+	assertEquivalent(t, aot, reg, ares, rres, aerr, rerr)
+	if aot.Stats().TierUps != 1 {
+		t.Fatalf("expected exactly one tier-up, got %d", aot.Stats().TierUps)
+	}
+	if aot.AOTTranslated() != 1 {
+		t.Fatalf("expected one AOT body, got %d", aot.AOTTranslated())
+	}
+	if aot.Stats().AOTCycles == 0 {
+		t.Fatal("OSR run charged no AOT cycles")
+	}
+	if AsI64(ares[0]) != 499500 {
+		t.Errorf("post-OSR result wrong: %d", AsI64(ares[0]))
+	}
+}
+
+// TestAOTEquivalenceTraces runs a profiled, traced, tiering workload with
+// the AOT tier on and off. Apart from the KindAOTCompile markers (present
+// only on the AOT side, by design), the two event streams — call
+// enter/exit, tier-up, memory.grow, every virtual timestamp — must be
+// identical.
+func TestAOTEquivalenceTraces(t *testing.T) {
+	mk := func(disable bool) (*VM, *obsv.Collector) {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.AOTThreshold = 100
+		cfg.DisableAOTTier = disable
+		coll := &obsv.Collector{}
+		cfg.Tracer = coll
+		vm, err := New(buildModule(), 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("sum", I32(50000)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("fib", I32(12)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Call("grow", I32(2)); err != nil {
+			t.Fatal(err)
+		}
+		return vm, coll
+	}
+	aot, acoll := mk(false)
+	reg, rcoll := mk(true)
+	if aot.Cycles() != reg.Cycles() {
+		t.Errorf("cycles differ: aot=%v reg=%v", aot.Cycles(), reg.Cycles())
+	}
+	if aot.AOTTranslated() == 0 {
+		t.Fatal("trace test should exercise the AOT tier")
+	}
+	ae, re := stripAOTCompile(acoll.Events()), rcoll.Events()
+	if n := len(acoll.Events()) - len(ae); n != aot.AOTTranslated() {
+		t.Errorf("%d KindAOTCompile events for %d translations", n, aot.AOTTranslated())
+	}
+	if len(ae) != len(re) {
+		t.Fatalf("trace lengths differ after stripping aot-compile: aot=%d reg=%d", len(ae), len(re))
+	}
+	for i := range ae {
+		if ae[i] != re[i] {
+			t.Fatalf("trace event %d differs:\n  aot: %+v\n  reg: %+v", i, ae[i], re[i])
+		}
+	}
+}
+
+// TestAOTEquivalenceProfiles compares per-function profiles (calls, self
+// and total cycles, class mix) between the AOT and register dispatchers.
+func TestAOTEquivalenceProfiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Profile = true
+	cfg.TierUpThreshold = 100
+	cfg.AOTThreshold = 100
+	aot, reg, ares, rres, aerr, rerr := runAOTPair(t, buildModule(), cfg,
+		func(vm *VM) ([]uint64, error) {
+			if _, err := vm.Call("fib", I32(14)); err != nil {
+				return nil, err
+			}
+			return vm.Call("sum", I32(50000))
+		})
+	assertEquivalent(t, aot, reg, ares, rres, aerr, rerr)
+	if aot.AOTTranslated() == 0 {
+		t.Fatal("profile test should exercise the AOT tier")
+	}
+	ap, rp := aot.Profile(), reg.Profile()
+	if len(ap) != len(rp) {
+		t.Fatalf("profile lengths differ: %d vs %d", len(ap), len(rp))
+	}
+	for i := range ap {
+		if ap[i].Name != rp[i].Name || ap[i].SelfCycles != rp[i].SelfCycles ||
+			ap[i].TotalCycles != rp[i].TotalCycles || ap[i].Calls != rp[i].Calls {
+			t.Errorf("profile %d differs:\n  aot: %+v\n  reg: %+v", i, ap[i], rp[i])
+		}
+		if len(ap[i].Classes) != len(rp[i].Classes) {
+			t.Fatalf("profile %d class mix length differs", i)
+		}
+		for j := range ap[i].Classes {
+			if ap[i].Classes[j] != rp[i].Classes[j] {
+				t.Errorf("profile %d class %d differs: %+v vs %+v",
+					i, j, ap[i].Classes[j], rp[i].Classes[j])
+			}
+		}
+	}
+}
+
+// TestAOTTrapEquivalence drives superblocks into traps — fused
+// const+div-by-zero and fused get+load out of bounds — with the AOT
+// threshold at zero so the superblock form executes from the very first
+// call. The partial charges at the trap point (including the suffix
+// rollback of the hoisted block accounting) must match the register tier
+// exactly.
+func TestAOTTrapEquivalence(t *testing.T) {
+	for _, fuse := range []struct {
+		name    string
+		disable bool
+	}{{"fused", false}, {"unfused", true}} {
+		for _, c := range []struct {
+			name string
+			arg  uint64
+			want error
+		}{
+			{"divz", I32(7), ErrDivByZero},
+			{"oob", I32(1 << 30), nil}, // OOB trap type, checked by message equality
+		} {
+			t.Run(fuse.name+"/"+c.name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Mode = TierOptOnly
+				cfg.AOTThreshold = 0
+				cfg.DisableFusion = fuse.disable
+				aot, reg, ares, rres, aerr, rerr := runAOTPair(t, trapModule(), cfg,
+					func(vm *VM) ([]uint64, error) { return vm.Call(c.name, c.arg) })
+				if aerr == nil || rerr == nil {
+					t.Fatalf("expected traps, got aot=%v reg=%v", aerr, rerr)
+				}
+				if c.want != nil && !errors.Is(aerr, c.want) {
+					t.Fatalf("aot trap = %v, want %v", aerr, c.want)
+				}
+				if aot.AOTTranslated() == 0 {
+					t.Fatal("trap test should execute AOT superblocks")
+				}
+				assertEquivalent(t, aot, reg, ares, rres, aerr, rerr)
+			})
+		}
+	}
+}
+
+// TestAOTBranchIntoPair re-runs the fusion landing-pad module through the
+// superblock translator: a branch into the second slot of a fused pair
+// makes that slot a leader, so the pair's components get standalone
+// closures in the target block (overlapping the fused block that falls
+// through them).
+func TestAOTBranchIntoPair(t *testing.T) {
+	m := &wasm.Module{}
+	ti := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}})
+	m.Funcs = append(m.Funcs, wasm.Function{Type: ti, Name: "landing",
+		Locals: []wasm.ValType{wasm.I32},
+		Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Val: 5}, {Op: wasm.OpLocalSet, A: 1},
+			{Op: wasm.OpBlock, BlockType: wasm.BlockNone},
+			{Op: wasm.OpLocalGet, A: 0},
+			{Op: wasm.OpBrIf, A: 0},
+			{Op: wasm.OpI32Const, Val: 100}, {Op: wasm.OpLocalSet, A: 1},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, A: 0},
+			{Op: wasm.OpLocalGet, A: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpEnd},
+		}})
+	m.Exports = append(m.Exports, wasm.Export{Name: "landing", Kind: wasm.ExportFunc, Idx: 0})
+	for _, x := range []int32{0, 3} {
+		cfg := DefaultConfig()
+		cfg.Mode = TierOptOnly
+		cfg.AOTThreshold = 0
+		aot, reg, ares, rres, aerr, rerr := runAOTPair(t, m, cfg,
+			func(vm *VM) ([]uint64, error) { return vm.Call("landing", I32(x)) })
+		assertEquivalent(t, aot, reg, ares, rres, aerr, rerr)
+		if aot.AOTTranslated() == 0 {
+			t.Fatal("landing module should run AOT superblocks")
+		}
+		want := x + 5
+		if x == 0 {
+			want = 100
+		}
+		if AsI32(ares[0]) != want {
+			t.Errorf("landing(%d) = %d, want %d", x, AsI32(ares[0]), want)
+		}
+	}
+}
+
+// TestAOTCycleSubSplit checks the accounting shape: AOTCycles is a
+// sub-split of OptCycles (never of BasicCycles), the overall
+// basic/opt split is untouched by the AOT tier, and disabling AOT zeroes
+// only AOTCycles.
+func TestAOTCycleSubSplit(t *testing.T) {
+	run := func(disableAOT bool) Stats {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.AOTThreshold = 100
+		cfg.DisableAOTTier = disableAOT
+		vm := newVM(t, cfg)
+		call1(t, vm, "sum", I32(50000))
+		return vm.Stats()
+	}
+	aot := run(false)
+	if aot.BasicCycles == 0 || aot.OptCycles == 0 {
+		t.Errorf("tiering run should split across tiers: %+v", aot)
+	}
+	if aot.AOTCycles == 0 {
+		t.Errorf("AOT dispatcher charged nothing: %+v", aot)
+	}
+	if aot.AOTCycles > aot.OptCycles {
+		t.Errorf("AOTCycles %v exceeds OptCycles %v", aot.AOTCycles, aot.OptCycles)
+	}
+	reg := run(true)
+	if reg.AOTCycles != 0 {
+		t.Errorf("AOT disabled but AOTCycles = %v", reg.AOTCycles)
+	}
+	if reg.BasicCycles != aot.BasicCycles || reg.OptCycles != aot.OptCycles {
+		t.Errorf("basic/opt split changed by the AOT tier:\n  aot: %+v\n  reg: %+v", aot, reg)
+	}
+}
+
+// TestAOTTranslateFaultBail pins the first rung of the bail ladder: an
+// injected wasm.aot-translate failure silently falls back to the register
+// body — identical results and metrics, zero AOT translations, one fault
+// counted.
+func TestAOTTranslateFaultBail(t *testing.T) {
+	run := func(plan *faultinject.Plan) *VM {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 100
+		cfg.AOTThreshold = 100
+		cfg.Faults = plan
+		vm := newVM(t, cfg)
+		call1(t, vm, "sum", I32(200000))
+		return vm
+	}
+	plan := faultinject.NewPlan(7, faultinject.Rule{
+		Point: faultinject.WasmAOTTranslate, Count: 1,
+	})
+	faulted := run(plan)
+	clean := run(nil)
+
+	if n := plan.Counts()[faultinject.WasmAOTTranslate]; n != 1 {
+		t.Fatalf("fault fired %d times, want 1", n)
+	}
+	if faulted.AOTTranslated() != 0 {
+		t.Errorf("denied translation still produced %d AOT bodies", faulted.AOTTranslated())
+	}
+	if faulted.RegTranslated() == 0 {
+		t.Error("register fallback missing after AOT bail")
+	}
+	if clean.AOTTranslated() == 0 {
+		t.Fatal("clean run should AOT-compile")
+	}
+	fs, cs := faulted.Stats(), clean.Stats()
+	fs.AOTCycles, cs.AOTCycles = 0, 0
+	if fs != cs {
+		t.Errorf("bail changed metrics:\n  faulted: %+v\n  clean:   %+v", fs, cs)
+	}
+	if faulted.Cycles() != clean.Cycles() {
+		t.Errorf("bail changed the virtual clock: %v vs %v", faulted.Cycles(), clean.Cycles())
+	}
+}

@@ -141,6 +141,9 @@ func (vm *VM) exec(fi int, args []uint64) ([]uint64, error) {
 	defer func() { vm.stack = vm.stack[:stackBase] }()
 
 	if cf.tier == TierOptOnly && vm.regEnabled && vm.regBody(cf) != nil {
+		if vm.aotReady(cf) {
+			return vm.runAOT(fi, cf, localBase, stackBase, 0)
+		}
 		return vm.runReg(fi, cf, localBase, stackBase, 0)
 	}
 	return vm.runStack(fi, cf, localBase, stackBase, costs)
@@ -265,6 +268,9 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 							vm.stats.Steps = steps
 							vm.cycles = cycles
 							copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+							if vm.aotReady(cf) {
+								return vm.runAOT(fi, cf, localBase, stackBase, pc)
+							}
 							return vm.runReg(fi, cf, localBase, stackBase, pc)
 						}
 					}
@@ -306,11 +312,14 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 					tierBase = cycles
 					if vm.regEnabled && vm.regBody(cf) != nil {
 						// OSR: land the branch in the stack world, then
-						// resume in the register body at the same pc.
+						// resume in the register (or AOT) body at the same pc.
 						pc = vm.branch(stackBase, in.jump)
 						vm.stats.Steps = steps
 						vm.cycles = cycles
 						copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+						if vm.aotReady(cf) {
+							return vm.runAOT(fi, cf, localBase, stackBase, pc)
+						}
 						return vm.runReg(fi, cf, localBase, stackBase, pc)
 					}
 				}
@@ -335,6 +344,9 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 							vm.stats.Steps = steps
 							vm.cycles = cycles
 							copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+							if vm.aotReady(cf) {
+								return vm.runAOT(fi, cf, localBase, stackBase, pc)
+							}
 							return vm.runReg(fi, cf, localBase, stackBase, pc)
 						}
 					}
@@ -363,6 +375,9 @@ func (vm *VM) runStack(fi int, cf *compiledFunc, localBase, stackBase int, costs
 						vm.stats.Steps = steps
 						vm.cycles = cycles
 						copy(vm.locals[localBase:localBase+cf.nLocals], locals)
+						if vm.aotReady(cf) {
+							return vm.runAOT(fi, cf, localBase, stackBase, pc)
+						}
 						return vm.runReg(fi, cf, localBase, stackBase, pc)
 					}
 				}

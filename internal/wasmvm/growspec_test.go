@@ -58,9 +58,12 @@ func growSpecModule() *wasm.Module {
 	return m
 }
 
-// growTierConfigs returns the three execution tiers the spec tests sweep:
-// the plain stack interpreter, the superinstruction-fused interpreter, and
-// the register tier (hot threshold lowered so the grow loop tiers up).
+// growTierConfigs returns the execution tiers the spec tests sweep: the
+// plain stack interpreter, the superinstruction-fused interpreter, the
+// register tier, and the AOT superblock tier (hot thresholds lowered so
+// the grow loop tiers all the way up). The AOT config keeps the register
+// tier enabled — AOT stacks on it — but drops the AOT threshold to the
+// tier-up point so the loop OSRs straight into superblock dispatch.
 func growTierConfigs() map[string]Config {
 	stack := DefaultConfig()
 	stack.DisableRegTier = true
@@ -69,12 +72,16 @@ func growTierConfigs() map[string]Config {
 	fused.DisableRegTier = true
 	reg := DefaultConfig()
 	reg.TierUpThreshold = 50
-	return map[string]Config{"stack": stack, "fused": fused, "register": reg}
+	reg.DisableAOTTier = true
+	aot := DefaultConfig()
+	aot.TierUpThreshold = 50
+	aot.AOTThreshold = 50
+	return map[string]Config{"stack": stack, "fused": fused, "register": reg, "aot": aot}
 }
 
 // TestFailedGrowSpecAcrossTiers verifies the Wasm spec semantics of a
 // failed memory.grow — returns −1 and leaves memory (size and contents)
-// unchanged — in all three execution tiers, with the page cap supplied by
+// unchanged — in every execution tier, with the page cap supplied by
 // the engine configuration as a browser tab budget would.
 func TestFailedGrowSpecAcrossTiers(t *testing.T) {
 	var sentinel uint32 = 0xCAFEBABE
@@ -111,6 +118,14 @@ func TestFailedGrowSpecAcrossTiers(t *testing.T) {
 			}
 			if name == "register" && vm.Stats().OptCycles == 0 {
 				t.Error("no cycles charged in the optimized tier")
+			}
+			if name == "aot" {
+				if vm.AOTTranslated() == 0 {
+					t.Error("AOT tier never engaged; loop ran on the register body")
+				}
+				if vm.Stats().AOTCycles == 0 {
+					t.Error("no cycles charged under the AOT dispatcher")
+				}
 			}
 		})
 	}

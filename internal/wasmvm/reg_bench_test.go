@@ -12,6 +12,11 @@ func BenchmarkRegTier(b *testing.B) {
 		cfg.TierUpThreshold = 100
 		cfg.DisableRegTier = disableReg
 		cfg.DisableFusion = disableFuse
+		// Pin the AOT tier off so the timed loop measures pure register
+		// dispatch however large b.N gets (call hotness would otherwise
+		// cross the AOT threshold mid-benchmark); BenchmarkAOTTier owns the
+		// superblock numbers.
+		cfg.DisableAOTTier = true
 		vm, err := New(buildModule(), 0, cfg)
 		if err != nil {
 			b.Fatal(err)

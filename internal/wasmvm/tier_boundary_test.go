@@ -113,3 +113,149 @@ func TestTierUpCompileChargedOnce(t *testing.T) {
 			got, want, perInstr, evs[0].A)
 	}
 }
+
+func aotCompileEvents(coll *obsv.Collector) []obsv.Event {
+	var out []obsv.Event
+	for _, e := range coll.Events() {
+		if e.Kind == obsv.KindAOTCompile {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestAOTExactlyAtThreshold pins the AOT tier boundary in pinned-opt mode,
+// where hotness grows one call at a time: with AOTThreshold T, the T-th
+// call is the first to compile and run superblocks, and repeat calls never
+// compile again.
+func TestAOTExactlyAtThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = TierOptOnly
+	cfg.AOTThreshold = 5
+	coll := &obsv.Collector{}
+	cfg.Tracer = coll
+	vm := newVM(t, cfg)
+
+	for i := 0; i < 4; i++ {
+		call1(t, vm, "add", I32(1), I32(2))
+	}
+	if got := vm.AOTTranslated(); got != 0 {
+		t.Fatalf("after threshold-1 calls: AOTTranslated = %d, want 0", got)
+	}
+	if got := vm.Stats().AOTCycles; got != 0 {
+		t.Fatalf("after threshold-1 calls: AOTCycles = %v, want 0", got)
+	}
+	if n := len(aotCompileEvents(coll)); n != 0 {
+		t.Fatalf("after threshold-1 calls: %d KindAOTCompile events, want 0", n)
+	}
+
+	call1(t, vm, "add", I32(1), I32(2)) // hotness reaches exactly 5
+	if got := vm.AOTTranslated(); got != 1 {
+		t.Fatalf("at threshold: AOTTranslated = %d, want 1", got)
+	}
+	if got := vm.Stats().AOTCycles; got == 0 {
+		t.Fatal("at threshold: the boundary call should run on superblocks")
+	}
+
+	for i := 0; i < 10; i++ {
+		call1(t, vm, "add", I32(1), I32(2))
+	}
+	if got := vm.AOTTranslated(); got != 1 {
+		t.Fatalf("after repeat calls: AOTTranslated = %d, want 1", got)
+	}
+	if n := len(aotCompileEvents(coll)); n != 1 {
+		t.Fatalf("%d KindAOTCompile events, want 1", n)
+	}
+}
+
+// TestAOTPinnedOff verifies the AOT tier stays off where it must: under
+// DisableAOTTier and in basic-only mode (no register bodies to compile
+// from), no amount of hotness produces a superblock or an event.
+func TestAOTPinnedOff(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"disabled", func(c *Config) { c.DisableAOTTier = true }},
+		{"basic-only", func(c *Config) { c.Mode = TierBasicOnly }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.TierUpThreshold = 10
+			cfg.AOTThreshold = 10
+			coll := &obsv.Collector{}
+			cfg.Tracer = coll
+			tc.mut(&cfg)
+			vm := newVM(t, cfg)
+			for i := 0; i < 50; i++ {
+				call1(t, vm, "add", I32(1), I32(2))
+			}
+			call1(t, vm, "sum", I32(10000))
+			if got := vm.AOTTranslated(); got != 0 {
+				t.Errorf("AOTTranslated = %d, want 0", got)
+			}
+			if got := vm.Stats().AOTCycles; got != 0 {
+				t.Errorf("AOTCycles = %v, want 0", got)
+			}
+			if n := len(aotCompileEvents(coll)); n != 0 {
+				t.Errorf("%d KindAOTCompile events, want 0", n)
+			}
+		})
+	}
+}
+
+// TestAOTOSRMidLoop sets AOTThreshold equal to TierUpThreshold so the
+// back-edge that promotes the loop also qualifies it for superblocks: the
+// single call must OSR from the stack body directly into the AOT
+// dispatcher and finish there.
+func TestAOTOSRMidLoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TierUpThreshold = 500
+	cfg.AOTThreshold = 500
+	coll := &obsv.Collector{}
+	cfg.Tracer = coll
+	vm := newVM(t, cfg)
+	call1(t, vm, "sum", I32(100000))
+	if got := vm.Stats().TierUps; got != 1 {
+		t.Fatalf("TierUps = %d, want 1", got)
+	}
+	if got := vm.AOTTranslated(); got != 1 {
+		t.Fatalf("AOTTranslated = %d, want 1", got)
+	}
+	if got := vm.Stats().AOTCycles; got == 0 {
+		t.Fatal("mid-loop OSR charged no AOT cycles")
+	}
+	evs := aotCompileEvents(coll)
+	if len(evs) != 1 {
+		t.Fatalf("%d KindAOTCompile events, want 1", len(evs))
+	}
+	if evs[0].A <= 0 || evs[0].B <= 0 {
+		t.Errorf("compile event payload wrong: %+v", evs[0])
+	}
+}
+
+// TestAOTCompileChargesNoCycles pins the AOT compile's virtual cost at
+// zero: like fusion and register translation (and unlike tier-up), the
+// superblock compile is invisible to the virtual clock, so an AOT run and
+// a register-only run of the same workload read identical cycles.
+func TestAOTCompileChargesNoCycles(t *testing.T) {
+	run := func(disableAOT bool) *VM {
+		cfg := DefaultConfig()
+		cfg.TierUpThreshold = 500
+		cfg.AOTThreshold = 500
+		cfg.DisableAOTTier = disableAOT
+		vm := newVM(t, cfg)
+		call1(t, vm, "sum", I32(100000))
+		call1(t, vm, "sum", I32(1000))
+		return vm
+	}
+	aot := run(false)
+	reg := run(true)
+	if aot.AOTTranslated() != 1 {
+		t.Fatalf("AOTTranslated = %d, want 1", aot.AOTTranslated())
+	}
+	if aot.Cycles() != reg.Cycles() {
+		t.Fatalf("AOT compile leaked into the virtual clock: aot=%v reg=%v",
+			aot.Cycles(), reg.Cycles())
+	}
+}

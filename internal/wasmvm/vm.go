@@ -83,6 +83,20 @@ type Config struct {
 	// instruction charges all of its fused components before the budget
 	// check, which could overshoot the exact trip instruction.
 	DisableRegTier bool
+	// DisableAOTTier turns off the closure-threaded AOT tier (aot.go /
+	// aotexec.go): hot functions then keep running the register-dispatch
+	// loop. Like fusion and the register tier, the AOT tier never changes
+	// virtual cycles, step counts, stats, profiles, or traces — only
+	// wall-clock dispatch speed. The AOT form is built from the register
+	// form, so the tier is also off implicitly whenever the register tier
+	// is (DisableRegTier or a step limit).
+	DisableAOTTier bool
+	// AOTThreshold is the hotness after which an optimizing-tier function's
+	// register body is AOT-compiled into superblocks of pre-bound closures.
+	// 0 engages the AOT tier together with the register tier (hotness is
+	// always past zero by then); the default holds it at the same point as
+	// tier-up.
+	AOTThreshold uint64
 	// Tracer receives typed execution events (tier-ups, memory grows,
 	// call enter/exit) stamped with the virtual-cycle clock. nil disables
 	// tracing; hook sites cost one branch.
@@ -115,6 +129,7 @@ func DefaultConfig() Config {
 		CompileBasicPerInstr: 6,
 		CompileOptPerInstr:   60,
 		TierUpThreshold:      1500,
+		AOTThreshold:         1500,
 		Mode:                 TierBoth,
 		DecodePerByte:        0.6,
 		InstantiateCost:      9000,
@@ -176,6 +191,14 @@ type compiledFunc struct {
 	regCode  []rop
 	maxStack int32 // peak operand-stack height (register frame = locals + this)
 	regTried bool  // translation attempted (regCode may still be nil on bail)
+
+	// AOT superblock form, produced lazily by translateAOT once the
+	// function is hot enough (Config.AOTThreshold) in the optimizing tier.
+	// aotEntry maps a register-form pc to its superblock index (-1 = not a
+	// block leader), so OSR can enter mid-function at any branch target.
+	aotBlocks []aotBlock
+	aotEntry  []int32
+	aotTried  bool // translation attempted (aotBlocks may still be nil on bail)
 }
 
 // Stats aggregates execution counters.
@@ -192,6 +215,13 @@ type Stats struct {
 	// fired.
 	BasicCycles float64
 	OptCycles   float64
+	// AOTCycles is the sub-split of OptCycles charged while the AOT
+	// superblock dispatcher was running (always <= OptCycles). It is the
+	// one dispatcher-visible Stats field: a configuration that never
+	// engages the AOT tier reports 0 here while charging the identical
+	// OptCycles total, so cross-dispatcher equivalence checks compare
+	// everything except this split.
+	AOTCycles float64
 }
 
 // ArithOps returns the counts the paper's Table 12 reports: ADD, MUL, DIV,
@@ -256,6 +286,18 @@ type VM struct {
 	// DisableRegTier or a step limit); regBuilt counts translated bodies.
 	regEnabled bool
 	regBuilt   int
+	// aotEnabled gates the closure-threaded AOT tier (off under
+	// DisableAOTTier, and implicitly whenever the register tier is off);
+	// aotBuilt/aotBlockCount count AOT-compiled functions and the
+	// superblocks built for them.
+	aotEnabled    bool
+	aotBuilt      int
+	aotBlockCount int
+	// aotErr and aotRb carry a trap out of an AOT closure chain to the
+	// superblock driver, which rolls back the pre-counted suffix before
+	// flushing (see aotexec.go).
+	aotErr error
+	aotRb  *aotRollback
 	// tally is the live per-class instruction counter behind Stats.Counts,
 	// padded to 256 entries so a uint8 CostClass index needs no bounds
 	// check in the dispatch loops; Stats() folds it back down.
@@ -311,6 +353,7 @@ func New(m *wasm.Module, binarySize int, cfg Config) (*VM, error) {
 		vm.inst.FusedPairs.Add(float64(vm.fused))
 	}
 	vm.regEnabled = !cfg.DisableRegTier && cfg.StepLimit == 0
+	vm.aotEnabled = !cfg.DisableAOTTier && vm.regEnabled
 	vm.imports = make([]HostFunc, len(m.Imports))
 	return vm, nil
 }
@@ -323,6 +366,16 @@ func (vm *VM) FusedPairs() int { return vm.fused }
 // register form so far; 0 when the register tier is disabled (explicitly
 // or by a step limit) or when nothing has tiered up yet.
 func (vm *VM) RegTranslated() int { return vm.regBuilt }
+
+// AOTTranslated returns how many functions have been AOT-compiled into
+// superblock form so far; 0 when the AOT tier is disabled (explicitly or
+// via a disabled register tier) or when nothing has crossed the AOT
+// threshold yet.
+func (vm *VM) AOTTranslated() int { return vm.aotBuilt }
+
+// AOTSuperblocks returns the total number of superblocks built across all
+// AOT-compiled functions.
+func (vm *VM) AOTSuperblocks() int { return vm.aotBlockCount }
 
 // Profile returns the per-function virtual-cycle profiles collected while
 // profiling was enabled (Config.Profile or a non-nil Tracer); nil
@@ -449,6 +502,7 @@ func (vm *VM) flushInstruments() {
 	vm.inst.Steps.Add(float64(s.Steps - vm.lastFlush.Steps))
 	vm.inst.BasicCycles.Add(s.BasicCycles - vm.lastFlush.BasicCycles)
 	vm.inst.OptCycles.Add(s.OptCycles - vm.lastFlush.OptCycles)
+	vm.inst.AOTCycles.Add(s.AOTCycles - vm.lastFlush.AOTCycles)
 	vm.inst.PeakMemBytes.SetMax(float64(vm.PeakMemoryBytes()))
 	vm.lastFlush = s
 }
