@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke telemetry-smoke fuzz
+.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke fuzz
 
-check: vet build race bench-smoke difftest-smoke faults-smoke telemetry-smoke
+check: vet build race bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,10 +21,14 @@ race:
 # Performance numbers behind BENCH_perf.json: observability overhead
 # (nil-tracer guard on the interpreter hot path), wasmvm dispatch
 # (superinstruction fusion, the register-form optimizing tier, and the AOT
-# superblock tier), and the parallel harness grid (compile cache on/off).
+# superblock tier), instantiation (cold vs snapshot clone vs reset), the
+# memory checksum, and the parallel harness grid (compile cache on/off,
+# instance pools fresh and steady-state).
 bench:
 	$(GO) test -bench 'Interp|RegistryCounter' -benchtime 5x -run xxx ./internal/obsv/
 	$(GO) test -bench 'Dispatch|RegTier|AOTTier' -benchtime 30x -run xxx ./internal/wasmvm/
+	$(GO) test -bench SnapshotRestore -benchtime 100x -run xxx ./internal/wasmvm/
+	$(GO) test -bench MemChecksum -benchtime 20x -run xxx ./internal/compiler/
 	$(GO) test -bench RunCellsMultiProfile -benchtime 5x -run xxx ./internal/harness/
 
 # One-iteration sweep of every benchmark so a broken -bench path fails CI
@@ -52,6 +56,13 @@ faults-smoke:
 telemetry-smoke:
 	$(GO) test ./internal/telemetry -run TestTelemetrySmoke -count=1
 	$(GO) test ./internal/obsv -run 'TestNilTelemetryAllocationFree|TestInstrumentsPreserveVirtualMetrics' -count=1
+
+# Pool drill: snapshot/pool determinism (clone, reset, and pooled sweeps
+# byte-identical to cold instantiation) plus concurrent checkout under the
+# race detector and the pooled differential-oracle configs.
+pool-smoke:
+	$(GO) test ./internal/wasmvm -run 'TestSnapshot|TestPool|TestReset' -count=1 -race
+	$(GO) test ./internal/harness -run 'TestPoolSmoke|TestPoolSharedAcrossRuns|TestPoolTelemetry' -count=1 -race
 
 # Open-ended differential fuzzing (not part of check). Override FUZZTIME
 # and FUZZ to steer, e.g. make fuzz FUZZ=FuzzDiffOptLevels FUZZTIME=5m.

@@ -17,3 +17,7 @@ go test ./internal/harness -run TestFaultSmoke -count=1 -race
 # well-formed, plus the disabled-telemetry zero-overhead proof.
 go test ./internal/telemetry -run TestTelemetrySmoke -count=1
 go test ./internal/obsv -run 'TestNilTelemetryAllocationFree|TestInstrumentsPreserveVirtualMetrics' -count=1
+# Pool drill: snapshot/pool determinism (clone, reset, pooled sweeps
+# byte-identical to cold instantiation) and concurrent checkout, race-clean.
+go test ./internal/wasmvm -run 'TestSnapshot|TestPool|TestReset' -count=1 -race
+go test ./internal/harness -run 'TestPoolSmoke|TestPoolSharedAcrossRuns|TestPoolTelemetry' -count=1 -race

@@ -28,7 +28,10 @@
 // each attempt in wall-clock and virtual time, -quarantine skips
 // benchmarks that keep failing, -resume checkpoints completed cells to a
 // file and restores them on the next invocation, and -faults/-fault-seed
-// inject a deterministic fault plan for drills. Any cell still failed or
+// inject a deterministic fault plan for drills. -vm-pool serves Wasm cells
+// from per-artifact instance pools (snapshot clones/resets instead of cold
+// instantiation; host time only — every virtual metric is unchanged), with
+// -vm-pool-size bounding live instances per pool. Any cell still failed or
 // quarantined at the end makes benchtab exit nonzero with a failure
 // summary on stderr.
 package main
@@ -69,6 +72,8 @@ func main() {
 	quarantine := flag.Int("quarantine", 0, "with -metrics: skip a benchmark's remaining cells after N consecutive failures (0 = never)")
 	faultSpec := flag.String("faults", "", "with -metrics: deterministic fault plan, e.g. 'wasm.stall:count=2,stall=100ms;harness.worker-panic:prob=0.05'")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the -faults plan and retry jitter")
+	vmPool := flag.Bool("vm-pool", false, "with -metrics: serve Wasm measurements from per-artifact instance pools (post-init snapshot clones and resets instead of cold instantiation; virtual metrics are unchanged)")
+	vmPoolSize := flag.Int("vm-pool-size", 0, "with -metrics: max live instances per artifact pool (0 = workers+1)")
 	telemetryAddr := flag.String("telemetry", "", "with -metrics: serve live telemetry on this address during the sweep (/metrics, /debug/trace, /debug/profile, /debug/cells, /healthz); ':0' picks a free port")
 	telemetrySnap := flag.String("telemetry-snapshot", "", "with -metrics: write a metrics snapshot when the sweep ends ('-' = text to stdout; a path ending in .json gets JSON)")
 	flightCap := flag.Int("flight", 0, "flight-recorder window in events for -telemetry (0 = default 65536)")
@@ -112,6 +117,8 @@ func main() {
 			Deadline:        *deadline,
 			StepLimit:       *stepLimit,
 			QuarantineAfter: *quarantine,
+			VMPool:          *vmPool,
+			VMPoolSize:      *vmPoolSize,
 		}
 		if *faultSpec != "" {
 			rules, err := faultinject.ParseSpec(*faultSpec)

@@ -70,6 +70,25 @@ func (p *Profile) ApplyTabCap() {
 	}
 }
 
+// PooledVMBudget sizes an instance pool against the platform tab budget:
+// how many idle pooled instances of the given linear-memory footprint fit
+// under TabCapPages. Idle instances hold their post-init memory (and any
+// retained grow arena), so on mobile the pool bound — not just a single
+// tab — must respect the cap; a checkout evicted past the budget is
+// reclaimed exactly like a tab kill. At least 1 (a pool that cannot hold
+// one instance degrades to cold runs by exhaustion, not by erroring);
+// 0 means no platform cap, leaving the bound to the caller.
+func (p *Profile) PooledVMBudget(instancePages uint32) int {
+	if p.TabCapPages == 0 || instancePages == 0 {
+		return 0
+	}
+	n := int(p.TabCapPages / instancePages)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Name returns e.g. "chrome-desktop".
 func (p *Profile) Name() string {
 	return fmt.Sprintf("%s-%s", p.Browser, p.Platform)
@@ -259,6 +278,11 @@ type MeasureOptions struct {
 	StepLimit uint64
 	// Faults arms a fault plan on the engine for this run.
 	Faults *faultinject.Plan
+	// VMPool serves the Wasm run from a pooled snapshot-restored instance
+	// instead of a cold instantiation. Host wall-clock only: virtual
+	// metrics are byte-identical by the wasmvm snapshot contract, so a nil
+	// pool (the default) and a pooled run measure the same numbers.
+	VMPool *wasmvm.InstancePool
 }
 
 // MeasureWasm loads a minimal page with the artifact's Wasm module and
@@ -299,7 +323,7 @@ func (p *Profile) measureWasmCfg(art *compiler.Artifact, cfg wasmvm.Config, opts
 		cfg.GrowGranularityPages = 256
 	}
 	// The loader's boundary: instantiate + start call cross JS↔Wasm.
-	res, err := compiler.RunWasm(art, cfg)
+	res, err := compiler.RunWasmPooled(art, cfg, opts.VMPool)
 	if err != nil {
 		return nil, err
 	}

@@ -87,3 +87,92 @@ func TestTabCapGrowDeniedAtBudget(t *testing.T) {
 		t.Errorf("failed grow resized memory: %d pages", got)
 	}
 }
+
+// TestPooledVMBudget pins the pool-sizing arithmetic against the platform
+// tab budget: desktop profiles impose no bound, mobile bounds the pool by
+// how many idle post-init memories fit under TabCapPages, and a footprint
+// larger than the whole budget still admits one instance (the pool then
+// degrades by exhaustion, not by erroring).
+func TestPooledVMBudget(t *testing.T) {
+	d := Chrome(Desktop)
+	if n := d.PooledVMBudget(100); n != 0 {
+		t.Errorf("desktop budget = %d, want 0 (uncapped)", n)
+	}
+	m := Chrome(Mobile)
+	if n := m.PooledVMBudget(0); n != 0 {
+		t.Errorf("zero-footprint budget = %d, want 0", n)
+	}
+	if n := m.PooledVMBudget(1600); n != 3 {
+		t.Errorf("budget(1600 pages) = %d, want 3 (4800/1600)", n)
+	}
+	if n := m.PooledVMBudget(4800); n != 1 {
+		t.Errorf("budget(4800 pages) = %d, want 1", n)
+	}
+	if n := m.PooledVMBudget(9999); n != 1 {
+		t.Errorf("oversized footprint budget = %d, want floor of 1", n)
+	}
+}
+
+// TestTabCapPoolReclaim drives an instance pool sized by PooledVMBudget
+// like a mobile tab manager: the pool admits exactly the budget, an
+// over-budget checkout under ColdFallback runs cold (the tab-kill
+// analogue — no blocking, no error), and an idle instance of another
+// engine shape is evicted to admit a new one, exactly as an idle tab is
+// reclaimed for a foreground one.
+func TestTabCapPoolReclaim(t *testing.T) {
+	p := Chrome(Mobile)
+	p.ApplyTabCap()
+	cfgA := p.Wasm
+	cfgA.GrowGranularityPages = 1
+	budget := p.PooledVMBudget(2400) // two idle post-init instances fit
+	if budget != 2 {
+		t.Fatalf("budget = %d, want 2", budget)
+	}
+	pool := wasmvm.NewInstancePool(growCapModule(), 0, wasmvm.PoolOptions{
+		MaxInstances: budget,
+		ColdFallback: true,
+	})
+
+	vm1, _, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, _, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted: the third concurrent tab runs cold instead of
+	// waiting for a kill.
+	vm3, recycled, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recycled {
+		t.Error("over-budget checkout reported recycled")
+	}
+	if s := pool.Stats(); s.ColdFallbacks != 1 || s.Live != budget {
+		t.Errorf("after over-budget checkout: %+v, want 1 cold fallback at live=%d", s, budget)
+	}
+	pool.Put(vm3) // cold instance is outside the pool: dropped, not admitted
+	pool.Put(vm1)
+	pool.Put(vm2)
+	if s := pool.Stats(); s.Idle != budget {
+		t.Errorf("idle = %d, want %d", s.Idle, budget)
+	}
+
+	// A foreground tab with a different engine shape evicts an idle one.
+	cfgB := cfgA
+	cfgB.TierUpThreshold = 77
+	vmB, _, err := pool.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (idle tab reclaimed)", s.Evictions)
+	}
+	if s.Live != budget {
+		t.Errorf("live = %d, want %d (budget never exceeded)", s.Live, budget)
+	}
+	pool.Put(vmB)
+}

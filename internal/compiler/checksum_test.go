@@ -1,0 +1,73 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveFNV1a is the reference byte-at-a-time loop memChecksum must match
+// bit for bit on every input — the checksum is a differential-comparison
+// metric, so the zero-run fast path may change only its speed.
+func naiveFNV1a(b []byte) uint64 {
+	h := fnvOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func TestMemChecksumMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{1},
+		make([]byte, 7),          // sub-word, all zero
+		make([]byte, 8),          // one zero word
+		make([]byte, 65536),      // a zero page
+		{1, 2, 3, 4, 5, 6, 7, 8}, // one dense word
+	}
+	// Dense random buffer at awkward lengths around word boundaries.
+	for _, n := range []int{1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 4096, 4099} {
+		b := make([]byte, n)
+		rng.Read(b)
+		cases = append(cases, b)
+	}
+	// Sparse buffers: the realistic linear-memory shape — a small dense
+	// prefix, interior islands of data, and a long zero tail.
+	for trial := 0; trial < 50; trial++ {
+		b := make([]byte, 1+rng.Intn(1<<16))
+		for i := 0; i < len(b)/64; i++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+		cases = append(cases, b)
+	}
+	for i, b := range cases {
+		if got, want := memChecksum(b), naiveFNV1a(b); got != want {
+			t.Errorf("case %d (len %d): memChecksum %#x != naive %#x", i, len(b), got, want)
+		}
+	}
+}
+
+func TestFnvPrimePow(t *testing.T) {
+	want := uint64(1)
+	for n := 0; n < 100; n++ {
+		if got := fnvPrimePow(n); got != want {
+			t.Fatalf("fnvPrimePow(%d) = %#x, want %#x", n, got, want)
+		}
+		want *= fnvPrime
+	}
+}
+
+func BenchmarkMemChecksum(b *testing.B) {
+	mem := make([]byte, 4<<20) // 4 MiB, mostly zero: typical post-run memory
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(mem[:8<<10])
+	b.SetBytes(int64(len(mem)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memChecksum(mem)
+	}
+}

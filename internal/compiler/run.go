@@ -1,10 +1,12 @@
 package compiler
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"wasmbench/internal/codegen"
+	"wasmbench/internal/faultinject"
 	"wasmbench/internal/jsvm"
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/wasmvm"
@@ -35,17 +37,84 @@ type Result struct {
 	// profiling was enabled (Config.Profile or a non-nil Tracer); nil
 	// otherwise. The harness merges these into the live telemetry hub.
 	Profiles []obsv.FuncProfile
+	// VMPooled reports that the run was served through an instance pool
+	// (RunWasmPooled with a live pool checkout); VMPoolRecycled narrows that
+	// to a snapshot-reset recycled instance rather than a fresh clone.
+	// Host-time bookkeeping only — never part of differential comparison.
+	VMPooled       bool
+	VMPoolRecycled bool
 }
 
-// memChecksum is FNV-1a over a byte slice (inlined to avoid allocating a
-// hash.Hash per run).
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// memChecksum is FNV-1a over a byte slice, with an exact fast path for zero
+// runs. XOR with a zero byte is the identity, so n zero bytes advance the
+// hash by h *= prime^n — computed in O(log n) multiplies instead of n.
+// Linear memories are overwhelmingly zero pages past the working set, which
+// made the byte-at-a-time loop the dominant cost of a whole measurement.
+// The value is bit-identical to the naive loop for every input.
 func memChecksum(b []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= 1099511628211
+	h := fnvOffset
+	i := 0
+	// Align to 8 so the word scan below reads full words.
+	for ; i < len(b) && i%8 != 0; i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime
+	}
+	zeroRun := 0
+	for ; i+8 <= len(b); i += 8 {
+		// Stride over whole zero cachelines before falling back to words.
+		for i+64 <= len(b) {
+			c := b[i : i+64 : i+64]
+			if binary.LittleEndian.Uint64(c)|binary.LittleEndian.Uint64(c[8:])|
+				binary.LittleEndian.Uint64(c[16:])|binary.LittleEndian.Uint64(c[24:])|
+				binary.LittleEndian.Uint64(c[32:])|binary.LittleEndian.Uint64(c[40:])|
+				binary.LittleEndian.Uint64(c[48:])|binary.LittleEndian.Uint64(c[56:]) != 0 {
+				break
+			}
+			zeroRun += 64
+			i += 64
+		}
+		if i+8 > len(b) {
+			break
+		}
+		w := binary.LittleEndian.Uint64(b[i:])
+		if w == 0 {
+			zeroRun += 8
+			continue
+		}
+		if zeroRun > 0 {
+			h *= fnvPrimePow(zeroRun)
+			zeroRun = 0
+		}
+		for k := 0; k < 8; k++ {
+			h ^= w >> (8 * k) & 0xff
+			h *= fnvPrime
+		}
+	}
+	if zeroRun > 0 {
+		h *= fnvPrimePow(zeroRun)
+	}
+	for ; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime
 	}
 	return h
+}
+
+// fnvPrimePow returns fnvPrime**n (mod 2^64) by binary exponentiation.
+func fnvPrimePow(n int) uint64 {
+	r, p := uint64(1), fnvPrime
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= p
+		}
+		p *= p
+	}
+	return r
 }
 
 // OutputStrings renders the output channel for differential comparison.
@@ -116,6 +185,43 @@ func RunWasm(art *Artifact, cfg wasmvm.Config) (*Result, error) {
 	if err := vm.Instantiate(); err != nil {
 		return nil, err
 	}
+	return runWasmMain(vm, out)
+}
+
+// RunWasmPooled executes like RunWasm but checks the VM instance out of
+// pool — a recycled or snapshot-cloned instance rather than a cold
+// New+Instantiate — and returns it for recycling afterwards, even when main
+// traps (Reset unwinds a trapped instance). Virtual metrics are
+// byte-identical to RunWasm by the snapshot determinism contract; only host
+// wall-clock changes. A nil pool, or an armed wasm.snapshot-restore fault,
+// silently degrades to the cold path.
+func RunWasmPooled(art *Artifact, cfg wasmvm.Config, pool *wasmvm.InstancePool) (*Result, error) {
+	if pool == nil {
+		return RunWasm(art, cfg)
+	}
+	if cfg.Faults != nil && cfg.Faults.Fire(faultinject.WasmSnapshotRestore, art.Opts.ModuleName) {
+		return RunWasm(art, cfg)
+	}
+	if art.Module == nil {
+		return nil, fmt.Errorf("compiler: artifact has no wasm module")
+	}
+	vm, recycled, err := pool.Get(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := BindWasmImports(vm)
+	r, err := runWasmMain(vm, out)
+	pool.Put(vm)
+	if err != nil {
+		return nil, err
+	}
+	r.VMPooled = true
+	r.VMPoolRecycled = recycled
+	return r, nil
+}
+
+// runWasmMain calls main on an instantiated VM and assembles the Result.
+func runWasmMain(vm *wasmvm.VM, out *[]codegen.OutputEvent) (*Result, error) {
 	res, err := vm.Call("main")
 	if err != nil {
 		return nil, fmt.Errorf("wasm main: %w", err)

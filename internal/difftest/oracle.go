@@ -81,10 +81,16 @@ func DefaultOracle() *Oracle {
 	return &Oracle{CrossLevel: true}
 }
 
-// wasmVariant names one wasmvm configuration.
+// wasmVariant names one wasmvm configuration. pooled variants run twice
+// through a single-instance snapshot pool — once on the snapshot-cloned
+// capture instance ("+pool") and once on the Reset-recycled instance
+// ("+recycle") — and both outcomes enter the within-wasm comparison, so the
+// oracle proves pooled instantiation print/exit/steps/checksum-identical to
+// every cold config of the same artifact.
 type wasmVariant struct {
-	name string
-	cfg  wasmvm.Config
+	name   string
+	cfg    wasmvm.Config
+	pooled bool
 }
 
 // wasmVariants builds the wasmvm config matrix. The tier-up and AOT
@@ -104,11 +110,12 @@ func wasmVariants(full bool) []wasmVariant {
 	}
 	if !full {
 		return []wasmVariant{
-			{"both+fuse+reg", mk(wasmvm.TierBoth, true, true, false)},
-			{"both+fuse+reg+aot", mk(wasmvm.TierBoth, true, true, true)},
-			{"both-plain", mk(wasmvm.TierBoth, false, false, false)},
-			{"basic", mk(wasmvm.TierBasicOnly, true, false, false)},
-			{"opt+reg", mk(wasmvm.TierOptOnly, true, true, false)},
+			{name: "both+fuse+reg", cfg: mk(wasmvm.TierBoth, true, true, false)},
+			{name: "both+fuse+reg+aot", cfg: mk(wasmvm.TierBoth, true, true, true)},
+			{name: "both+fuse+reg+aot", cfg: mk(wasmvm.TierBoth, true, true, true), pooled: true},
+			{name: "both-plain", cfg: mk(wasmvm.TierBoth, false, false, false)},
+			{name: "basic", cfg: mk(wasmvm.TierBasicOnly, true, false, false)},
+			{name: "opt+reg", cfg: mk(wasmvm.TierOptOnly, true, true, false)},
 		}
 	}
 	modes := []struct {
@@ -130,11 +137,16 @@ func wasmVariants(full bool) []wasmVariant {
 				} else {
 					n += "-noreg"
 				}
-				out = append(out, wasmVariant{n, mk(md.m, fuse, reg, false)})
+				out = append(out, wasmVariant{name: n, cfg: mk(md.m, fuse, reg, false)})
 				if reg {
 					// The AOT tier stacks on the register tier only, so
 					// only reg-enabled configs have an +aot variant.
-					out = append(out, wasmVariant{n + "+aot", mk(md.m, fuse, reg, true)})
+					out = append(out, wasmVariant{name: n + "+aot", cfg: mk(md.m, fuse, reg, true)})
+					if fuse {
+						// And the deepest config of each mode additionally
+						// runs pooled, covering snapshot clone + recycle.
+						out = append(out, wasmVariant{name: n + "+aot", cfg: mk(md.m, fuse, reg, true), pooled: true})
+					}
 				}
 			}
 		}
@@ -269,6 +281,19 @@ func (o *Oracle) runMatrix(art *compiler.Artifact, tc compiler.Toolchain) []Outc
 			cfg := v.cfg
 			if tc == compiler.Emscripten {
 				cfg.GrowGranularityPages = 256
+			}
+			if v.pooled {
+				// Two checkouts through a one-instance pool: the first runs
+				// the snapshot-capture instance, the second the recycled one.
+				pool := wasmvm.NewInstancePool(art.Module, len(art.WasmBinary),
+					wasmvm.PoolOptions{MaxInstances: 1})
+				for _, phase := range []string{"+pool", "+recycle"} {
+					res, err := safeRun(func() (*compiler.Result, error) {
+						return compiler.RunWasmPooled(art, cfg, pool)
+					})
+					outs = append(outs, mkOutcome("wasm/"+v.name+phase, "wasm", res, err))
+				}
+				continue
 			}
 			res, err := safeRun(func() (*compiler.Result, error) {
 				return compiler.RunWasm(art, cfg)

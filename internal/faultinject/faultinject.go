@@ -47,6 +47,11 @@ const (
 	// WasmStall blocks the calling goroutine for Rule.Stall wall-clock time
 	// on function entry — the "wedged cell" the harness deadline must catch.
 	WasmStall Point = "wasm.stall"
+	// WasmSnapshotRestore denies a pooled-instance checkout from the
+	// post-init snapshot, forcing a silent cold instantiation (host-time
+	// only — virtual metrics are identical by construction, so the fault
+	// exercises the fallback plumbing, not the result).
+	WasmSnapshotRestore Point = "wasm.snapshot-restore"
 	// JSJITCompile fails a function's optimizing-JIT compile; the code
 	// object is pinned to the interpreter tier (a permanent deopt).
 	JSJITCompile Point = "js.jit-compile"
@@ -70,6 +75,7 @@ const (
 // this).
 var AllPoints = []Point{
 	WasmGrowDeny, WasmRegTranslate, WasmAOTTranslate, WasmStall,
+	WasmSnapshotRestore,
 	JSJITCompile, JSHeapOOM,
 	CompilerPass, CompilerCache, HarnessPanic,
 }

@@ -39,6 +39,7 @@ func TestFaultSmoke(t *testing.T) {
 			cell("mvt", benchsuite.XS, "wasm"),     // compiler.pass → retry+degrade
 			cell("trmm", benchsuite.XS, "wasm"),    // compiler.cache → retry
 			cell("gesummv", benchsuite.XS, "wasm"), // harness.worker-panic → retry
+			cell("syrk", benchsuite.XS, "wasm"),    // wasm.snapshot-restore → silent cold fallback
 			cell("doitgen", benchsuite.XS, "wasm"), // unrecoverable → fails
 			cell("doitgen", benchsuite.S, "wasm"),  // → quarantined
 		}
@@ -56,6 +57,10 @@ func TestFaultSmoke(t *testing.T) {
 		{Point: faultinject.CompilerPass, Count: 1, Match: "mvt"},
 		{Point: faultinject.CompilerCache, Count: 1, Match: "trmm"},
 		{Point: faultinject.HarnessPanic, Count: 1, Match: "gesummv"},
+		// Pool-checkout denial is absorbed below the retry machinery: the
+		// measurement silently instantiates cold, so the cell succeeds on its
+		// first attempt with byte-identical metrics.
+		{Point: faultinject.WasmSnapshotRestore, Count: 1, Match: "syrk"},
 		{Point: faultinject.CompilerPass, Prob: 1, Match: "doitgen"}, // every attempt fails
 	}
 
@@ -70,6 +75,7 @@ func TestFaultSmoke(t *testing.T) {
 		res, m := RunCellsWith(cells, RunOptions{
 			Workers: 1, Retries: 2, DegradeOnRetry: true,
 			QuarantineAfter: 1, Deadline: time.Minute, Faults: plan,
+			VMPool: true, // arms the wasm.snapshot-restore injection site
 		})
 		var failed []string
 		for i, r := range res {

@@ -162,6 +162,11 @@ func runAttempt(c Cell, cache *ArtifactCache, opt RunOptions, rung string, plan 
 	if cc.Lang == "js" {
 		m, err = cc.Profile.MeasureJSWith(art, mo)
 	} else {
+		// Pooled instantiation is keyed by the degraded cell's fingerprint:
+		// an O0 rung compiles a different artifact and therefore uses a
+		// different pool, while the dispatch-only rungs (noreg, nofuse)
+		// share the artifact but land in their own config-shape buckets.
+		mo.VMPool = opt.vmPools.poolFor(cc.Fingerprint(), art)
 		m, err = cc.Profile.MeasureWasmWith(art, mo)
 	}
 	info.measure = time.Since(t1)

@@ -13,6 +13,7 @@ import (
 	"wasmbench/internal/ir"
 	"wasmbench/internal/obsv"
 	"wasmbench/internal/telemetry"
+	"wasmbench/internal/wasmvm"
 )
 
 // Cell is one measurement cell: a benchmark compiled with a configuration
@@ -110,6 +111,21 @@ type RunOptions struct {
 	// opt-out for compile-time measurement studies. Measurements are
 	// unaffected either way; only wall-clock compile time changes.
 	DisableCache bool
+	// VMPool serves Wasm measurements from per-artifact instance pools:
+	// cells that differ only in browser profile share one pool, cloning VMs
+	// from a post-init snapshot and recycling them with Reset instead of
+	// re-running module init per cell. Like the artifact cache, this is
+	// wall-clock-only — virtual metrics are byte-identical to cold runs by
+	// the wasmvm snapshot contract. Saturated pools fall back to cold
+	// instantiation, never blocking a worker.
+	VMPool bool
+	// VMPoolSize bounds each artifact pool's live instances; <=0 selects
+	// the default (workers + 1).
+	VMPoolSize int
+	// vmPools is the pool set actually used; pre-seeded by tests and
+	// benchmarks that share pools across runs, created fresh per run
+	// otherwise.
+	vmPools *vmPoolSet
 
 	// --- Resilience (all zero values preserve the pre-resilience
 	// behavior exactly; see resilience.go) ---
@@ -210,12 +226,28 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 	if opt.Faults != nil {
 		faultBase = opt.Faults.TotalFired()
 	}
+	if opt.VMPool && opt.vmPools == nil {
+		size := opt.VMPoolSize
+		if size <= 0 {
+			size = workers + 1
+		}
+		var pi *telemetry.PoolInstruments
+		if opt.Telemetry != nil {
+			pi = telemetry.NewPoolInstruments(opt.Telemetry.Registry())
+		}
+		opt.vmPools = newVMPoolSet(size, pi)
+	}
+	// Delta-base so pools shared across runs report this run's checkouts.
+	var vmPoolBase wasmvm.PoolStats
+	if opt.vmPools != nil {
+		vmPoolBase = opt.vmPools.stats()
+	}
 	quar := newQuarantine(opt.QuarantineAfter)
 
 	start := time.Now()
 	// Arm live telemetry (nil hub → nil tracker; every hook is then a
 	// no-op) and tee harness trace events into the hub's flight recorder.
-	rt := newRunTelemetry(opt.Telemetry, cells, workers, cache, opt.Faults, start)
+	rt := newRunTelemetry(opt.Telemetry, cells, workers, cache, opt.vmPools, opt.Faults, start)
 	if rt != nil {
 		opt.Tracer = obsv.Multi(opt.Tracer, opt.Telemetry.Tracer())
 	}
@@ -299,6 +331,8 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 					cm.BasicCycles = r.Meas.Result.WasmStats.BasicCycles
 					cm.OptCycles = r.Meas.Result.WasmStats.OptCycles
 					cm.AOTCycles = r.Meas.Result.WasmStats.AOTCycles
+					cm.VMPooled = r.Meas.Result.VMPooled
+					cm.VMPoolHit = r.Meas.Result.VMPoolRecycled
 				}
 				metrics.Cells[i] = cm
 				rt.cellDone(i, r, cm)
@@ -331,6 +365,14 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		metrics.CacheHits = s.Hits - cacheBase.Hits
 		metrics.CacheMisses = s.Misses - cacheBase.Misses
 		metrics.CacheDedupWaits = s.DedupWaits - cacheBase.DedupWaits
+	}
+	if opt.vmPools != nil {
+		s := opt.vmPools.stats()
+		metrics.VMPoolEnabled = true
+		metrics.VMPoolHits = s.Hits - vmPoolBase.Hits
+		metrics.VMPoolMisses = s.Misses - vmPoolBase.Misses
+		metrics.VMPoolRecycles = s.Recycles - vmPoolBase.Recycles
+		metrics.VMPoolColdFallbacks = s.ColdFallbacks - vmPoolBase.ColdFallbacks
 	}
 	// Aggregate robustness counters from the per-cell metrics (after
 	// wg.Wait, so no extra synchronization is needed). All remain zero on

@@ -38,4 +38,22 @@ func BenchmarkRunCellsMultiProfile(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) {
 		run(b, RunOptions{Workers: 2, DisableCache: true})
 	})
+	// Pool set created fresh each iteration: every profile still clones from
+	// the per-artifact snapshot instead of re-running module init.
+	b.Run("pooled", func(b *testing.B) {
+		run(b, RunOptions{Workers: 2, VMPool: true})
+	})
+	// Steady-state service shape: one artifact cache and one pool set
+	// survive across iterations, so after the first sweep every checkout is
+	// a snapshot-reset recycle and nothing recompiles or re-instantiates.
+	b.Run("pooled-shared", func(b *testing.B) {
+		pools := newVMPoolSet(len(cells)+1, nil)
+		cache := NewArtifactCache()
+		for i := 0; i < b.N; i++ {
+			res, _ := RunCellsWith(cells, RunOptions{Workers: 2, VMPool: true, vmPools: pools, Cache: cache})
+			if err := FirstError(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -38,6 +38,24 @@ type CellState struct {
 	Attempts    int     `json:"attempts,omitempty"`
 	Degraded    string  `json:"degraded,omitempty"`
 	CacheHit    bool    `json:"cache_hit,omitempty"`
+	// VMPooled marks a Wasm measurement served through the instance pool;
+	// VMPoolHit narrows it to a recycled (snapshot-reset) instance.
+	VMPooled  bool `json:"vm_pooled,omitempty"`
+	VMPoolHit bool `json:"vm_pool_hit,omitempty"`
+}
+
+// VMPoolState is the /debug/cells view of the run's instance pools:
+// aggregate checkout counters across every per-artifact pool.
+type VMPoolState struct {
+	Pools         int `json:"pools"`
+	Hits          int `json:"hits"`
+	Misses        int `json:"misses"`
+	Recycles      int `json:"recycles"`
+	ColdFallbacks int `json:"cold_fallbacks"`
+	Evictions     int `json:"evictions"`
+	Discards      int `json:"discards"`
+	Live          int `json:"live"`
+	Idle          int `json:"idle"`
 }
 
 // SweepState is the /debug/cells payload: run-level aggregates plus the
@@ -55,8 +73,11 @@ type SweepState struct {
 	Faults      int         `json:"faults_injected"`
 	QueueDepth  int         `json:"queue_depth"`
 	Cache       CacheStats  `json:"cache"`
-	ElapsedMs   float64     `json:"elapsed_ms"`
-	Cells       []CellState `json:"cells"`
+	// VMPool is present only when RunOptions.VMPool armed the instance
+	// pools, so pool-less sweeps serve an unchanged payload.
+	VMPool    *VMPoolState `json:"vm_pool,omitempty"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Cells     []CellState  `json:"cells"`
 }
 
 // runTelemetry tracks one run's live state. A nil *runTelemetry is inert,
@@ -65,6 +86,7 @@ type runTelemetry struct {
 	hub   *telemetry.Hub
 	inst  *telemetry.HarnessInstruments
 	cache *ArtifactCache
+	pools *vmPoolSet
 	plan  *faultinject.Plan
 	start time.Time
 
@@ -76,7 +98,7 @@ type runTelemetry struct {
 // newRunTelemetry arms the hub for one run (nil hub → nil tracker). It
 // registers the harness instruments, publishes the "cells" provider, and
 // threads cache instruments into the artifact cache.
-func newRunTelemetry(hub *telemetry.Hub, cells []Cell, workers int, cache *ArtifactCache, plan *faultinject.Plan, start time.Time) *runTelemetry {
+func newRunTelemetry(hub *telemetry.Hub, cells []Cell, workers int, cache *ArtifactCache, pools *vmPoolSet, plan *faultinject.Plan, start time.Time) *runTelemetry {
 	if hub == nil {
 		return nil
 	}
@@ -84,6 +106,7 @@ func newRunTelemetry(hub *telemetry.Hub, cells []Cell, workers int, cache *Artif
 		hub:   hub,
 		inst:  telemetry.NewHarnessInstruments(hub.Registry()),
 		cache: cache,
+		pools: pools,
 		plan:  plan,
 		start: start,
 	}
@@ -115,6 +138,20 @@ func (rt *runTelemetry) snapshot() any {
 	rt.mu.Unlock()
 	if rt.cache != nil {
 		s.Cache = rt.cache.Stats()
+	}
+	if rt.pools != nil {
+		ps := rt.pools.stats()
+		s.VMPool = &VMPoolState{
+			Pools:         rt.pools.poolCount(),
+			Hits:          ps.Hits,
+			Misses:        ps.Misses,
+			Recycles:      ps.Recycles,
+			ColdFallbacks: ps.ColdFallbacks,
+			Evictions:     ps.Evictions,
+			Discards:      ps.Discards,
+			Live:          ps.Live,
+			Idle:          ps.Idle,
+		}
 	}
 	s.ElapsedMs = float64(time.Since(rt.start)) / float64(time.Millisecond)
 	return s
@@ -194,6 +231,8 @@ func (rt *runTelemetry) cellDone(i int, r CellResult, cm obsv.CellMetric) {
 		Attempts:    cm.Attempts,
 		Degraded:    cm.Degraded,
 		CacheHit:    cm.CacheHit,
+		VMPooled:    cm.VMPooled,
+		VMPoolHit:   cm.VMPoolHit,
 	}
 	switch {
 	case cm.Quarantined:

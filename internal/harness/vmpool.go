@@ -1,0 +1,97 @@
+package harness
+
+// This file wires the wasmvm instance pool into the parallel harness. The
+// insight is the same one behind the artifact cache: a sweep measures each
+// compiled artifact under many browser profiles, so the artifact's post-init
+// snapshot — like its compiled module — can be shared across the worker
+// pool. One InstancePool per artifact fingerprint serves all six profiles:
+// the snapshot is fusion-keyed (profiles agree on fusion), while each
+// profile's cost-table shape gets its own recycled free list. Cells that
+// differ only in profile then skip module validation, lowering, fusion, and
+// data-segment init entirely, and steady-state sweeps reuse reset instances.
+
+import (
+	"sync"
+
+	"wasmbench/internal/compiler"
+	"wasmbench/internal/telemetry"
+	"wasmbench/internal/wasmvm"
+)
+
+// vmPoolSet shares one InstancePool per artifact fingerprint across the
+// worker pool (and, when passed between runs, across sweeps). Safe for
+// concurrent use.
+type vmPoolSet struct {
+	mu    sync.Mutex
+	size  int
+	inst  *telemetry.PoolInstruments
+	pools map[string]*wasmvm.InstancePool
+}
+
+func newVMPoolSet(size int, inst *telemetry.PoolInstruments) *vmPoolSet {
+	if size <= 0 {
+		// One instance per worker plus a spare keeps a full worker pool
+		// from ever blocking on checkout even before recycling starts.
+		size = DefaultWorkers() + 1
+	}
+	return &vmPoolSet{size: size, inst: inst, pools: make(map[string]*wasmvm.InstancePool)}
+}
+
+// poolFor returns the pool for an artifact fingerprint, creating it on
+// first use. Pools are created with ColdFallback on: a saturated pool
+// degrades a checkout to a cold instantiation rather than blocking a
+// harness worker behind another cell. nil receiver, JS artifacts, and
+// artifacts without a module all yield nil (→ cold path).
+func (ps *vmPoolSet) poolFor(fp string, art *compiler.Artifact) *wasmvm.InstancePool {
+	if ps == nil || art == nil || art.Module == nil {
+		return nil
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p := ps.pools[fp]
+	if p == nil {
+		p = wasmvm.NewInstancePool(art.Module, len(art.WasmBinary), wasmvm.PoolOptions{
+			MaxInstances: ps.size,
+			ColdFallback: true,
+			Instruments:  ps.inst,
+		})
+		ps.pools[fp] = p
+	}
+	return p
+}
+
+// stats aggregates the checkout counters across every pool in the set.
+func (ps *vmPoolSet) stats() wasmvm.PoolStats {
+	var agg wasmvm.PoolStats
+	if ps == nil {
+		return agg
+	}
+	ps.mu.Lock()
+	pools := make([]*wasmvm.InstancePool, 0, len(ps.pools))
+	for _, p := range ps.pools {
+		pools = append(pools, p)
+	}
+	ps.mu.Unlock()
+	for _, p := range pools {
+		s := p.Stats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Recycles += s.Recycles
+		agg.ColdFallbacks += s.ColdFallbacks
+		agg.Evictions += s.Evictions
+		agg.Discards += s.Discards
+		agg.Live += s.Live
+		agg.Idle += s.Idle
+	}
+	return agg
+}
+
+// poolCount returns how many per-artifact pools the set holds.
+func (ps *vmPoolSet) poolCount() int {
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.pools)
+}

@@ -50,6 +50,12 @@ type CellMetric struct {
 	// Resumed reports the cell's result was restored from a checkpoint
 	// file instead of being executed (Attempts is 0 for such cells).
 	Resumed bool
+	// VMPooled reports the cell's Wasm run was served through the harness
+	// instance pool (snapshot clone or recycled instance); VMPoolHit
+	// narrows that to a recycled instance. Wall-clock bookkeeping only —
+	// virtual metrics are identical to a cold run by construction.
+	VMPooled  bool
+	VMPoolHit bool
 }
 
 // RunMetrics aggregates one RunCells invocation's schedule.
@@ -76,6 +82,15 @@ type RunMetrics struct {
 	Retries        int
 	Degraded       int
 	Quarantined    int
+	// Instance-pool counters (zero and hidden when RunOptions.VMPool was
+	// off, keeping Render's output byte-identical): checkout hits served by
+	// recycled instances, misses that cloned from the snapshot, recycles
+	// returned to the pool, and cold fallbacks past the pool bound.
+	VMPoolEnabled       bool
+	VMPoolHits          int
+	VMPoolMisses        int
+	VMPoolRecycles      int
+	VMPoolColdFallbacks int
 }
 
 // Utilization returns busy-time / (workers × span): 1.0 means every
@@ -126,9 +141,16 @@ func (m *RunMetrics) Render() string {
 		if c.Resumed {
 			status += "  resumed"
 		}
+		// The cache column folds in the VM pool: "hit" is an artifact-cache
+		// hit, "vm" a pooled VM checkout, "hit+vm" both.
 		cacheCol := "-"
-		if c.CacheHit {
+		switch {
+		case c.CacheHit && c.VMPooled:
+			cacheCol = "hit+vm"
+		case c.CacheHit:
 			cacheCol = "hit"
+		case c.VMPooled:
+			cacheCol = "vm"
 		}
 		// Per-tier share of the cell's instruction cycles: opt% is the
 		// optimizing tier's share, aot% the part of it that ran under the
@@ -150,6 +172,10 @@ func (m *RunMetrics) Render() string {
 	if m.CacheEnabled {
 		fmt.Fprintf(&b, "compile cache: %d hits  %d misses  %d dedup-waits\n",
 			m.CacheHits, m.CacheMisses, m.CacheDedupWaits)
+	}
+	if m.VMPoolEnabled {
+		fmt.Fprintf(&b, "vm pool: %d hits  %d misses  %d recycles  %d cold-fallbacks\n",
+			m.VMPoolHits, m.VMPoolMisses, m.VMPoolRecycles, m.VMPoolColdFallbacks)
 	}
 	if m.FaultsInjected > 0 || m.Retries > 0 || m.Degraded > 0 || m.Quarantined > 0 {
 		fmt.Fprintf(&b, "robustness: %d faults injected  %d retries  %d degraded  %d quarantined\n",

@@ -102,10 +102,20 @@ func (vm *VM) aotBody(cf *compiledFunc) []aotBlock {
 			// Injected translation failure: aotBlocks stays nil, so the
 			// register tier serves the function permanently — the same
 			// fallback as a natural conservative bail, identical metrics.
+			// A body retained across a snapshot Reset is dropped too, so
+			// the denial behaves exactly as on a cold instance.
 			vm.emitFault(faultinject.WasmAOTTranslate, vm.cycles)
+			cf.aotBlocks, cf.aotEntry = nil, nil
 			return nil
 		}
-		cf.aotBlocks, cf.aotEntry = translateAOT(vm, cf)
+		// Superblocks retained across a snapshot Reset skip re-translation
+		// (their closures captured this instance's globals and memory,
+		// which Reset restored in place), but the counters and the compile
+		// trace event below replay at the identical virtual timestamp a
+		// cold instance would emit them.
+		if cf.aotBlocks == nil {
+			cf.aotBlocks, cf.aotEntry = translateAOT(vm, cf)
+		}
 		if cf.aotBlocks != nil {
 			vm.aotBuilt++
 			vm.aotBlockCount += len(cf.aotBlocks)

@@ -131,6 +131,98 @@ func TestFailedGrowSpecAcrossTiers(t *testing.T) {
 	}
 }
 
+// TestSnapshotGrowSpecAcrossTiers extends the grow spec to snapshot-restored
+// instances in every tier: a recycled (Reset) VM and a fresh clone obey the
+// same grow semantics as a cold instance — grows succeed up to the config
+// cap with spec return values, failed grows at the cap leave size and
+// contents untouched, grown pages are reclaimed by Reset (memory never
+// shrinks during a run, but recycling returns it to the snapshot image),
+// and the snapshot's data is intact after the round trip.
+func TestSnapshotGrowSpecAcrossTiers(t *testing.T) {
+	var sentinel uint32 = 0xDEADBEA7
+	const iters = 300
+	for name, cfg := range growTierConfigs() {
+		cfg.MaxPages = 4
+		t.Run(name, func(t *testing.T) {
+			origin, err := New(growSpecModule(), 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := origin.Instantiate(); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := origin.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapPages := origin.Memory().Pages()
+
+			// Cold reference run of the grow workload.
+			growSpecRound := func(vm *VM) (fails int32, pages uint32, probe uint32, cycles float64) {
+				call1(t, vm, "poke", I32(16), I32(int32(sentinel)))
+				fails = AsI32(call1(t, vm, "growmany", I32(iters)))
+				pages = vm.Memory().Pages()
+				probe = uint32(call1(t, vm, "peek", I32(16)))
+				cycles = vm.Cycles()
+				return
+			}
+			coldVM, err := New(growSpecModule(), 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := coldVM.Instantiate(); err != nil {
+				t.Fatal(err)
+			}
+			cFails, cPages, cProbe, cCycles := growSpecRound(coldVM)
+
+			// A fresh clone must replay the round identically.
+			clone, err := snap.NewVM(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f, p, pr, cy := growSpecRound(clone); f != cFails || p != cPages || pr != cProbe || cy != cCycles {
+				t.Errorf("clone round (%d,%d,%#x,%v) != cold (%d,%d,%#x,%v)",
+					f, p, pr, cy, cFails, cPages, cProbe, cCycles)
+			}
+			if cPages != 4 || cFails != iters-3 {
+				t.Fatalf("workload shape off: pages %d fails %d", cPages, cFails)
+			}
+
+			// Reset reclaims the grown pages: back to the snapshot size, with
+			// the grow counters rewound and the sentinel store gone.
+			if err := clone.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			if p := clone.Memory().Pages(); p != snapPages {
+				t.Errorf("pages after Reset = %d, want snapshot size %d", p, snapPages)
+			}
+			if clone.Stats().GrowOps != 0 {
+				t.Errorf("GrowOps after Reset = %d, want 0", clone.Stats().GrowOps)
+			}
+			// Probe memory directly — a peek call would charge cycles and
+			// perturb the recycled round's clock.
+			b := clone.Memory().Bytes()
+			if got := uint32(b[16]) | uint32(b[17])<<8 | uint32(b[18])<<16 | uint32(b[19])<<24; got != 0 {
+				t.Errorf("sentinel survived Reset: %#x", got)
+			}
+
+			// The recycled instance replays the whole round byte-identically —
+			// including the failed grows at the cap and the re-grow from the
+			// snapshot floor.
+			if f, p, pr, cy := growSpecRound(clone); f != cFails || p != cPages || pr != cProbe || cy != cCycles {
+				t.Errorf("recycled round (%d,%d,%#x,%v) != cold (%d,%d,%#x,%v)",
+					f, p, pr, cy, cFails, cPages, cProbe, cCycles)
+			}
+			if name == "register" && clone.RegTranslated() == 0 {
+				t.Error("register tier never engaged on the recycled instance")
+			}
+			if name == "aot" && clone.AOTTranslated() == 0 {
+				t.Error("AOT tier never engaged on the recycled instance")
+			}
+		})
+	}
+}
+
 // TestInjectedGrowDenialAcrossTiers verifies that a fault-injected grow
 // denial is indistinguishable from a capacity failure in every tier:
 // −1 result, size and contents untouched — and that the next grow (the

@@ -118,11 +118,22 @@ func (vm *VM) regBody(cf *compiledFunc) []rop {
 		if vm.faults != nil && vm.faults.Fire(faultinject.WasmRegTranslate, cf.name) {
 			// Injected translation failure: regCode stays nil, so the stack
 			// loop serves the function permanently — the same fallback as a
-			// natural conservative bail, with identical metrics.
+			// natural conservative bail, with identical metrics. A body
+			// retained across a snapshot Reset (and the AOT form built from
+			// it) is dropped too, so the denial behaves exactly as on a
+			// cold instance.
 			vm.emitFault(faultinject.WasmRegTranslate, vm.cycles)
+			cf.regCode = nil
+			cf.aotBlocks, cf.aotEntry = nil, nil
 			return nil
 		}
-		cf.regCode = translateReg(vm.module, cf, &vm.cfg.OptCost)
+		// A non-nil regCode here was retained across a snapshot Reset (or
+		// seeded from a pool's warm-body store): translation is skipped,
+		// but the counters below replay so translation accounting stays
+		// byte-identical to a cold instance.
+		if cf.regCode == nil {
+			cf.regCode = translateReg(vm.module, cf, &vm.cfg.OptCost)
+		}
 		if cf.regCode != nil {
 			vm.regBuilt++
 			if vm.inst != nil {

@@ -1,0 +1,235 @@
+package wasmvm
+
+// This file implements post-init instance snapshots — the Wizer-style
+// pre-initialization answer to the paper's Finding 4: Wasm linear memory
+// never shrinks, so at service scale the per-request cost that matters is
+// instantiation, not compilation. A Snapshot captures a freshly
+// instantiated VM's state once — post-init linear memory, globals, and the
+// validated/lowered/fused function bodies — and NewVM clones runnable
+// instances from it by arena copy, skipping wasm.Validate, lowerFunc, and
+// fuseFunc entirely. Reset returns a finished instance to the snapshot
+// state in place, so pools recycle instances instead of discarding them.
+//
+// Determinism contract (the same one regalloc.go and aot.go established):
+// snapshot restore is a *host-time* optimization only. Every clone and
+// every Reset re-applies the full virtual instantiation charge —
+// InstantiateCost, DecodePerByte×binSize, and the tier policy's compile
+// charge — exactly as Instantiate() computes it, so cycles, steps,
+// tallies, profiles, and traces are byte-identical to a cold New() +
+// Instantiate() under the same Config.
+//
+// Sharing rules, derived from what the dispatch tiers capture:
+//
+//   - code []lop and heights []int32 are immutable after New() (fusion
+//     rewrites them at load, before capture) — shared across all clones.
+//   - regCode []rop is pure data, never written by runReg, but its costs
+//     are precomputed from Config.OptCost — shareable only between
+//     instances of the same config shape (the pool's warm-body store).
+//   - AOT superblock closures capture the owning VM's globals slice and
+//     *Memory at translation time — instance-bound, never shared. Reset
+//     therefore restores globals and memory IN PLACE, which keeps a
+//     recycled instance's retained AOT body valid.
+
+import (
+	"errors"
+	"fmt"
+
+	"wasmbench/internal/wasm"
+)
+
+// snapFunc is the per-function slice of a snapshot: the immutable lowered
+// body shared by every clone, plus the identity fields New() derives.
+type snapFunc struct {
+	name    string
+	typ     wasm.FuncType
+	nLocals int
+	code    []lop
+	heights []int32
+}
+
+// Snapshot is an immutable post-init image of an instantiated module,
+// valid for cloning under any Config with the same effective-fusion
+// setting (fusion rewrites the shared lowered code; everything else in a
+// Config is applied per clone). Snapshots are safe for concurrent use.
+type Snapshot struct {
+	module   *wasm.Module
+	binSize  int
+	fusionOn bool // effective fusion at capture (!DisableFusion && StepLimit == 0)
+	fused    int
+	funcs    []snapFunc
+	hasMem   bool
+	memBytes []byte // private copy of the post-init linear memory
+	globals  []uint64
+}
+
+// fusionEffective reports whether a config actually fuses at load time
+// (fusion is skipped under a step limit; see Config.DisableFusion).
+func fusionEffective(cfg Config) bool {
+	return !cfg.DisableFusion && cfg.StepLimit == 0
+}
+
+// Snapshot captures the VM's post-init state. It is valid only on a
+// freshly instantiated VM — after Instantiate() and before any call — so
+// the image is exactly what every cold instance starts from. The capture
+// also marks the VM itself as resettable (Reset restores it to this
+// image), so the origin instance can join a pool alongside its clones.
+func (vm *VM) Snapshot() (*Snapshot, error) {
+	if !vm.inited {
+		return nil, errors.New("wasmvm: snapshot of an uninstantiated module")
+	}
+	if vm.depth != 0 || vm.stats.Steps != 0 {
+		return nil, errors.New("wasmvm: snapshot requires a freshly instantiated VM (no calls yet)")
+	}
+	s := &Snapshot{
+		module:   vm.module,
+		binSize:  vm.binSize,
+		fusionOn: fusionEffective(vm.cfg),
+		fused:    vm.fused,
+		funcs:    make([]snapFunc, len(vm.funcs)),
+		globals:  append([]uint64(nil), vm.globals...),
+	}
+	for i := range vm.funcs {
+		cf := &vm.funcs[i]
+		s.funcs[i] = snapFunc{
+			name:    cf.name,
+			typ:     cf.typ,
+			nLocals: cf.nLocals,
+			code:    cf.code,
+			heights: cf.heights,
+		}
+	}
+	if vm.mem != nil {
+		s.hasMem = true
+		s.memBytes = append([]byte(nil), vm.mem.Bytes()...)
+	}
+	vm.snap = s
+	return s, nil
+}
+
+// NewVM clones a runnable instance from the snapshot under cfg,
+// byte-identical in every virtual metric to New() + Instantiate() with the
+// same cfg. The clone shares the snapshot's lowered code and copies only
+// the mutable arenas (linear memory, globals). cfg must agree with the
+// snapshot on effective fusion — the one config axis baked into the shared
+// code; everything else (cost tables, tier policy, page caps, attachments)
+// is applied fresh here.
+func (s *Snapshot) NewVM(cfg Config) (*VM, error) {
+	if fusionEffective(cfg) != s.fusionOn {
+		return nil, fmt.Errorf("wasmvm: snapshot fusion mismatch (snapshot fused=%v)", s.fusionOn)
+	}
+	if cfg.CallDepthLimit == 0 {
+		cfg.CallDepthLimit = 10000
+	}
+	if cfg.MaxPages == 0 {
+		cfg.MaxPages = 65536
+	}
+	vm := &VM{module: s.module, cfg: cfg, binSize: s.binSize, snap: s}
+	vm.tracer = cfg.Tracer
+	vm.faults = cfg.Faults
+	vm.inst = cfg.Instruments
+	vm.profiling = cfg.Profile || cfg.Tracer != nil
+	vm.funcs = make([]compiledFunc, len(s.funcs))
+	for i := range s.funcs {
+		sf := &s.funcs[i]
+		vm.funcs[i] = compiledFunc{
+			name:    sf.name,
+			typ:     sf.typ,
+			nLocals: sf.nLocals,
+			code:    sf.code,
+			heights: sf.heights,
+		}
+	}
+	if vm.profiling {
+		vm.profs = make([]funcProf, len(vm.funcs))
+	}
+	vm.fused = s.fused
+	if vm.inst != nil {
+		vm.inst.FusedPairs.Add(float64(vm.fused))
+	}
+	vm.regEnabled = !cfg.DisableRegTier && cfg.StepLimit == 0
+	vm.aotEnabled = !cfg.DisableAOTTier && vm.regEnabled
+	vm.imports = make([]HostFunc, len(s.module.Imports))
+	if s.hasMem {
+		m := s.module.Mem
+		maxP := cfg.MaxPages
+		if m.HasMax && m.Max < maxP {
+			maxP = m.Max
+		}
+		vm.mem = NewMemory(uint32(len(s.memBytes)/PageSize), maxP, cfg.GrowGranularityPages)
+		copy(vm.mem.Bytes(), s.memBytes)
+	}
+	vm.globals = append([]uint64(nil), s.globals...)
+	vm.applyInstantiateCharges()
+	vm.inited = true
+	return vm, nil
+}
+
+// Reset restores a snapshot-backed VM to its post-init image in place:
+// linear memory truncates back to the snapshot page count (retaining the
+// grown backing array as an arena for the next run), globals are copied
+// into the same backing slice, and every execution counter returns to the
+// post-Instantiate state, including the re-applied virtual instantiation
+// charge. Translated register and AOT bodies are retained — AOT closures
+// captured this instance's globals slice and *Memory, which is exactly why
+// the restore is in-place — but their tried flags clear, so the next run
+// replays translation counters, fault checks, and trace events
+// byte-identically to a cold instance while skipping the translation work.
+func (vm *VM) Reset() error {
+	s := vm.snap
+	if s == nil {
+		return errors.New("wasmvm: Reset on a VM without a snapshot")
+	}
+	if vm.depth != 0 {
+		return errors.New("wasmvm: Reset during an active call")
+	}
+	if vm.mem != nil {
+		vm.mem.restore(s.memBytes)
+	}
+	copy(vm.globals, s.globals)
+	for i := range vm.funcs {
+		cf := &vm.funcs[i]
+		cf.hotness = 0
+		cf.tieredUp = false
+		cf.regTried = false
+		cf.aotTried = false
+	}
+	vm.stack = vm.stack[:0]
+	vm.locals = vm.locals[:0]
+	vm.cycles = 0
+	vm.stats = Stats{}
+	vm.tally = [256]uint64{}
+	for i := range vm.profs {
+		vm.profs[i] = funcProf{}
+	}
+	vm.lastFlush = Stats{}
+	vm.childCycles = 0
+	vm.regBuilt = 0
+	vm.aotBuilt = 0
+	vm.aotBlockCount = 0
+	vm.aotErr = nil
+	vm.aotRb = nil
+	vm.applyInstantiateCharges()
+	return nil
+}
+
+// attach swaps the per-run attachments (tracer, profiling, fault plan,
+// instruments) onto a pooled instance at checkout, mirroring what New()
+// wires from a cold config. The FusedPairs publication matches the cold
+// path too: every cold cell constructs a VM and publishes its fused count
+// once, so every pooled checkout does the same.
+func (vm *VM) attach(cfg Config) {
+	vm.cfg.Tracer = cfg.Tracer
+	vm.cfg.Profile = cfg.Profile
+	vm.cfg.Faults = cfg.Faults
+	vm.cfg.Instruments = cfg.Instruments
+	vm.tracer = cfg.Tracer
+	vm.faults = cfg.Faults
+	vm.inst = cfg.Instruments
+	vm.profiling = cfg.Profile || cfg.Tracer != nil
+	if vm.profiling && vm.profs == nil {
+		vm.profs = make([]funcProf, len(vm.funcs))
+	}
+	if vm.inst != nil {
+		vm.inst.FusedPairs.Add(float64(vm.fused))
+	}
+}

@@ -1,0 +1,67 @@
+package wasmvm
+
+import "testing"
+
+// BenchmarkSnapshotRestore compares the three ways to obtain a runnable
+// instance: a cold decode+instantiate, a clone from a post-init snapshot
+// (arena copy, no module init), and an in-place Reset of a used instance.
+// This is the host-time win the pool trades on; the virtual instantiation
+// charge is identical on every path.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	cfg := DefaultConfig()
+	mod := snapModule()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vm, err := New(mod, 123, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := vm.Instantiate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("clone", func(b *testing.B) {
+		vm, err := New(mod, 123, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := vm.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.NewVM(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("reset", func(b *testing.B) {
+		vm, err := New(mod, 123, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.Instantiate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Call("work", I32(50)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := vm.Reset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -306,6 +306,13 @@ type VM struct {
 	// off, so the dispatch loop increments unconditionally instead of
 	// branching on every instruction. Never read.
 	scratchClass [256]uint64
+	// snap is the post-init image this instance restores to on Reset: set
+	// by Snapshot() on the origin VM and inherited by every clone (see
+	// snapshot.go). nil for ordinary cold instances.
+	snap *Snapshot
+	// pool is the InstancePool that owns this instance, if any; Put uses it
+	// to reject instances it does not track (e.g. cold fallbacks).
+	pool *InstancePool
 }
 
 // ErrStepLimit reports that the configured dynamic instruction budget was
@@ -443,6 +450,16 @@ func (vm *VM) Instantiate() error {
 			vm.globals[i] = uint64(g.Init)
 		}
 	}
+	vm.applyInstantiateCharges()
+	vm.inited = true
+	return nil
+}
+
+// applyInstantiateCharges charges the virtual instantiation costs (decode,
+// instance creation, up-front tier compilation) and sets each function's
+// starting tier per the tier policy. Shared by Instantiate, snapshot
+// clones, and Reset so all three produce the identical virtual state.
+func (vm *VM) applyInstantiateCharges() {
 	vm.cycles += vm.cfg.InstantiateCost + vm.cfg.DecodePerByte*float64(vm.binSize)
 	total := 0
 	for i := range vm.funcs {
@@ -460,8 +477,6 @@ func (vm *VM) Instantiate() error {
 			vm.funcs[i].tier = TierOptOnly
 		}
 	}
-	vm.inited = true
-	return nil
 }
 
 // Call invokes an exported function by name with raw 64-bit arguments.
