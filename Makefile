@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke fuzz
+.PHONY: check build vet test race bench bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke serve-smoke fuzz
 
-check: vet build race bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke
+check: vet build race bench-smoke difftest-smoke faults-smoke telemetry-smoke pool-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,10 +44,13 @@ difftest-smoke:
 	$(GO) test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
 
 # Fault drill: a fixed-seed fault plan that fires every injection point at
-# least once and checks the harness retry/degrade/quarantine accounting.
+# least once and checks the harness retry/degrade/quarantine accounting,
+# plus the benchserve admission drills (serve.admit / serve.shed must
+# surface as typed responses, in-process and over HTTP, never hangs).
 # Deterministic (same seed ⇒ same counts and outcomes) and race-clean.
 faults-smoke:
 	$(GO) test ./internal/harness -run TestFaultSmoke -count=1 -race
+	$(GO) test ./internal/serve -run 'TestServeFaultDrill|TestServeFaultDrillHTTP' -count=1 -race
 
 # Telemetry smoke: an in-process telemetry server over a real 4-cell sweep,
 # with all five endpoints (/metrics, /debug/trace, /debug/profile,
@@ -63,6 +66,17 @@ telemetry-smoke:
 pool-smoke:
 	$(GO) test ./internal/wasmvm -run 'TestSnapshot|TestPool|TestReset' -count=1 -race
 	$(GO) test ./internal/harness -run 'TestPoolSmoke|TestPoolSharedAcrossRuns|TestPoolTelemetry' -count=1 -race
+
+# Serve smoke: the overload-safety and measurement-honesty proofs under
+# the race detector (fixed-seed HTTP burst past the queue bound with
+# /healthz probed mid-burst, drain-cancels-in-flight, byte-identical
+# warm-pool metrics), then an end-to-end benchserve -loadgen -self burst
+# that must shed, account for every request, and drain cleanly.
+serve-smoke:
+	$(GO) test ./internal/serve -run 'TestServeSmoke|TestServeDrainCancelsInFlight|TestServeByteIdentical' -count=1 -race
+	$(GO) run ./cmd/benchserve -loadgen -self -requests 60 -rate 300 -queue 4 -serve-workers 2 \
+		-loadgen-bench atax,bicg,mvt -loadgen-sizes XS -seed 7 \
+		-faults 'wasm.stall:count=6,stall=150ms' -expect-shed
 
 # Open-ended differential fuzzing (not part of check). Override FUZZTIME
 # and FUZZ to steer, e.g. make fuzz FUZZ=FuzzDiffOptLevels FUZZTIME=5m.

@@ -12,7 +12,10 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 go test ./internal/difftest -run 'TestSmoke|TestCorpus|TestKernelOptInvariance' -count=1
 # Fault drill: fixed-seed fault plan covering every injection point, with
 # retry/degrade/quarantine accounting checked; deterministic and race-clean.
+# The serve drills prove injected admission faults (serve.admit/serve.shed)
+# surface as typed responses — 503/429 over HTTP — never hangs.
 go test ./internal/harness -run TestFaultSmoke -count=1 -race
+go test ./internal/serve -run 'TestServeFaultDrill|TestServeFaultDrillHTTP' -count=1 -race
 # Telemetry smoke: in-process server over a real sweep, all five endpoints
 # well-formed, plus the disabled-telemetry zero-overhead proof.
 go test ./internal/telemetry -run TestTelemetrySmoke -count=1
@@ -21,3 +24,11 @@ go test ./internal/obsv -run 'TestNilTelemetryAllocationFree|TestInstrumentsPres
 # byte-identical to cold instantiation) and concurrent checkout, race-clean.
 go test ./internal/wasmvm -run 'TestSnapshot|TestPool|TestReset' -count=1 -race
 go test ./internal/harness -run 'TestPoolSmoke|TestPoolSharedAcrossRuns|TestPoolTelemetry' -count=1 -race
+# Serve smoke: overload safety (fixed-seed burst past the queue bound must
+# shed explicitly while /healthz stays live and every request terminates),
+# drain-cancels-in-flight, byte-identical warm-pool metrics, then an
+# end-to-end benchserve -loadgen -self burst with the accounting identity.
+go test ./internal/serve -run 'TestServeSmoke|TestServeDrainCancelsInFlight|TestServeByteIdentical' -count=1 -race
+go run ./cmd/benchserve -loadgen -self -requests 60 -rate 300 -queue 4 -serve-workers 2 \
+  -loadgen-bench atax,bicg,mvt -loadgen-sizes XS -seed 7 \
+  -faults 'wasm.stall:count=6,stall=150ms' -expect-shed

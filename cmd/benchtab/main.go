@@ -37,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"wasmbench/internal/benchsuite"
 	"wasmbench/internal/browser"
@@ -289,6 +291,7 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, tele teleConfig, tra
 	}
 
 	var hub *telemetry.Hub
+	var srv *telemetry.Server
 	if tele.enabled() {
 		hub = telemetry.NewHub(tele.flight)
 		ropt.Telemetry = hub
@@ -298,7 +301,8 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, tele teleConfig, tra
 		// -trace-out collector keeps receiving harness events unchanged.
 		profile.SetTracer(hub.Tracer())
 		if tele.addr != "" {
-			srv, err := telemetry.Start(hub, tele.addr)
+			var err error
+			srv, err = telemetry.Start(hub, tele.addr)
 			if err != nil {
 				return err
 			}
@@ -335,6 +339,11 @@ func runMetrics(opts core.Options, ropt harness.RunOptions, tele teleConfig, tra
 		}
 		fmt.Fprintf(os.Stderr, "benchtab: %v: flushing partial observability outputs\n", s)
 		flush()
+		// Let in-flight scrapes finish before the process exits; the
+		// 2-second budget keeps Ctrl-C snappy even with a stuck client.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(shutdownCtx)
+		cancel()
 		os.Exit(130)
 	}()
 

@@ -69,15 +69,25 @@ const (
 	// HarnessPanic panics inside a harness worker while it runs a cell,
 	// exercising the worker recover() path.
 	HarnessPanic Point = "harness.worker-panic"
+	// ServeAdmit fails benchserve admission of a request with a typed
+	// InjectedError (surfaced as a 503 response, never a hang) —
+	// the "admission controller broke" drill.
+	ServeAdmit Point = "serve.admit"
+	// ServeShed force-sheds a request at benchserve admission as if the
+	// queue were full (429 + Retry-After), exercising the load-shedding
+	// response path without needing a real overload.
+	ServeShed Point = "serve.shed"
 )
 
 // AllPoints lists every injection point (the faults-smoke matrix iterates
-// this).
+// this; serve.* points are drilled by the internal/serve fault tests
+// rather than the harness sweep, which has no admission path).
 var AllPoints = []Point{
 	WasmGrowDeny, WasmRegTranslate, WasmAOTTranslate, WasmStall,
 	WasmSnapshotRestore,
 	JSJITCompile, JSHeapOOM,
 	CompilerPass, CompilerCache, HarnessPanic,
+	ServeAdmit, ServeShed,
 }
 
 // Rule arms one injection point. Exactly one firing mode should be set:

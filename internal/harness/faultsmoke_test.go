@@ -88,8 +88,13 @@ func TestFaultSmoke(t *testing.T) {
 
 	o := sweep()
 
-	// Every injection point must have fired at least once.
+	// Every injection point must have fired at least once. serve.* points
+	// live in benchserve's admission path, which a harness sweep never
+	// crosses; TestServeFaultDrill (internal/serve) drills those.
 	for _, pt := range faultinject.AllPoints {
+		if strings.HasPrefix(string(pt), "serve.") {
+			continue
+		}
 		if o.counts[pt] < 1 {
 			t.Errorf("injection point %s never fired (counts: %v)", pt, o.counts)
 		}

@@ -11,6 +11,7 @@ package harness
 // toolchain failures — without losing the rest of the table.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -25,9 +26,14 @@ import (
 
 // Resilience errors.
 var (
-	// ErrCellDeadline reports that a cell exceeded RunOptions.Deadline and
+	// ErrCellDeadline reports that a cell exceeded its wall-clock budget —
+	// RunOptions.Deadline or a deadline carried by RunOptions.Context — and
 	// was abandoned (its goroutine exits on its own; see runAttemptGuarded).
 	ErrCellDeadline = errors.New("harness: cell deadline exceeded")
+	// ErrCellCanceled reports a cell abandoned because RunOptions.Context
+	// was canceled (a drain or client disconnect, not a timeout). The
+	// wrapped chain also matches context.Canceled.
+	ErrCellCanceled = errors.New("harness: cell canceled")
 	// ErrQuarantined reports a cell skipped because its benchmark
 	// accumulated RunOptions.QuarantineAfter consecutive failures.
 	ErrQuarantined = errors.New("harness: benchmark quarantined")
@@ -176,13 +182,28 @@ func runAttempt(c Cell, cache *ArtifactCache, opt RunOptions, rung string, plan 
 	return CellResult{Cell: c, Meas: m, Art: art, Err: err}, info
 }
 
-// runAttemptGuarded wraps runAttempt with panic recovery and, when a
-// deadline is set, a wall-clock budget. The attempt runs in a child
-// goroutine that communicates over a 1-buffered channel: on timeout the
+// budgetErr maps a context's termination cause to the harness error for a
+// cell abandoned mid-attempt (or while waiting to start one).
+func budgetErr(ctx context.Context, label string, deadline time.Duration) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		if deadline > 0 {
+			return fmt.Errorf("%s: %w after %v", label, ErrCellDeadline, deadline)
+		}
+		return fmt.Errorf("%s: %w", label, ErrCellDeadline)
+	}
+	return fmt.Errorf("%s: %w: %w", label, ErrCellCanceled, ctx.Err())
+}
+
+// runAttemptGuarded wraps runAttempt with panic recovery and, when the
+// context carries a budget (RunOptions.Deadline, a caller deadline, or
+// plain cancelation), a wall-clock guard. The attempt runs in a child
+// goroutine that communicates over a 1-buffered channel: on expiry the
 // worker abandons it — the child's eventual send never blocks, so the
-// goroutine always exits, and closing the cancel channel aborts any
-// injected stall it is sleeping in.
-func runAttemptGuarded(c Cell, opt RunOptions, cache *ArtifactCache, rung, label string) (CellResult, attemptInfo) {
+// goroutine always exits, and ctx.Done() doubles as the fault-plan cancel
+// channel, aborting any injected stall the child is sleeping in. With no
+// budget at all the attempt runs inline: the zero-fault fast path spawns
+// nothing.
+func runAttemptGuarded(ctx context.Context, c Cell, opt RunOptions, cache *ArtifactCache, rung, label string) (CellResult, attemptInfo) {
 	run := func(cancel <-chan struct{}) (res CellResult, info attemptInfo) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -200,8 +221,16 @@ func runAttemptGuarded(c Cell, opt RunOptions, cache *ArtifactCache, rung, label
 		return runAttempt(c, cache, opt, rung, plan)
 	}
 
-	if opt.Deadline <= 0 {
+	if opt.Deadline > 0 {
+		var cancelBudget context.CancelFunc
+		ctx, cancelBudget = context.WithTimeout(ctx, opt.Deadline)
+		defer cancelBudget()
+	}
+	if ctx.Done() == nil {
 		return run(nil)
+	}
+	if ctx.Err() != nil {
+		return CellResult{Cell: c, Err: budgetErr(ctx, label, opt.Deadline)}, attemptInfo{}
 	}
 
 	type attemptResult struct {
@@ -209,20 +238,15 @@ func runAttemptGuarded(c Cell, opt RunOptions, cache *ArtifactCache, rung, label
 		info attemptInfo
 	}
 	ch := make(chan attemptResult, 1)
-	cancel := make(chan struct{})
 	go func() {
-		res, info := run(cancel)
+		res, info := run(ctx.Done())
 		ch <- attemptResult{res, info}
 	}()
-	timer := time.NewTimer(opt.Deadline)
-	defer timer.Stop()
 	select {
 	case ar := <-ch:
 		return ar.res, ar.info
-	case <-timer.C:
-		close(cancel)
-		return CellResult{Cell: c, Err: fmt.Errorf("%s: %w after %v", label, ErrCellDeadline, opt.Deadline)},
-			attemptInfo{}
+	case <-ctx.Done():
+		return CellResult{Cell: c, Err: budgetErr(ctx, label, opt.Deadline)}, attemptInfo{}
 	}
 }
 
@@ -239,9 +263,15 @@ type cellOutcome struct {
 // runCellResilient drives one cell through quarantine check, the attempt/
 // retry loop with seeded backoff, and the degradation ladder, emitting the
 // robustness trace events as recoveries happen.
-func runCellResilient(c Cell, opt RunOptions, cache *ArtifactCache, quar *quarantine, runStart time.Time) (CellResult, cellOutcome) {
+func runCellResilient(ctx context.Context, c Cell, opt RunOptions, cache *ArtifactCache, quar *quarantine, runStart time.Time) (CellResult, cellOutcome) {
 	label := c.Label()
 	wallTS := func() float64 { return float64(time.Since(runStart)) }
+
+	if ctx.Err() != nil {
+		// Canceled before starting: report the termination without touching
+		// the quarantine counters — cancelation is not a benchmark failure.
+		return CellResult{Cell: c, Err: budgetErr(ctx, label, 0)}, cellOutcome{}
+	}
 
 	if quar.blocked(c.Bench.Name) {
 		if opt.Tracer != nil {
@@ -264,7 +294,16 @@ func runCellResilient(c Cell, opt RunOptions, cache *ArtifactCache, quar *quaran
 					A: float64(attempt + 1), B: float64(d) / float64(time.Millisecond)})
 			}
 			if d > 0 {
-				time.Sleep(d)
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+				}
+			}
+			if ctx.Err() != nil {
+				res = CellResult{Cell: c, Err: budgetErr(ctx, label, 0)}
+				break
 			}
 		}
 		rung := ""
@@ -281,7 +320,7 @@ func runCellResilient(c Cell, opt RunOptions, cache *ArtifactCache, quar *quaran
 			}
 		}
 		var info attemptInfo
-		res, info = runAttemptGuarded(c, opt, cache, rung, label)
+		res, info = runAttemptGuarded(ctx, c, opt, cache, rung, label)
 		out.attempts = attempt + 1
 		out.compile += info.compile
 		out.measure += info.measure
@@ -290,7 +329,12 @@ func runCellResilient(c Cell, opt RunOptions, cache *ArtifactCache, quar *quaran
 			out.degraded = rung
 			break
 		}
+		if errors.Is(res.Err, ErrCellCanceled) {
+			break // the whole run is being torn down; retrying is pointless
+		}
 	}
-	quar.report(c.Bench.Name, res.Err != nil)
+	// A canceled cell says nothing about the benchmark's health — don't let
+	// a drain poison the consecutive-failure counters.
+	quar.report(c.Bench.Name, res.Err != nil && !errors.Is(res.Err, ErrCellCanceled))
 	return res, out
 }

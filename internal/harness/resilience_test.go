@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -240,6 +241,50 @@ func TestDeadlineCancelsStalledCell(t *testing.T) {
 		t.Error("deadline cell not marked failed")
 	}
 	// The abandoned goroutine must exit once its stall is cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutine leak: %d running, baseline %d", n, base)
+	}
+}
+
+// TestContextCancelAbandonsRun: canceling RunOptions.Context mid-run
+// abandons the stalled in-flight cell promptly with ErrCellCanceled (not
+// ErrCellDeadline — no timeout fired), fails pending cells fast, and
+// leaks no goroutines once the injected stall is aborted.
+func TestContextCancelAbandonsRun(t *testing.T) {
+	cells := []Cell{
+		resCell(t, "atax", benchsuite.XS, "wasm"),
+		resCell(t, "bicg", benchsuite.XS, "wasm"),
+	}
+	base := runtime.NumGoroutine()
+
+	plan := faultinject.NewPlan(5, faultinject.Rule{
+		Point: faultinject.WasmStall, Count: len(cells), Stall: time.Hour,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, _ := RunCellsWith(cells, RunOptions{
+		Workers: 1, Context: ctx, Faults: plan,
+		Retries: 3, // must not retry a canceled cell
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel did not bound the run: %v", elapsed)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrCellCanceled) {
+			t.Errorf("cell %d: want ErrCellCanceled, got %v", i, r.Err)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("cell %d: error chain should match context.Canceled: %v", i, r.Err)
+		}
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
 		time.Sleep(20 * time.Millisecond)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -122,10 +123,23 @@ type RunOptions struct {
 	// VMPoolSize bounds each artifact pool's live instances; <=0 selects
 	// the default (workers + 1).
 	VMPoolSize int
+	// SharedVMPools, when set (and VMPool is true), serves Wasm
+	// measurements from a caller-owned pool set shared across many runs —
+	// the warm-instance substrate a long-running server keeps across
+	// requests. nil creates a fresh pool set per run as before.
+	SharedVMPools *VMPools
 	// vmPools is the pool set actually used; pre-seeded by tests and
 	// benchmarks that share pools across runs, created fresh per run
 	// otherwise.
 	vmPools *vmPoolSet
+
+	// Context, when set, cancels the run cooperatively: cells not yet
+	// started fail fast with ErrCellCanceled, in-flight attempts are
+	// abandoned (their goroutines exit on their own, aborting injected
+	// stalls), and retry backoff sleeps wake early. nil means
+	// context.Background() — no cancelation. Deadlines carried by the
+	// context compose with the per-cell Deadline budget.
+	Context context.Context
 
 	// --- Resilience (all zero values preserve the pre-resilience
 	// behavior exactly; see resilience.go) ---
@@ -227,15 +241,19 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		faultBase = opt.Faults.TotalFired()
 	}
 	if opt.VMPool && opt.vmPools == nil {
-		size := opt.VMPoolSize
-		if size <= 0 {
-			size = workers + 1
+		if opt.SharedVMPools != nil {
+			opt.vmPools = opt.SharedVMPools.set
+		} else {
+			size := opt.VMPoolSize
+			if size <= 0 {
+				size = workers + 1
+			}
+			var pi *telemetry.PoolInstruments
+			if opt.Telemetry != nil {
+				pi = telemetry.NewPoolInstruments(opt.Telemetry.Registry())
+			}
+			opt.vmPools = newVMPoolSet(size, pi)
 		}
-		var pi *telemetry.PoolInstruments
-		if opt.Telemetry != nil {
-			pi = telemetry.NewPoolInstruments(opt.Telemetry.Registry())
-		}
-		opt.vmPools = newVMPoolSet(size, pi)
 	}
 	// Delta-base so pools shared across runs report this run's checkouts.
 	var vmPoolBase wasmvm.PoolStats
@@ -243,6 +261,10 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 		vmPoolBase = opt.vmPools.stats()
 	}
 	quar := newQuarantine(opt.QuarantineAfter)
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	start := time.Now()
 	// Arm live telemetry (nil hub → nil tracker; every hook is then a
@@ -309,7 +331,7 @@ func RunCellsWith(cells []Cell, opt RunOptions) ([]CellResult, *obsv.RunMetrics)
 						Track: "harness", A: float64(worker), B: float64(depth)})
 				}
 				rt.cellStart(i, worker)
-				r, oc := runCellResilient(c, opt, cache, quar, start)
+				r, oc := runCellResilient(ctx, c, opt, cache, quar, start)
 				wall := time.Since(start) - cellStart
 				out[i] = r
 				cm := obsv.CellMetric{

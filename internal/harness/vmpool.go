@@ -95,3 +95,39 @@ func (ps *vmPoolSet) poolCount() int {
 	defer ps.mu.Unlock()
 	return len(ps.pools)
 }
+
+// VMPools is a caller-owned warm-instance pool set shared across many
+// harness runs — the substrate a long-running server keeps so requests
+// after the first are served from recycled, snapshot-reset VMs. Pass it
+// via RunOptions.SharedVMPools (with VMPool set). Safe for concurrent use
+// from overlapping RunCellsWith calls.
+type VMPools struct {
+	set *vmPoolSet
+}
+
+// NewVMPools builds a shared pool set. size bounds each per-artifact
+// pool's live instances (<=0 selects the harness default); reg, when
+// non-nil, receives the pool's checkout counters as pool_* metrics.
+func NewVMPools(size int, reg *telemetry.Registry) *VMPools {
+	var pi *telemetry.PoolInstruments
+	if reg != nil {
+		pi = telemetry.NewPoolInstruments(reg)
+	}
+	return &VMPools{set: newVMPoolSet(size, pi)}
+}
+
+// Stats aggregates checkout counters across every per-artifact pool.
+func (vp *VMPools) Stats() wasmvm.PoolStats {
+	if vp == nil {
+		return wasmvm.PoolStats{}
+	}
+	return vp.set.stats()
+}
+
+// PoolCount reports how many per-artifact pools have been created.
+func (vp *VMPools) PoolCount() int {
+	if vp == nil {
+		return 0
+	}
+	return vp.set.poolCount()
+}

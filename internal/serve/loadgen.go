@@ -1,0 +1,247 @@
+package serve
+
+// Open-loop load generation against a benchserve endpoint: Poisson
+// arrivals (exponential inter-arrival gaps from a seeded generator) over
+// a deterministic schedule of cells drawn from the kernel × profile
+// grid. Open-loop means arrivals do not wait for completions — exactly
+// the regime where an unprotected server melts and an admission-
+// controlled one sheds — so the generator doubles as the standing
+// overload stress test. The arrival schedule is a pure function of the
+// seed; completions (and therefore latency percentiles) are not.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"wasmbench/internal/benchsuite"
+	"wasmbench/internal/browser"
+)
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// Target is the server base URL, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Rate is the mean arrival rate in requests/second; <=0 selects 50.
+	Rate float64
+	// Requests is the total to submit; <=0 selects 100.
+	Requests int
+	// Seed drives the arrival gaps and cell selection.
+	Seed uint64
+	// Benches restricts the kernel set (nil = all 41).
+	Benches []string
+	// Sizes restricts the size classes (nil = XS, keeping bursts cheap).
+	Sizes []string
+	// Profiles restricts the browser profiles (nil = all six).
+	Profiles []string
+	// Lang is "wasm" (default) or "js".
+	Lang string
+	// Level is the optimization level (default "-O2").
+	Level string
+	// DeadlineMS is attached to every request (0 = server default).
+	DeadlineMS int
+	// Timeout bounds each HTTP round-trip; <=0 selects 5m (a request's
+	// server-side lifetime is already bounded by its deadline).
+	Timeout time.Duration
+}
+
+// LoadStats summarizes a load run. The accounting identity every run
+// must satisfy: Submitted == sum(ByStatus) + TransportErrors.
+type LoadStats struct {
+	Submitted       int
+	ByStatus        map[string]int
+	TransportErrors int
+	Elapsed         time.Duration
+	P50, P90, P99   time.Duration // terminal-response latency percentiles
+	Max             time.Duration
+}
+
+// Terminal reports how many requests got a terminal response.
+func (s *LoadStats) Terminal() int {
+	n := 0
+	for _, v := range s.ByStatus {
+		n += v
+	}
+	return n
+}
+
+// Accounted reports whether every submitted request is accounted for.
+func (s *LoadStats) Accounted() bool {
+	return s.Terminal()+s.TransportErrors == s.Submitted
+}
+
+// Render formats the stats as a compact report.
+func (s *LoadStats) Render() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "loadgen: %d requests in %v (%.1f/s offered)\n",
+		s.Submitted, s.Elapsed.Round(time.Millisecond),
+		float64(s.Submitted)/s.Elapsed.Seconds())
+	statuses := make([]string, 0, len(s.ByStatus))
+	for st := range s.ByStatus {
+		statuses = append(statuses, st)
+	}
+	sort.Strings(statuses)
+	for _, st := range statuses {
+		fmt.Fprintf(&b, "  %-12s %d\n", st, s.ByStatus[st])
+	}
+	if s.TransportErrors > 0 {
+		fmt.Fprintf(&b, "  %-12s %d\n", "transport", s.TransportErrors)
+	}
+	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
+		s.P50.Round(time.Microsecond), s.P90.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// splitmix64 is the same generator faultinject uses; local so the
+// arrival schedule does not consume the fault plan's sequences.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type lgRand struct{ state uint64 }
+
+func (r *lgRand) next() uint64 {
+	r.state = splitmix64(r.state)
+	return r.state
+}
+
+// float01 returns a uniform draw in (0, 1].
+func (r *lgRand) float01() float64 {
+	return (float64(r.next()>>11) + 1) / float64(1<<53)
+}
+
+// RunLoad drives a load run to completion: every submitted request is
+// waited out (each is bounded by its deadline server-side), so the
+// returned stats account for all of them.
+func RunLoad(opts LoadOptions) (*LoadStats, error) {
+	if opts.Rate <= 0 {
+		opts.Rate = 50
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	benches := opts.Benches
+	if len(benches) == 0 {
+		for _, b := range benchsuite.All() {
+			benches = append(benches, b.Name)
+		}
+	} else {
+		for _, name := range benches {
+			if _, err := benchsuite.ByName(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = []string{"XS"}
+	}
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		for _, p := range browser.AllProfiles() {
+			profiles = append(profiles, p.Name())
+		}
+	}
+	lang := opts.Lang
+	if lang == "" {
+		lang = "wasm"
+	}
+	level := opts.Level
+	if level == "" {
+		level = "-O2"
+	}
+
+	// A private transport, closed on return, so a test's goroutine-leak
+	// check is not at the mercy of shared idle keep-alive connections.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Timeout: opts.Timeout, Transport: tr}
+	rng := &lgRand{state: opts.Seed ^ 0xbadc0ffee}
+	stats := &LoadStats{ByStatus: make(map[string]int)}
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		latencies []time.Duration
+	)
+	start := time.Now()
+	for i := 0; i < opts.Requests; i++ {
+		if i > 0 {
+			// Exponential inter-arrival gap: open-loop Poisson arrivals.
+			gap := time.Duration(-math.Log(rng.float01()) / opts.Rate * float64(time.Second))
+			time.Sleep(gap)
+		}
+		req := &Request{
+			Bench:      benches[int(rng.next()%uint64(len(benches)))],
+			Size:       sizes[int(rng.next()%uint64(len(sizes)))],
+			Profile:    profiles[int(rng.next()%uint64(len(profiles)))],
+			Lang:       lang,
+			Level:      level,
+			DeadlineMS: opts.DeadlineMS,
+		}
+		stats.Submitted++
+		wg.Add(1)
+		go func(req *Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			status, err := postRun(client, opts.Target, req)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				stats.TransportErrors++
+				return
+			}
+			stats.ByStatus[status]++
+			latencies = append(latencies, lat)
+		}(req)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	stats.P50, stats.P90, stats.P99 = pct(0.50), pct(0.90), pct(0.99)
+	if n := len(latencies); n > 0 {
+		stats.Max = latencies[n-1]
+	}
+	return stats, nil
+}
+
+// postRun POSTs one request and returns the terminal status.
+func postRun(client *http.Client, target string, req *Request) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	httpResp, err := client.Post(target+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return "", fmt.Errorf("decoding /run response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if resp.Status == "" {
+		return "", fmt.Errorf("empty status in /run response (HTTP %d)", httpResp.StatusCode)
+	}
+	return resp.Status, nil
+}

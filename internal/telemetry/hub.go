@@ -343,3 +343,48 @@ func NewHarnessInstruments(r *Registry) *HarnessInstruments {
 		FlightFailures: r.Counter("harness_flight_dumps_total", "flight-recorder dumps frozen on cell failure"),
 	}
 }
+
+// ServeInstruments are the benchserve daemon's live metrics: the
+// admission funnel (requests → admitted|shed|rejected), terminal
+// outcomes (served|failed|timeout|canceled), breaker activity, and the
+// two latency splits that matter under load — time queued vs time
+// running.
+type ServeInstruments struct {
+	Requests     *Counter
+	Admitted     *Counter
+	Shed         *Counter // load-shed with 429 + Retry-After (bounded queue full, or injected)
+	Rejected     *Counter // refused by an injected admission fault or drain
+	Served       *Counter
+	Failed       *Counter
+	Timeouts     *Counter
+	Canceled     *Counter
+	BreakerOpen  *Counter // requests refused by an open circuit breaker
+	BreakerTrips *Counter // closed→open transitions
+	QueueDepth   *Gauge
+	InFlight     *Gauge
+	QueueWait    *Histogram // seconds between admission and worker pickup
+	RunWall      *Histogram // seconds between worker pickup and terminal response
+}
+
+// NewServeInstruments registers the serve_* metric family on r.
+func NewServeInstruments(r *Registry) *ServeInstruments {
+	if r == nil {
+		return nil
+	}
+	return &ServeInstruments{
+		Requests:     r.Counter("serve_requests_total", "run requests received (any outcome)"),
+		Admitted:     r.Counter("serve_admitted_total", "requests admitted into the bounded queue"),
+		Shed:         r.Counter("serve_shed_total", "requests load-shed with 429 + Retry-After"),
+		Rejected:     r.Counter("serve_rejected_total", "requests refused at admission (drain or injected fault)"),
+		Served:       r.Counter("serve_served_total", "requests completed successfully"),
+		Failed:       r.Counter("serve_failed_total", "requests that exhausted the resilience ladder"),
+		Timeouts:     r.Counter("serve_timeouts_total", "requests that exceeded their deadline"),
+		Canceled:     r.Counter("serve_canceled_total", "requests canceled by drain or client disconnect"),
+		BreakerOpen:  r.Counter("serve_breaker_open_total", "requests refused by an open circuit breaker"),
+		BreakerTrips: r.Counter("serve_breaker_trips_total", "circuit-breaker closed-to-open transitions"),
+		QueueDepth:   r.Gauge("serve_queue_depth", "admitted requests not yet claimed by a worker"),
+		InFlight:     r.Gauge("serve_in_flight", "requests currently executing"),
+		QueueWait:    r.Histogram("serve_queue_wait_seconds", "time between admission and worker pickup", TimeBuckets()),
+		RunWall:      r.Histogram("serve_run_wall_seconds", "time between worker pickup and terminal response", TimeBuckets()),
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -128,7 +129,16 @@ func Start(h *Hub, addr string) (*Server, error) {
 	s := &Server{
 		hub: h,
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(h), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{
+			Handler: Handler(h),
+			// Every route serves a bounded in-memory snapshot, so generous
+			// write budgets only guard against stuck clients, not slow
+			// handlers. Keep-alives are reaped so a drain isn't held open
+			// by idle scrapers.
+			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
@@ -148,4 +158,21 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting connections and waits for in-flight handlers
+// to finish, up to ctx's deadline; on expiry it falls back to Close so
+// the caller's drain budget is always honored. Safe on a nil server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		closeErr := s.srv.Close()
+		if closeErr != nil {
+			return closeErr
+		}
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,122 @@
+package wasmvm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolGetCtxCancelWhileExhausted: with the pool at capacity and no
+// ColdFallback, a blocked GetCtx must return promptly with ctx.Err() when
+// the context is canceled — it must not wait for a Put that never comes —
+// and the canceled waiter must not leak a slot: once the outstanding
+// instance is returned, a fresh checkout succeeds immediately.
+func TestPoolGetCtxCancelWhileExhausted(t *testing.T) {
+	p := NewInstancePool(snapModule(), 0, PoolOptions{MaxInstances: 1})
+
+	held, recycled, err := p.GetCtx(context.Background(), Config{})
+	if err != nil {
+		t.Fatalf("first checkout: %v", err)
+	}
+	if recycled {
+		t.Fatal("first checkout cannot be recycled")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		vm, _, err := p.GetCtx(ctx, Config{})
+		if vm != nil {
+			p.Put(vm)
+		}
+		done <- err
+	}()
+
+	// Let the goroutine reach cond.Wait before canceling.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked GetCtx: want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked GetCtx did not return after cancel")
+	}
+
+	// The canceled waiter must not have consumed the slot: Put the held
+	// instance back and check out again without blocking.
+	p.Put(held)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	vm, recycled, err := p.GetCtx(ctx2, Config{})
+	if err != nil {
+		t.Fatalf("post-cancel checkout: %v", err)
+	}
+	if !recycled {
+		t.Error("post-cancel checkout should recycle the returned instance")
+	}
+	p.Put(vm)
+
+	s := p.Stats()
+	if s.Live != 1 || s.Idle != 1 {
+		t.Errorf("leaked slot: live=%d idle=%d, want 1/1", s.Live, s.Idle)
+	}
+}
+
+// TestPoolGetCtxContendedCancel: many goroutines race checkouts against a
+// 1-slot pool while half their contexts get canceled midway. Every call
+// must terminate with either an instance or a context error, and the pool
+// must end balanced (race-detector coverage for the AfterFunc/Broadcast
+// wake path).
+func TestPoolGetCtxContendedCancel(t *testing.T) {
+	p := NewInstancePool(snapModule(), 0, PoolOptions{MaxInstances: 1})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served, canceled := 0, 0
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%2 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i)*10*time.Millisecond)
+				defer cancel()
+			}
+			vm, _, err := p.GetCtx(ctx, Config{})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+				mu.Unlock()
+				p.Put(vm)
+				mu.Lock()
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				canceled++
+			default:
+				t.Errorf("caller %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if served+canceled != callers {
+		t.Fatalf("accounting: served=%d canceled=%d, want sum %d", served, canceled, callers)
+	}
+	if served == 0 {
+		t.Error("no caller was served")
+	}
+	s := p.Stats()
+	if s.Live > 1 {
+		t.Errorf("pool over bound: live=%d", s.Live)
+	}
+	if s.Live != s.Idle {
+		t.Errorf("checked-out instance leaked: live=%d idle=%d", s.Live, s.Idle)
+	}
+}
